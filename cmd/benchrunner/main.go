@@ -1,0 +1,74 @@
+// Command benchrunner regenerates any table or figure of the paper's
+// evaluation section.
+//
+// Usage:
+//
+//	benchrunner -exp table2                  # one experiment, paper scale
+//	benchrunner -exp fig11 -scale 0.25       # reduced scale
+//	benchrunner -exp all -scale 0.1          # everything, quickly
+//	benchrunner -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"redhanded/internal/experiments"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("benchrunner: ")
+	var (
+		exp    = flag.String("exp", "", "experiment id (table1, table2, fig4..fig17) or 'all'")
+		scale  = flag.Float64("scale", 1.0, "dataset size multiplier (1.0 = paper scale)")
+		seed   = flag.Uint64("seed", 42, "random seed")
+		counts = flag.String("counts", "", "comma-separated tweet counts for fig15/fig16 (default paper sweep)")
+		execs  = flag.Int("executors", 3, "cluster executor count for fig15/fig16")
+		cores  = flag.Int("cores", 8, "worker threads per executor / SparkLocal cores")
+		list   = flag.Bool("list", false, "list experiments and exit")
+	)
+	flag.Parse()
+
+	if *list || *exp == "" {
+		fmt.Println("experiments:")
+		for _, id := range experiments.IDs() {
+			fmt.Printf("  %-8s %s\n", id, experiments.Description(id))
+		}
+		return
+	}
+
+	cfg := experiments.DefaultConfig()
+	cfg.Scale = *scale
+	cfg.Seed = *seed
+	cfg.ClusterExecutors = *execs
+	cfg.ClusterWorkers = *cores
+	if *counts != "" {
+		cfg.TweetCounts = nil
+		for _, part := range strings.Split(*counts, ",") {
+			n, err := strconv.ParseInt(strings.TrimSpace(part), 10, 64)
+			if err != nil {
+				log.Fatalf("bad -counts entry %q: %v", part, err)
+			}
+			cfg.TweetCounts = append(cfg.TweetCounts, n)
+		}
+	}
+
+	ids := []string{*exp}
+	if *exp == "all" {
+		ids = experiments.IDs()
+	}
+	for _, id := range ids {
+		fmt.Printf("=== %s: %s (scale %g) ===\n", id, experiments.Description(id), cfg.Scale)
+		start := time.Now()
+		if err := experiments.Run(id, cfg, os.Stdout); err != nil {
+			log.Fatalf("%s: %v", id, err)
+		}
+		fmt.Printf("(%s completed in %s)\n\n", id, time.Since(start).Round(time.Millisecond))
+	}
+}

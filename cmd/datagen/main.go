@@ -1,0 +1,99 @@
+// Command datagen generates the synthetic datasets (JSON Lines of
+// Twitter-API-shaped payloads) used throughout the reproduction.
+//
+// Usage:
+//
+//	datagen -dataset aggression -scale 1.0 -out aggression.jsonl
+//	datagen -dataset sarcasm    -out sarcasm.jsonl
+//	datagen -dataset offensive  -out offensive.jsonl
+//	datagen -dataset unlabeled  -n 250000 -out stream.jsonl
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"redhanded/internal/twitterdata"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("datagen: ")
+	var (
+		dataset = flag.String("dataset", "aggression", "dataset to generate: aggression, sarcasm, offensive, unlabeled")
+		out     = flag.String("out", "-", "output path (- for stdout)")
+		scale   = flag.Float64("scale", 1.0, "dataset size multiplier (1.0 = paper scale)")
+		seed    = flag.Uint64("seed", 42, "generation seed")
+		n       = flag.Int64("n", 100000, "tweet count for -dataset unlabeled")
+	)
+	flag.Parse()
+
+	w := os.Stdout
+	if *out != "-" {
+		f, err := os.Create(*out)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		w = f
+	}
+	writer := twitterdata.NewWriter(w)
+
+	count := 0
+	emit := func(tweets []twitterdata.Tweet) {
+		for i := range tweets {
+			if err := writer.Write(tweets[i]); err != nil {
+				log.Fatal(err)
+			}
+			count++
+		}
+	}
+
+	switch *dataset {
+	case "aggression":
+		cfg := twitterdata.DefaultAggressionConfig()
+		cfg.Seed = *seed
+		cfg.NormalCount = scaled(cfg.NormalCount, *scale)
+		cfg.AbusiveCount = scaled(cfg.AbusiveCount, *scale)
+		cfg.HatefulCount = scaled(cfg.HatefulCount, *scale)
+		emit(twitterdata.GenerateAggression(cfg))
+	case "sarcasm":
+		cfg := twitterdata.DefaultSarcasmConfig()
+		cfg.Seed = *seed
+		cfg.SarcasticCount = scaled(cfg.SarcasticCount, *scale)
+		cfg.NormalCount = scaled(cfg.NormalCount, *scale)
+		emit(twitterdata.GenerateSarcasm(cfg))
+	case "offensive":
+		cfg := twitterdata.DefaultOffensiveConfig()
+		cfg.Seed = *seed
+		cfg.RacistCount = scaled(cfg.RacistCount, *scale)
+		cfg.SexistCount = scaled(cfg.SexistCount, *scale)
+		cfg.NoneCount = scaled(cfg.NoneCount, *scale)
+		emit(twitterdata.GenerateOffensive(cfg))
+	case "unlabeled":
+		src := twitterdata.NewUnlabeledSource(*seed, 10)
+		for i := int64(0); i < *n; i++ {
+			if err := writer.Write(src.Next()); err != nil {
+				log.Fatal(err)
+			}
+			count++
+		}
+	default:
+		log.Fatalf("unknown dataset %q", *dataset)
+	}
+
+	if err := writer.Flush(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "datagen: wrote %d tweets\n", count)
+}
+
+func scaled(v int, scale float64) int {
+	out := int(float64(v) * scale)
+	if out < 1 {
+		out = 1
+	}
+	return out
+}

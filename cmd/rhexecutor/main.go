@@ -1,0 +1,39 @@
+// Command rhexecutor runs one cluster executor node. Start several (on one
+// or many machines), then point the driver at them:
+//
+//	rhexecutor -addr 127.0.0.1:7701 -workers 8 &
+//	rhexecutor -addr 127.0.0.1:7702 -workers 8 &
+//	rhexecutor -addr 127.0.0.1:7703 -workers 8 &
+//	# drive them from Go code via engine.RunCluster, or see examples/firehose.
+package main
+
+import (
+	"flag"
+	"log"
+	"os"
+	"os/signal"
+
+	"redhanded/internal/engine"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("rhexecutor: ")
+	var (
+		addr    = flag.String("addr", "127.0.0.1:7701", "listen address")
+		workers = flag.Int("workers", 8, "parallel task slots")
+	)
+	flag.Parse()
+
+	ex, err := engine.StartExecutor(*addr, *workers)
+	if err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("executor listening on %s with %d workers", ex.Addr(), *workers)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt)
+	<-sig
+	log.Printf("shutting down after %d batches", ex.Handled())
+	ex.Close()
+}

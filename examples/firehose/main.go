@@ -1,0 +1,90 @@
+// Firehose: the scalability story of §V-E. The same pipeline runs on the
+// four execution substrates — sequential (MOA-style), single-threaded
+// micro-batch (SparkSingle), multi-worker micro-batch (SparkLocal), and a
+// 3-node TCP cluster (SparkCluster) — over a stream of unlabeled tweets
+// intermixed with the labeled dataset, and reports each setup's
+// throughput against the reported Twitter Firehose rate (~9k tweets/s).
+package main
+
+import (
+	"fmt"
+	"log"
+	"runtime"
+
+	"redhanded"
+	"redhanded/internal/engine"
+	"redhanded/internal/twitterdata"
+)
+
+const (
+	totalTweets = 200000
+	firehose    = 9000.0 // reported Twitter Firehose tweets/sec
+)
+
+func newSource() redhanded.Source {
+	labeled := redhanded.GenerateAggression(redhanded.AggressionConfig{
+		Seed: 42, Days: 10, NormalCount: 5400, AbusiveCount: 2700, HatefulCount: 500,
+	})
+	return engine.NewMixedSource(labeled, twitterdata.NewUnlabeledSource(123, 10), totalTweets)
+}
+
+func newPipeline() *redhanded.Pipeline {
+	opts := redhanded.DefaultOptions()
+	opts.SampleStep = 0 // pure throughput run
+	return redhanded.NewPipeline(opts)
+}
+
+func report(name string, stats redhanded.EngineStats, f1 float64) {
+	ratio := stats.Throughput() / firehose
+	fmt.Printf("%-13s %8d tweets in %7.2fs -> %8.0f tweets/s (%.1fx Firehose)  F1=%.3f\n",
+		name, stats.Processed, stats.Duration.Seconds(), stats.Throughput(), ratio, f1)
+}
+
+func main() {
+	log.SetFlags(0)
+	cores := runtime.NumCPU()
+	if cores > 8 {
+		cores = 8 // one "commodity machine" of the paper
+	}
+	fmt.Printf("streaming %d tweets through each execution substrate...\n\n", totalTweets)
+
+	p := newPipeline()
+	stats := redhanded.RunSequential(p, newSource())
+	report("MOA", stats, p.Summary().F1)
+
+	p = newPipeline()
+	stats, err := redhanded.RunMicroBatch(p, newSource(), redhanded.SparkSingleConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+	report("SparkSingle", stats, p.Summary().F1)
+
+	p = newPipeline()
+	stats, err = redhanded.RunMicroBatch(p, newSource(), redhanded.SparkLocalConfig(cores))
+	if err != nil {
+		log.Fatal(err)
+	}
+	report("SparkLocal", stats, p.Summary().F1)
+
+	// Three executor "nodes" on loopback TCP — run cmd/rhexecutor on real
+	// machines for a genuine cluster.
+	var addrs []string
+	for i := 0; i < 3; i++ {
+		ex, err := redhanded.StartExecutor("127.0.0.1:0", cores)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer ex.Close()
+		addrs = append(addrs, ex.Addr())
+	}
+	p = newPipeline()
+	stats, err = redhanded.RunCluster(p, newSource(), redhanded.ClusterConfig{
+		Executors: addrs, BatchSize: 3000, TasksPerExecutor: cores,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	report("SparkCluster", stats, p.Summary().F1)
+
+	fmt.Printf("\nreported Twitter Firehose rate: %.0f tweets/s\n", firehose)
+}

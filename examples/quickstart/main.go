@@ -1,0 +1,46 @@
+// Quickstart: build the detection pipeline, stream labeled tweets through
+// it, and watch the prequential metrics converge — the minimal end-to-end
+// use of the public API.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"redhanded"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	// A reduced version of the paper's 86k-tweet dataset (10 days of
+	// normal/abusive/hateful traffic).
+	cfg := redhanded.DefaultAggressionConfig()
+	cfg.NormalCount, cfg.AbusiveCount, cfg.HatefulCount = 6000, 3000, 550
+	tweets := redhanded.GenerateAggression(cfg)
+
+	// The paper's default configuration: Hoeffding Tree, 3 classes,
+	// preprocessing + normalization + adaptive bag-of-words all on.
+	opts := redhanded.DefaultOptions()
+	p := redhanded.NewPipeline(opts)
+
+	for i := range tweets {
+		res := p.Process(&tweets[i])
+		_ = res // per-tweet predictions are available here
+
+		if n := i + 1; n%2000 == 0 {
+			r := p.Summary()
+			fmt.Printf("after %5d tweets: accuracy=%.3f F1=%.3f (BoW %d words)\n",
+				n, r.Accuracy, r.F1, p.Extractor().BoW().Size())
+		}
+	}
+
+	r := p.Summary()
+	fmt.Println()
+	fmt.Printf("final prequential metrics over %d labeled tweets:\n", r.Instances)
+	fmt.Printf("  accuracy  %.4f\n", r.Accuracy)
+	fmt.Printf("  precision %.4f\n", r.Precision)
+	fmt.Printf("  recall    %.4f\n", r.Recall)
+	fmt.Printf("  F1-score  %.4f\n", r.F1)
+	fmt.Printf("alerts raised along the way: %d\n", p.Alerter().Raised())
+}

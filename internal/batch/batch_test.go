@@ -1,0 +1,261 @@
+package batch
+
+import (
+	"math"
+	"testing"
+
+	"redhanded/internal/ml"
+)
+
+// gaussianData mirrors the stream package's test workload.
+func gaussianData(n, numClasses, dim int, separation float64, seed uint64) []ml.Instance {
+	rng := ml.NewRNG(seed)
+	out := make([]ml.Instance, 0, n)
+	for i := 0; i < n; i++ {
+		label := rng.Intn(numClasses)
+		x := make([]float64, dim)
+		for d := 0; d < dim; d++ {
+			sep := separation * (0.5 + 0.5*float64(d+1)/float64(dim))
+			x[d] = float64(label)*sep + rng.NormFloat64()
+		}
+		out = append(out, ml.NewInstance(x, label))
+	}
+	return out
+}
+
+func accuracy(m ml.Classifier, data []ml.Instance) float64 {
+	correct := 0
+	for _, in := range data {
+		if m.Predict(in.X).ArgMax() == in.Label {
+			correct++
+		}
+	}
+	return float64(correct) / float64(len(data))
+}
+
+func TestDecisionTreeLearns(t *testing.T) {
+	train := gaussianData(4000, 2, 4, 4, 1)
+	test := gaussianData(1000, 2, 4, 4, 99)
+	dt := NewDecisionTree(TreeConfig{NumClasses: 2})
+	if err := dt.Fit(train); err != nil {
+		t.Fatal(err)
+	}
+	if acc := accuracy(dt, test); acc < 0.95 {
+		t.Fatalf("DT accuracy = %v, want >= 0.95", acc)
+	}
+}
+
+func TestDecisionTreeThreeClass(t *testing.T) {
+	train := gaussianData(6000, 3, 4, 4, 2)
+	test := gaussianData(1500, 3, 4, 4, 98)
+	dt := NewDecisionTree(TreeConfig{NumClasses: 3})
+	if err := dt.Fit(train); err != nil {
+		t.Fatal(err)
+	}
+	if acc := accuracy(dt, test); acc < 0.9 {
+		t.Fatalf("3-class DT accuracy = %v, want >= 0.9", acc)
+	}
+}
+
+func TestDecisionTreeRespectsDepth(t *testing.T) {
+	train := gaussianData(4000, 2, 4, 2, 3)
+	dt := NewDecisionTree(TreeConfig{NumClasses: 2, MaxDepth: 3})
+	if err := dt.Fit(train); err != nil {
+		t.Fatal(err)
+	}
+	if d := dt.Depth(); d > 3 {
+		t.Fatalf("depth = %d exceeds limit 3", d)
+	}
+}
+
+func TestDecisionTreeGiniVsEntropy(t *testing.T) {
+	train := gaussianData(3000, 2, 4, 4, 4)
+	test := gaussianData(800, 2, 4, 4, 97)
+	for _, gini := range []bool{false, true} {
+		dt := NewDecisionTree(TreeConfig{NumClasses: 2, UseGini: gini})
+		if err := dt.Fit(train); err != nil {
+			t.Fatal(err)
+		}
+		if acc := accuracy(dt, test); acc < 0.93 {
+			t.Fatalf("gini=%v accuracy = %v", gini, acc)
+		}
+	}
+}
+
+func TestDecisionTreeEmptyAndInvalid(t *testing.T) {
+	dt := NewDecisionTree(TreeConfig{NumClasses: 2})
+	if err := dt.Fit(nil); err == nil {
+		t.Fatalf("empty training set accepted")
+	}
+	unlabeled := []ml.Instance{{X: []float64{1}, Label: ml.Unlabeled, Weight: 1}}
+	if err := dt.Fit(unlabeled); err == nil {
+		t.Fatalf("unlabeled-only training set accepted")
+	}
+	if votes := dt.Predict([]float64{1}); len(votes) != 2 {
+		t.Fatalf("unfit tree prediction shape wrong")
+	}
+}
+
+func TestDecisionTreePureData(t *testing.T) {
+	var data []ml.Instance
+	rng := ml.NewRNG(5)
+	for i := 0; i < 100; i++ {
+		data = append(data, ml.NewInstance([]float64{rng.NormFloat64()}, 1))
+	}
+	dt := NewDecisionTree(TreeConfig{NumClasses: 2})
+	if err := dt.Fit(data); err != nil {
+		t.Fatal(err)
+	}
+	if dt.Depth() != 0 {
+		t.Fatalf("pure data should give a stump, depth %d", dt.Depth())
+	}
+	if got := dt.Predict([]float64{0}).ArgMax(); got != 1 {
+		t.Fatalf("pure-data prediction = %d", got)
+	}
+}
+
+func TestDecisionTreeImportanceFindsSignal(t *testing.T) {
+	// Feature 2 carries all the signal; 0 and 1 are noise.
+	rng := ml.NewRNG(6)
+	var data []ml.Instance
+	for i := 0; i < 3000; i++ {
+		label := rng.Intn(2)
+		x := []float64{rng.NormFloat64(), rng.NormFloat64(), float64(label)*4 + rng.NormFloat64()}
+		data = append(data, ml.NewInstance(x, label))
+	}
+	dt := NewDecisionTree(TreeConfig{NumClasses: 2})
+	if err := dt.Fit(data); err != nil {
+		t.Fatal(err)
+	}
+	imp := dt.Importances()
+	if imp[2] < 0.8 {
+		t.Fatalf("signal feature importance = %v, want >= 0.8 (all: %v)", imp[2], imp)
+	}
+	total := imp[0] + imp[1] + imp[2]
+	if math.Abs(total-1) > 1e-9 {
+		t.Fatalf("importances sum to %v", total)
+	}
+}
+
+func TestRandomForestLearns(t *testing.T) {
+	train := gaussianData(4000, 2, 4, 3, 7)
+	test := gaussianData(1000, 2, 4, 3, 96)
+	rf := NewRandomForest(ForestConfig{NumClasses: 2, Trees: 20, Seed: 1})
+	if err := rf.Fit(train); err != nil {
+		t.Fatal(err)
+	}
+	if acc := accuracy(rf, test); acc < 0.95 {
+		t.Fatalf("RF accuracy = %v, want >= 0.95", acc)
+	}
+}
+
+func TestRandomForestBeatsSingleTreeOnNoise(t *testing.T) {
+	// Noisy overlapping classes: the ensemble should be at least as good.
+	train := gaussianData(3000, 2, 6, 1.2, 8)
+	test := gaussianData(1500, 2, 6, 1.2, 95)
+	dt := NewDecisionTree(TreeConfig{NumClasses: 2})
+	rf := NewRandomForest(ForestConfig{NumClasses: 2, Trees: 30, Seed: 2})
+	if err := dt.Fit(train); err != nil {
+		t.Fatal(err)
+	}
+	if err := rf.Fit(train); err != nil {
+		t.Fatal(err)
+	}
+	accDT, accRF := accuracy(dt, test), accuracy(rf, test)
+	if accRF < accDT-0.02 {
+		t.Fatalf("forest (%v) much worse than single tree (%v)", accRF, accDT)
+	}
+}
+
+func TestRandomForestGiniImportances(t *testing.T) {
+	rng := ml.NewRNG(9)
+	var data []ml.Instance
+	for i := 0; i < 3000; i++ {
+		label := rng.Intn(2)
+		x := []float64{rng.NormFloat64(), float64(label)*5 + rng.NormFloat64(), rng.NormFloat64()}
+		data = append(data, ml.NewInstance(x, label))
+	}
+	rf := NewRandomForest(ForestConfig{NumClasses: 2, Trees: 20, Seed: 3})
+	if err := rf.Fit(data); err != nil {
+		t.Fatal(err)
+	}
+	imp := rf.GiniImportances()
+	if imp[1] < imp[0] || imp[1] < imp[2] {
+		t.Fatalf("signal feature not ranked first: %v", imp)
+	}
+	sum := 0.0
+	for _, v := range imp {
+		sum += v
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Fatalf("importances sum to %v", sum)
+	}
+}
+
+func TestRandomForestDeterministic(t *testing.T) {
+	data := gaussianData(1000, 2, 3, 3, 10)
+	run := func() []float64 {
+		rf := NewRandomForest(ForestConfig{NumClasses: 2, Trees: 5, Seed: 4})
+		if err := rf.Fit(data); err != nil {
+			t.Fatal(err)
+		}
+		return rf.GiniImportances()
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("forest not deterministic: %v vs %v", a, b)
+		}
+	}
+}
+
+func TestLogisticLearns(t *testing.T) {
+	train := gaussianData(4000, 2, 4, 3, 11)
+	test := gaussianData(1000, 2, 4, 3, 94)
+	lr := NewLogistic(LogisticConfig{NumClasses: 2})
+	if err := lr.Fit(train); err != nil {
+		t.Fatal(err)
+	}
+	if acc := accuracy(lr, test); acc < 0.93 {
+		t.Fatalf("logistic accuracy = %v, want >= 0.93", acc)
+	}
+}
+
+func TestLogisticMultiClass(t *testing.T) {
+	train := gaussianData(6000, 3, 4, 4, 12)
+	test := gaussianData(1500, 3, 4, 4, 93)
+	lr := NewLogistic(LogisticConfig{NumClasses: 3})
+	if err := lr.Fit(train); err != nil {
+		t.Fatal(err)
+	}
+	if acc := accuracy(lr, test); acc < 0.9 {
+		t.Fatalf("3-class logistic accuracy = %v, want >= 0.9", acc)
+	}
+}
+
+func TestLogisticRejectsBadData(t *testing.T) {
+	lr := NewLogistic(LogisticConfig{NumClasses: 2})
+	if err := lr.Fit(nil); err == nil {
+		t.Fatalf("empty training set accepted")
+	}
+	if votes := lr.Predict([]float64{1, 2}); votes.ArgMax() != 0 && votes.ArgMax() != 1 {
+		t.Fatalf("unfit prediction invalid")
+	}
+}
+
+func TestConfigPanics(t *testing.T) {
+	for _, fn := range []func(){
+		func() { NewDecisionTree(TreeConfig{NumClasses: 1}) },
+		func() { NewRandomForest(ForestConfig{NumClasses: 0}) },
+		func() { NewLogistic(LogisticConfig{NumClasses: 1}) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("invalid config did not panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}

@@ -1,0 +1,141 @@
+package batch
+
+import (
+	"fmt"
+	"math"
+	"sync"
+
+	"redhanded/internal/ml"
+)
+
+// ForestConfig configures the batch random forest.
+type ForestConfig struct {
+	NumClasses int
+	Trees      int // default 50
+	MaxDepth   int // default 20
+	MinLeaf    int // default 2
+	// FeaturesPerSplit is the random subset size per split
+	// (default ceil(sqrt(F))).
+	FeaturesPerSplit int
+	Seed             uint64
+}
+
+func (c ForestConfig) withDefaults() ForestConfig {
+	if c.Trees == 0 {
+		c.Trees = 50
+	}
+	if c.MaxDepth == 0 {
+		c.MaxDepth = 20
+	}
+	if c.MinLeaf == 0 {
+		c.MinLeaf = 2
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	return c
+}
+
+// RandomForest is a bagged ensemble of Gini decision trees with per-split
+// feature subsampling — the batch counterpart of the ARF and the source of
+// the Fig. 5 Gini importances.
+type RandomForest struct {
+	cfg   ForestConfig
+	trees []*DecisionTree
+}
+
+var _ ml.BatchClassifier = (*RandomForest)(nil)
+
+// NewRandomForest creates an untrained forest.
+func NewRandomForest(cfg ForestConfig) *RandomForest {
+	cfg = cfg.withDefaults()
+	if cfg.NumClasses < 2 {
+		panic(fmt.Sprintf("batch: forest needs >= 2 classes, got %d", cfg.NumClasses))
+	}
+	return &RandomForest{cfg: cfg}
+}
+
+// Fit implements ml.BatchClassifier: trees are trained in parallel on
+// bootstrap resamples.
+func (f *RandomForest) Fit(data []ml.Instance) error {
+	if len(data) == 0 {
+		return fmt.Errorf("batch: empty training set")
+	}
+	numFeat := len(data[0].X)
+	subset := f.cfg.FeaturesPerSplit
+	if subset <= 0 {
+		subset = int(math.Ceil(math.Sqrt(float64(numFeat))))
+	}
+	if subset > numFeat {
+		subset = numFeat
+	}
+
+	f.trees = make([]*DecisionTree, f.cfg.Trees)
+	rootRNG := ml.NewRNG(f.cfg.Seed)
+	rngs := make([]*ml.RNG, f.cfg.Trees)
+	for i := range rngs {
+		rngs[i] = rootRNG.Split()
+	}
+
+	errs := make([]error, f.cfg.Trees)
+	var wg sync.WaitGroup
+	for i := 0; i < f.cfg.Trees; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			rng := rngs[i]
+			boot := make([]ml.Instance, len(data))
+			for j := range boot {
+				boot[j] = data[rng.Intn(len(data))]
+			}
+			tree := NewDecisionTree(TreeConfig{
+				NumClasses: f.cfg.NumClasses,
+				MaxDepth:   f.cfg.MaxDepth,
+				MinLeaf:    f.cfg.MinLeaf,
+				UseGini:    true,
+				FeatureSampler: func(n int) []int {
+					return rng.SampleWithoutReplacement(n, subset)
+				},
+			})
+			errs[i] = tree.Fit(boot)
+			f.trees[i] = tree
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Predict implements ml.Classifier: normalized votes summed over trees.
+func (f *RandomForest) Predict(x []float64) ml.Prediction {
+	votes := make(ml.Prediction, f.cfg.NumClasses)
+	for _, t := range f.trees {
+		v := t.Predict(x).Normalize()
+		for c := range votes {
+			if c < len(v) {
+				votes[c] += v[c]
+			}
+		}
+	}
+	return votes
+}
+
+// GiniImportances returns the forest-averaged Gini feature importances,
+// normalized to sum to 1 — the quantity plotted in Fig. 5.
+func (f *RandomForest) GiniImportances() []float64 {
+	if len(f.trees) == 0 {
+		return nil
+	}
+	sum := make([]float64, len(f.trees[0].importance))
+	for _, t := range f.trees {
+		for i, v := range t.Importances() {
+			sum[i] += v
+		}
+	}
+	return normalizeImportance(sum)
+}

@@ -1,0 +1,135 @@
+package batch
+
+import (
+	"fmt"
+	"math"
+
+	"redhanded/internal/ml"
+)
+
+// LogisticConfig configures batch logistic regression.
+type LogisticConfig struct {
+	NumClasses   int
+	Epochs       int     // passes over the data; default 10
+	LearningRate float64 // default 0.1
+	L2           float64 // ridge penalty; default 0.01
+	Seed         uint64
+}
+
+func (c LogisticConfig) withDefaults() LogisticConfig {
+	if c.Epochs == 0 {
+		c.Epochs = 10
+	}
+	if c.LearningRate == 0 {
+		c.LearningRate = 0.1
+	}
+	if c.L2 == 0 {
+		c.L2 = 0.01
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	return c
+}
+
+// Logistic is batch multinomial logistic regression trained with
+// multi-epoch shuffled SGD — unlike its streaming counterpart, it
+// processes each instance Epochs times.
+type Logistic struct {
+	cfg LogisticConfig
+	w   [][]float64 // [class][feature+1]; last is bias
+}
+
+var _ ml.BatchClassifier = (*Logistic)(nil)
+
+// NewLogistic creates an untrained model.
+func NewLogistic(cfg LogisticConfig) *Logistic {
+	cfg = cfg.withDefaults()
+	if cfg.NumClasses < 2 {
+		panic(fmt.Sprintf("batch: logistic needs >= 2 classes, got %d", cfg.NumClasses))
+	}
+	return &Logistic{cfg: cfg}
+}
+
+// Fit implements ml.BatchClassifier.
+func (l *Logistic) Fit(data []ml.Instance) error {
+	var clean []ml.Instance
+	for _, in := range data {
+		if in.IsLabeled() && in.Label < l.cfg.NumClasses && in.Valid() {
+			clean = append(clean, in)
+		}
+	}
+	if len(clean) == 0 {
+		return fmt.Errorf("batch: no valid labeled instances")
+	}
+	dim := len(clean[0].X)
+	l.w = make([][]float64, l.cfg.NumClasses)
+	for c := range l.w {
+		l.w[c] = make([]float64, dim+1)
+	}
+	rng := ml.NewRNG(l.cfg.Seed)
+	order := make([]int, len(clean))
+	for i := range order {
+		order[i] = i
+	}
+	for epoch := 0; epoch < l.cfg.Epochs; epoch++ {
+		rng.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
+		lr := l.cfg.LearningRate / (1 + 0.5*float64(epoch))
+		for _, i := range order {
+			l.step(clean[i], lr)
+		}
+	}
+	return nil
+}
+
+func (l *Logistic) step(in ml.Instance, lr float64) {
+	p := l.Predict(in.X)
+	for c := range l.w {
+		y := 0.0
+		if in.Label == c {
+			y = 1
+		}
+		g := p[c] - y
+		wc := l.w[c]
+		n := len(wc) - 1
+		if len(in.X) < n {
+			n = len(in.X)
+		}
+		for i := 0; i < n; i++ {
+			wc[i] -= lr * (g*in.X[i] + l.cfg.L2*wc[i])
+		}
+		wc[len(wc)-1] -= lr * g
+	}
+}
+
+// Predict implements ml.Classifier: softmax probabilities.
+func (l *Logistic) Predict(x []float64) ml.Prediction {
+	votes := make(ml.Prediction, l.cfg.NumClasses)
+	if l.w == nil {
+		return votes
+	}
+	maxM := math.Inf(-1)
+	for c := range l.w {
+		m := l.w[c][len(l.w[c])-1]
+		n := len(l.w[c]) - 1
+		if len(x) < n {
+			n = len(x)
+		}
+		for i := 0; i < n; i++ {
+			m += l.w[c][i] * x[i]
+		}
+		votes[c] = m
+		if m > maxM {
+			maxM = m
+		}
+	}
+	sum := 0.0
+	for c := range votes {
+		votes[c] = math.Exp(votes[c] - maxM)
+		sum += votes[c]
+	}
+	for c := range votes {
+		votes[c] /= sum
+	}
+	return votes
+}

@@ -1,0 +1,279 @@
+// Package batch implements the batch-trained baselines the paper compares
+// against (its WEKA v3.7 models): a C4.5-style decision tree (J48), a
+// random forest with per-split feature subsampling, and multinomial
+// logistic regression. The random forest also provides the Gini feature
+// importances of Figure 5.
+package batch
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"redhanded/internal/ml"
+)
+
+// TreeConfig configures the batch decision tree.
+type TreeConfig struct {
+	NumClasses int
+	MaxDepth   int // default 20
+	MinLeaf    int // minimum instances per leaf; default 2
+	// UseGini selects Gini impurity instead of entropy (information gain).
+	UseGini bool
+	// FeatureSampler, when non-nil, returns the candidate feature subset
+	// for one split (used by the random forest); nil considers all.
+	FeatureSampler func(numFeatures int) []int
+}
+
+func (c TreeConfig) withDefaults() TreeConfig {
+	if c.MaxDepth == 0 {
+		c.MaxDepth = 20
+	}
+	if c.MinLeaf == 0 {
+		c.MinLeaf = 2
+	}
+	return c
+}
+
+// DecisionTree is a batch-trained binary decision tree over numeric
+// features, the batch counterpart (DT) of the Hoeffding tree in Figs. 13
+// and 14.
+type DecisionTree struct {
+	cfg  TreeConfig
+	root *btNode
+	// importance accumulates per-feature impurity decrease weighted by
+	// node probability (Gini importance when UseGini is set).
+	importance []float64
+	numFeat    int
+}
+
+var _ ml.BatchClassifier = (*DecisionTree)(nil)
+
+type btNode struct {
+	feature   int
+	threshold float64
+	left      *btNode
+	right     *btNode
+	counts    []float64 // leaf distribution
+}
+
+func (n *btNode) isLeaf() bool { return n.counts != nil }
+
+// NewDecisionTree creates an untrained tree.
+func NewDecisionTree(cfg TreeConfig) *DecisionTree {
+	cfg = cfg.withDefaults()
+	if cfg.NumClasses < 2 {
+		panic(fmt.Sprintf("batch: tree needs >= 2 classes, got %d", cfg.NumClasses))
+	}
+	return &DecisionTree{cfg: cfg}
+}
+
+// Fit implements ml.BatchClassifier.
+func (t *DecisionTree) Fit(data []ml.Instance) error {
+	if len(data) == 0 {
+		return fmt.Errorf("batch: empty training set")
+	}
+	t.numFeat = len(data[0].X)
+	t.importance = make([]float64, t.numFeat)
+	idx := make([]int, 0, len(data))
+	for i, in := range data {
+		if in.IsLabeled() && in.Label < t.cfg.NumClasses && in.Valid() {
+			idx = append(idx, i)
+		}
+	}
+	if len(idx) == 0 {
+		return fmt.Errorf("batch: no valid labeled instances")
+	}
+	t.root = t.build(data, idx, 0, float64(len(idx)))
+	return nil
+}
+
+func (t *DecisionTree) impurity(counts []float64) float64 {
+	total := 0.0
+	for _, c := range counts {
+		total += c
+	}
+	if total == 0 {
+		return 0
+	}
+	if t.cfg.UseGini {
+		sumSq := 0.0
+		for _, c := range counts {
+			p := c / total
+			sumSq += p * p
+		}
+		return 1 - sumSq
+	}
+	h := 0.0
+	for _, c := range counts {
+		if c > 0 {
+			p := c / total
+			h -= p * math.Log2(p)
+		}
+	}
+	return h
+}
+
+func countsOf(data []ml.Instance, idx []int, k int) []float64 {
+	counts := make([]float64, k)
+	for _, i := range idx {
+		counts[data[i].Label] += data[i].Weight
+	}
+	return counts
+}
+
+// build grows the tree recursively. rootN is the root sample size for
+// importance normalization.
+func (t *DecisionTree) build(data []ml.Instance, idx []int, depth int, rootN float64) *btNode {
+	counts := countsOf(data, idx, t.cfg.NumClasses)
+	pure := 0
+	for _, c := range counts {
+		if c > 0 {
+			pure++
+		}
+	}
+	if depth >= t.cfg.MaxDepth || pure <= 1 || len(idx) < 2*t.cfg.MinLeaf {
+		return &btNode{counts: counts}
+	}
+
+	feats := t.candidateFeatures()
+	best := t.bestSplit(data, idx, counts, feats)
+	if best.feature < 0 {
+		return &btNode{counts: counts}
+	}
+
+	var leftIdx, rightIdx []int
+	for _, i := range idx {
+		if data[i].X[best.feature] <= best.threshold {
+			leftIdx = append(leftIdx, i)
+		} else {
+			rightIdx = append(rightIdx, i)
+		}
+	}
+	if len(leftIdx) < t.cfg.MinLeaf || len(rightIdx) < t.cfg.MinLeaf {
+		return &btNode{counts: counts}
+	}
+
+	// Importance: probability-weighted impurity decrease at this node.
+	t.importance[best.feature] += float64(len(idx)) / rootN * best.gain
+
+	return &btNode{
+		feature:   best.feature,
+		threshold: best.threshold,
+		left:      t.build(data, leftIdx, depth+1, rootN),
+		right:     t.build(data, rightIdx, depth+1, rootN),
+	}
+}
+
+func (t *DecisionTree) candidateFeatures() []int {
+	if t.cfg.FeatureSampler != nil {
+		return t.cfg.FeatureSampler(t.numFeat)
+	}
+	all := make([]int, t.numFeat)
+	for i := range all {
+		all[i] = i
+	}
+	return all
+}
+
+type splitChoice struct {
+	feature   int
+	threshold float64
+	gain      float64
+}
+
+// bestSplit scans each candidate feature with a sort-based sweep, testing
+// thresholds between consecutive distinct values.
+func (t *DecisionTree) bestSplit(data []ml.Instance, idx []int, parentCounts []float64, feats []int) splitChoice {
+	best := splitChoice{feature: -1}
+	parentImp := t.impurity(parentCounts)
+	total := 0.0
+	for _, c := range parentCounts {
+		total += c
+	}
+	order := make([]int, len(idx))
+	left := make([]float64, t.cfg.NumClasses)
+	right := make([]float64, t.cfg.NumClasses)
+
+	for _, f := range feats {
+		copy(order, idx)
+		sort.Slice(order, func(a, b int) bool { return data[order[a]].X[f] < data[order[b]].X[f] })
+		for c := range left {
+			left[c] = 0
+			right[c] = parentCounts[c]
+		}
+		nLeft := 0.0
+		for pos := 0; pos < len(order)-1; pos++ {
+			in := data[order[pos]]
+			left[in.Label] += in.Weight
+			right[in.Label] -= in.Weight
+			nLeft += in.Weight
+			v, next := in.X[f], data[order[pos+1]].X[f]
+			if v == next {
+				continue
+			}
+			wl := nLeft / total
+			gain := parentImp - wl*t.impurity(left) - (1-wl)*t.impurity(right)
+			if gain > best.gain {
+				best = splitChoice{feature: f, threshold: (v + next) / 2, gain: gain}
+			}
+		}
+	}
+	if best.gain <= 1e-12 {
+		best.feature = -1
+	}
+	return best
+}
+
+// Predict implements ml.Classifier.
+func (t *DecisionTree) Predict(x []float64) ml.Prediction {
+	if t.root == nil {
+		return make(ml.Prediction, t.cfg.NumClasses)
+	}
+	n := t.root
+	for !n.isLeaf() {
+		if n.feature < len(x) && x[n.feature] <= n.threshold {
+			n = n.left
+		} else {
+			n = n.right
+		}
+	}
+	return append(ml.Prediction(nil), n.counts...)
+}
+
+// Importances returns the per-feature impurity-decrease importances,
+// normalized to sum to 1 (zero vector before Fit).
+func (t *DecisionTree) Importances() []float64 {
+	return normalizeImportance(t.importance)
+}
+
+// Depth returns the tree depth.
+func (t *DecisionTree) Depth() int {
+	var walk func(n *btNode) int
+	walk = func(n *btNode) int {
+		if n == nil || n.isLeaf() {
+			return 0
+		}
+		l, r := walk(n.left), walk(n.right)
+		if l > r {
+			return l + 1
+		}
+		return r + 1
+	}
+	return walk(t.root)
+}
+
+func normalizeImportance(imp []float64) []float64 {
+	out := make([]float64, len(imp))
+	total := 0.0
+	for _, v := range imp {
+		total += v
+	}
+	if total == 0 {
+		return out
+	}
+	for i, v := range imp {
+		out[i] = v / total
+	}
+	return out
+}

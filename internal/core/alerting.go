@@ -1,0 +1,123 @@
+package core
+
+import (
+	"sync"
+
+	"redhanded/internal/twitterdata"
+)
+
+// Alert is raised in real time when a tweet is predicted aggressive with
+// sufficient confidence.
+type Alert struct {
+	TweetID    string
+	UserID     string
+	ScreenName string
+	Label      string // predicted class name
+	Confidence float64
+	Text       string
+}
+
+// AlertSink consumes alerts. Implementations may forward them to human
+// moderators, post automatic warnings, or remove tweets (§III-A lists the
+// options).
+type AlertSink interface {
+	HandleAlert(Alert)
+}
+
+// AlertSinkFunc adapts a function to the AlertSink interface.
+type AlertSinkFunc func(Alert)
+
+// HandleAlert implements AlertSink.
+func (f AlertSinkFunc) HandleAlert(a Alert) { f(a) }
+
+// Alerter implements the alerting step: it filters predictions by
+// confidence, forwards alerts to registered sinks, and maintains a
+// per-user alert history used to suspend accounts with repeated offenses.
+type Alerter struct {
+	mu        sync.Mutex
+	threshold float64
+	sinks     []AlertSink
+	history   map[string]int
+	suspended map[string]bool
+	// SuspendAfter is the repeated-offense count that triggers an account
+	// suspension recommendation (0 disables).
+	SuspendAfter int
+	raised       int64
+}
+
+// NewAlerter creates an alerter with the given confidence threshold.
+func NewAlerter(threshold float64) *Alerter {
+	return &Alerter{
+		threshold:    threshold,
+		history:      make(map[string]int),
+		suspended:    make(map[string]bool),
+		SuspendAfter: 5,
+	}
+}
+
+// Subscribe registers a sink for future alerts.
+func (a *Alerter) Subscribe(s AlertSink) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.sinks = append(a.sinks, s)
+}
+
+// Consider raises an alert when confidence clears the threshold; it
+// returns whether an alert was raised.
+func (a *Alerter) Consider(tw *twitterdata.Tweet, predicted string, confidence float64) bool {
+	if confidence < a.threshold {
+		return false
+	}
+	alert := Alert{
+		TweetID:    tw.IDStr,
+		UserID:     tw.User.IDStr,
+		ScreenName: tw.User.ScreenName,
+		Label:      predicted,
+		Confidence: confidence,
+		Text:       tw.Text,
+	}
+	a.mu.Lock()
+	a.raised++
+	a.history[alert.UserID]++
+	if a.SuspendAfter > 0 && a.history[alert.UserID] >= a.SuspendAfter {
+		a.suspended[alert.UserID] = true
+	}
+	sinks := append([]AlertSink(nil), a.sinks...)
+	a.mu.Unlock()
+	for _, s := range sinks {
+		s.HandleAlert(alert)
+	}
+	return true
+}
+
+// Raised returns the total number of alerts raised.
+func (a *Alerter) Raised() int64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.raised
+}
+
+// OffenseCount returns the alert history of one user.
+func (a *Alerter) OffenseCount(userID string) int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.history[userID]
+}
+
+// Suspended reports whether the user crossed the repeated-offense bar.
+func (a *Alerter) Suspended(userID string) bool {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.suspended[userID]
+}
+
+// SuspendedUsers returns all users recommended for suspension.
+func (a *Alerter) SuspendedUsers() []string {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	out := make([]string, 0, len(a.suspended))
+	for u := range a.suspended {
+		out = append(out, u)
+	}
+	return out
+}

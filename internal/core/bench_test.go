@@ -1,0 +1,32 @@
+package core
+
+import (
+	"testing"
+
+	"redhanded/internal/twitterdata"
+)
+
+func BenchmarkPipelineProcessLabeled(b *testing.B) {
+	data := smallDataset(1, 4000, 2000, 400)
+	p := NewPipeline(DefaultOptions())
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.Process(&data[i%len(data)])
+	}
+}
+
+func BenchmarkPipelineProcessUnlabeled(b *testing.B) {
+	p := NewPipeline(DefaultOptions())
+	p.ProcessAll(smallDataset(2, 2000, 1000, 200))
+	src := twitterdata.NewUnlabeledSource(3, 10)
+	tweets := make([]twitterdata.Tweet, 2000)
+	for i := range tweets {
+		tweets[i] = src.Next()
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.Process(&tweets[i%len(tweets)])
+	}
+}

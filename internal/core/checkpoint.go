@@ -1,0 +1,124 @@
+package core
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+
+	"redhanded/internal/norm"
+	"redhanded/internal/stream"
+)
+
+// Checkpointing: a deployed detector must survive restarts without losing
+// the incrementally learned state. A checkpoint captures the streaming
+// model, the normalizer statistics, the adaptive BoW vocabulary, and the
+// evaluation counters; restoring into a pipeline with the same Options
+// resumes detection exactly where it stopped. Models must be remote-
+// trainable (HT or SLR) — the same property the cluster engine requires.
+
+// checkpointState is the gob payload.
+type checkpointState struct {
+	ModelKind string
+	ModelBlob []byte
+	StatsBlob []byte
+	BoWBlob   []byte
+	Processed int64
+	// Evaluation counters (confusion matrix cells, row-major).
+	EvalK      int
+	EvalCells  []int64
+	PredCounts []int64
+}
+
+// Checkpoint serializes the pipeline's learned state.
+func (p *Pipeline) Checkpoint(w io.Writer) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	rm, ok := p.model.(stream.RemoteTrainable)
+	if !ok {
+		return fmt.Errorf("core: model %T does not support checkpointing", p.model)
+	}
+	kind, err := stream.ModelKindOf(rm)
+	if err != nil {
+		return err
+	}
+	modelBlob, err := rm.MarshalBinary()
+	if err != nil {
+		return fmt.Errorf("core: checkpoint model: %w", err)
+	}
+	statsBlob, err := p.normalizer.Stats.MarshalBinary()
+	if err != nil {
+		return fmt.Errorf("core: checkpoint stats: %w", err)
+	}
+	bowBlob, err := p.extractor.BoW().MarshalBinary()
+	if err != nil {
+		return fmt.Errorf("core: checkpoint BoW: %w", err)
+	}
+	st := checkpointState{
+		ModelKind:  kind,
+		ModelBlob:  modelBlob,
+		StatsBlob:  statsBlob,
+		BoWBlob:    bowBlob,
+		Processed:  p.processed,
+		EvalK:      p.evaluator.Matrix().NumClasses(),
+		PredCounts: append([]int64(nil), p.predCounts...),
+	}
+	k := st.EvalK
+	st.EvalCells = make([]int64, k*k)
+	for i := 0; i < k; i++ {
+		for j := 0; j < k; j++ {
+			st.EvalCells[i*k+j] = p.evaluator.Matrix().Count(i, j)
+		}
+	}
+	if err := gob.NewEncoder(w).Encode(st); err != nil {
+		return fmt.Errorf("core: write checkpoint: %w", err)
+	}
+	return nil
+}
+
+// Restore loads a checkpoint into the pipeline. The pipeline must have
+// been built with Options compatible with the checkpoint (same model kind
+// and class count).
+func (p *Pipeline) Restore(r io.Reader) error {
+	var st checkpointState
+	if err := gob.NewDecoder(r).Decode(&st); err != nil {
+		return fmt.Errorf("core: read checkpoint: %w", err)
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	rm, ok := p.model.(stream.RemoteTrainable)
+	if !ok {
+		return fmt.Errorf("core: model %T does not support checkpointing", p.model)
+	}
+	kind, err := stream.ModelKindOf(rm)
+	if err != nil {
+		return err
+	}
+	if kind != st.ModelKind {
+		return fmt.Errorf("core: checkpoint is for model %s, pipeline uses %s", st.ModelKind, kind)
+	}
+	if st.EvalK != p.evaluator.Matrix().NumClasses() {
+		return fmt.Errorf("core: checkpoint has %d classes, pipeline has %d",
+			st.EvalK, p.evaluator.Matrix().NumClasses())
+	}
+	if err := rm.UnmarshalBinary(st.ModelBlob); err != nil {
+		return fmt.Errorf("core: restore model: %w", err)
+	}
+	stats := norm.NewFeatureStats(p.normalizer.Stats.Dim())
+	if err := stats.UnmarshalBinary(st.StatsBlob); err != nil {
+		return fmt.Errorf("core: restore stats: %w", err)
+	}
+	p.normalizer.Stats = stats
+	if err := p.extractor.BoW().UnmarshalBinary(st.BoWBlob); err != nil {
+		return fmt.Errorf("core: restore BoW: %w", err)
+	}
+	p.processed = st.Processed
+	copy(p.predCounts, st.PredCounts)
+	k := st.EvalK
+	p.evaluator.Matrix().Reset()
+	for i := 0; i < k; i++ {
+		for j := 0; j < k; j++ {
+			p.evaluator.Matrix().AddN(i, j, st.EvalCells[i*k+j])
+		}
+	}
+	return nil
+}

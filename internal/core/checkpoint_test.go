@@ -1,0 +1,95 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestCheckpointRoundTrip(t *testing.T) {
+	data := smallDataset(41, 3000, 1500, 300)
+	opts := DefaultOptions()
+	p := NewPipeline(opts)
+	p.ProcessAll(data[:3000])
+
+	var buf bytes.Buffer
+	if err := p.Checkpoint(&buf); err != nil {
+		t.Fatal(err)
+	}
+
+	restored := NewPipeline(opts)
+	if err := restored.Restore(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if restored.Processed() != p.Processed() {
+		t.Fatalf("processed %d != %d", restored.Processed(), p.Processed())
+	}
+	if restored.Summary() != p.Summary() {
+		t.Fatalf("summaries differ:\n%+v\n%+v", restored.Summary(), p.Summary())
+	}
+	if restored.Extractor().BoW().Size() != p.Extractor().BoW().Size() {
+		t.Fatalf("BoW sizes differ")
+	}
+
+	// Both pipelines continue identically on the remaining stream.
+	rest := data[3000:]
+	p.ProcessAll(rest)
+	restored.ProcessAll(rest)
+	if restored.Summary() != p.Summary() {
+		t.Fatalf("diverged after restore:\n%+v\n%+v", restored.Summary(), p.Summary())
+	}
+}
+
+func TestCheckpointSLR(t *testing.T) {
+	opts := DefaultOptions()
+	opts.Model = ModelSLR
+	p := NewPipeline(opts)
+	p.ProcessAll(smallDataset(42, 500, 250, 50))
+	var buf bytes.Buffer
+	if err := p.Checkpoint(&buf); err != nil {
+		t.Fatal(err)
+	}
+	restored := NewPipeline(opts)
+	if err := restored.Restore(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if restored.Summary() != p.Summary() {
+		t.Fatalf("SLR checkpoint mismatch")
+	}
+}
+
+func TestCheckpointARFUnsupported(t *testing.T) {
+	opts := DefaultOptions()
+	opts.Model = ModelARF
+	p := NewPipeline(opts)
+	if err := p.Checkpoint(&bytes.Buffer{}); err == nil {
+		t.Fatalf("ARF checkpoint should be rejected")
+	}
+}
+
+func TestRestoreMismatches(t *testing.T) {
+	p := NewPipeline(DefaultOptions())
+	p.ProcessAll(smallDataset(43, 200, 100, 20))
+	var buf bytes.Buffer
+	if err := p.Checkpoint(&buf); err != nil {
+		t.Fatal(err)
+	}
+
+	// Wrong model kind.
+	slrOpts := DefaultOptions()
+	slrOpts.Model = ModelSLR
+	if err := NewPipeline(slrOpts).Restore(bytes.NewReader(buf.Bytes())); err == nil {
+		t.Fatalf("model-kind mismatch accepted")
+	}
+
+	// Wrong class count.
+	twoOpts := DefaultOptions()
+	twoOpts.Scheme = TwoClass
+	if err := NewPipeline(twoOpts).Restore(bytes.NewReader(buf.Bytes())); err == nil {
+		t.Fatalf("class-count mismatch accepted")
+	}
+
+	// Garbage payload.
+	if err := NewPipeline(DefaultOptions()).Restore(bytes.NewReader([]byte("junk"))); err == nil {
+		t.Fatalf("garbage checkpoint accepted")
+	}
+}

@@ -1,0 +1,57 @@
+package core
+
+import (
+	"redhanded/internal/ml"
+	"redhanded/internal/twitterdata"
+)
+
+// Annotator simulates the labeling step: sampled tweets are returned as
+// labeled tweets after a crowd-sourcing-like round, with configurable
+// label noise. The paper delegates real labeling to moderators or
+// platforms like CrowdFlower; this component closes the loop for
+// end-to-end experiments.
+type Annotator struct {
+	// NoiseRate is the probability of assigning a wrong label.
+	NoiseRate float64
+	// truth recovers the ground-truth label for a tweet ID.
+	truth map[string]string
+	rng   *ml.RNG
+}
+
+// NewAnnotator builds an annotator from ground-truth tweets.
+func NewAnnotator(groundTruth []twitterdata.Tweet, noiseRate float64, seed uint64) *Annotator {
+	truth := make(map[string]string, len(groundTruth))
+	for i := range groundTruth {
+		if groundTruth[i].Label != "" {
+			truth[groundTruth[i].IDStr] = groundTruth[i].Label
+		}
+	}
+	return &Annotator{NoiseRate: noiseRate, truth: truth, rng: ml.NewRNG(seed)}
+}
+
+// Annotate labels a batch of sampled tweets. Tweets without ground truth
+// are skipped; with probability NoiseRate a wrong label is assigned.
+func (a *Annotator) Annotate(sample []twitterdata.Tweet) []twitterdata.Tweet {
+	labels := []string{twitterdata.LabelNormal, twitterdata.LabelAbusive, twitterdata.LabelHateful}
+	out := make([]twitterdata.Tweet, 0, len(sample))
+	for _, tw := range sample {
+		trueLabel, ok := a.truth[tw.IDStr]
+		if !ok {
+			continue
+		}
+		label := trueLabel
+		if a.rng.Float64() < a.NoiseRate {
+			// Pick a different label uniformly.
+			for {
+				cand := labels[a.rng.Intn(len(labels))]
+				if cand != trueLabel {
+					label = cand
+					break
+				}
+			}
+		}
+		tw.Label = label
+		out = append(out, tw)
+	}
+	return out
+}

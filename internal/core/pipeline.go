@@ -1,0 +1,227 @@
+package core
+
+import (
+	"sync"
+
+	"redhanded/internal/eval"
+	"redhanded/internal/feature"
+	"redhanded/internal/ml"
+	"redhanded/internal/norm"
+	"redhanded/internal/twitterdata"
+)
+
+// Result reports what the pipeline did with one tweet.
+type Result struct {
+	Instance   ml.Instance
+	Prediction ml.Prediction
+	Predicted  int
+	Confidence float64
+	Alerted    bool
+	// Tested is true for labeled tweets that entered the prequential
+	// evaluation (and then trained the model).
+	Tested bool
+}
+
+// Pipeline is the sequential reference implementation of the detection
+// framework (Fig. 1). The distributed engines reuse its components
+// (Extractor, Normalizer, Model) with parallel tasks; their results are
+// equivalent by the merge semantics of each component.
+//
+// Pipeline is not safe for concurrent use; engines coordinate access.
+type Pipeline struct {
+	opts       Options
+	classes    ml.Classes
+	extractor  *feature.Extractor
+	normalizer *norm.Normalizer
+	model      ml.DistributedClassifier
+	evaluator  *eval.Prequential
+	alerter    *Alerter
+	sampler    *BoostedSampler
+	bowSizes   []eval.Point // Fig. 10 series
+	processed  int64
+
+	// Distribution of predicted labels over unlabeled traffic (the
+	// evaluation step's "interesting statistics").
+	predCounts []int64
+
+	mu sync.Mutex
+}
+
+// NewPipeline assembles the framework with the given options.
+func NewPipeline(opts Options) *Pipeline {
+	bowCfg := feature.DefaultBoWConfig()
+	bowCfg.Frozen = !opts.AdaptiveBoW
+	ext := feature.NewExtractor(feature.Config{Preprocess: opts.Preprocess, BoW: bowCfg})
+	k := opts.Scheme.NumClasses()
+	return &Pipeline{
+		opts:       opts,
+		classes:    opts.Scheme.Classes(),
+		extractor:  ext,
+		normalizer: norm.NewNormalizer(opts.Normalization, feature.NumFeatures),
+		model:      newModel(opts),
+		evaluator:  eval.NewPrequential(k, opts.SampleStep),
+		alerter:    NewAlerter(opts.AlertThreshold),
+		sampler:    NewBoostedSampler(DefaultSamplerConfig(opts.Seed)),
+		predCounts: make([]int64, k),
+	}
+}
+
+// Options returns the pipeline configuration.
+func (p *Pipeline) Options() Options { return p.opts }
+
+// Classes returns the class domain.
+func (p *Pipeline) Classes() ml.Classes { return p.classes }
+
+// Model exposes the streaming classifier (engines need its accumulators).
+func (p *Pipeline) Model() ml.DistributedClassifier { return p.model }
+
+// Extractor exposes the feature extractor.
+func (p *Pipeline) Extractor() *feature.Extractor { return p.extractor }
+
+// Normalizer exposes the streaming normalizer.
+func (p *Pipeline) Normalizer() *norm.Normalizer { return p.normalizer }
+
+// Evaluator exposes the prequential evaluator.
+func (p *Pipeline) Evaluator() *eval.Prequential { return p.evaluator }
+
+// Alerter exposes the alerting component.
+func (p *Pipeline) Alerter() *Alerter { return p.alerter }
+
+// Sampler exposes the boosted sampling component.
+func (p *Pipeline) Sampler() *BoostedSampler { return p.sampler }
+
+// Processed returns the number of tweets processed.
+func (p *Pipeline) Processed() int64 { return p.processed }
+
+// BoWSizeCurve returns (instances, BoW size) points sampled at the
+// evaluator's cadence — the series of Fig. 10.
+func (p *Pipeline) BoWSizeCurve() []eval.Point {
+	return append([]eval.Point(nil), p.bowSizes...)
+}
+
+// PredictedDistribution returns the share of each predicted class over the
+// unlabeled traffic processed so far.
+func (p *Pipeline) PredictedDistribution() []float64 {
+	total := int64(0)
+	for _, c := range p.predCounts {
+		total += c
+	}
+	out := make([]float64, len(p.predCounts))
+	if total == 0 {
+		return out
+	}
+	for i, c := range p.predCounts {
+		out[i] = float64(c) / float64(total)
+	}
+	return out
+}
+
+// ExtractInstance runs preprocessing, feature extraction, and
+// normalization (steps 1-3) for one tweet, returning the instance with its
+// class index attached when the tweet is labeled. The normalizer statistics
+// are updated with the raw vector before scaling.
+func (p *Pipeline) ExtractInstance(tw *twitterdata.Tweet) ml.Instance {
+	raw := p.extractor.Extract(tw)
+	p.normalizer.Observe(raw)
+	x := p.normalizer.Normalize(raw, nil)
+	label := ml.Unlabeled
+	if tw.IsLabeled() {
+		label = p.opts.Scheme.LabelIndex(tw.Label)
+	}
+	return ml.Instance{X: x, Label: label, Weight: 1, ID: tw.IDStr, Day: tw.Day}
+}
+
+// Process runs one tweet through the full pipeline: extract, normalize,
+// predict, then — for labeled tweets — evaluate prequentially and train;
+// for all tweets, alerting and sampling are applied to the prediction.
+func (p *Pipeline) Process(tw *twitterdata.Tweet) Result {
+	in := p.ExtractInstance(tw)
+	votes := p.model.Predict(in.X)
+	pred := votes.ArgMax()
+	res := Result{
+		Instance:   in,
+		Prediction: votes,
+		Predicted:  pred,
+		Confidence: votes.Confidence(),
+	}
+
+	if in.IsLabeled() {
+		// Prequential: test first, then train.
+		p.evaluator.Record(in.Label, pred)
+		p.model.Train(in)
+		p.extractor.Learn(tw)
+		res.Tested = true
+	} else {
+		if pred >= 0 && pred < len(p.predCounts) {
+			p.predCounts[pred]++
+		}
+		p.sampler.Offer(tw, votes)
+	}
+
+	if pred > 0 { // any non-normal class is aggressive behavior
+		res.Alerted = p.alerter.Consider(tw, p.classes.Name(pred), res.Confidence)
+	}
+
+	p.processed++
+	if p.opts.SampleStep > 0 && p.processed%p.opts.SampleStep == 0 {
+		p.bowSizes = append(p.bowSizes, eval.Point{
+			Instances: p.processed,
+			Value:     float64(p.extractor.BoW().Size()),
+		})
+	}
+	return res
+}
+
+// ProcessAll streams a dataset through the pipeline.
+func (p *Pipeline) ProcessAll(tweets []twitterdata.Tweet) {
+	for i := range tweets {
+		p.Process(&tweets[i])
+	}
+}
+
+// Outcome is the per-tweet result computed by a parallel engine task:
+// the class index (or ml.Unlabeled), the prediction, and its confidence.
+type Outcome struct {
+	Label int
+	Pred  int
+	Conf  float64
+}
+
+// AbsorbBatch applies the driver-side sequential steps for one processed
+// micro-batch: prequential recording, adaptive-BoW learning, alerting,
+// sampling, and bookkeeping. Engines call it after merging the batch's
+// model and normalizer deltas; outcomes[i] corresponds to tweets[i].
+func (p *Pipeline) AbsorbBatch(tweets []twitterdata.Tweet, outcomes []Outcome) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for i := range tweets {
+		tw := &tweets[i]
+		o := outcomes[i]
+		if o.Label >= 0 {
+			p.evaluator.Record(o.Label, o.Pred)
+			p.extractor.Learn(tw)
+		} else {
+			if o.Pred >= 0 && o.Pred < len(p.predCounts) {
+				p.predCounts[o.Pred]++
+			}
+			votes := make(ml.Prediction, p.classes.Len())
+			if o.Pred >= 0 && o.Pred < len(votes) {
+				votes[o.Pred] = 1
+			}
+			p.sampler.Offer(tw, votes)
+		}
+		if o.Pred > 0 {
+			p.alerter.Consider(tw, p.classes.Name(o.Pred), o.Conf)
+		}
+		p.processed++
+		if p.opts.SampleStep > 0 && p.processed%p.opts.SampleStep == 0 {
+			p.bowSizes = append(p.bowSizes, eval.Point{
+				Instances: p.processed,
+				Value:     float64(p.extractor.BoW().Size()),
+			})
+		}
+	}
+}
+
+// Summary returns the cumulative evaluation metrics.
+func (p *Pipeline) Summary() eval.Report { return p.evaluator.Summary() }

@@ -1,0 +1,180 @@
+package core
+
+import (
+	"sync"
+	"time"
+
+	"redhanded/internal/twitterdata"
+)
+
+// Session-level detection is the paper's stated future work (§VI): forms
+// of behavior like cyberbullying and trolling involve *repetitive* hostile
+// actions, so they are detected over a group of tweets from the same user
+// rather than a single tweet, using the windowing facilities of the
+// underlying stream engine. SessionTracker implements that: it maintains a
+// sliding time window of per-tweet predictions for every user and flags a
+// user session when enough of its recent tweets are predicted aggressive.
+
+// SessionConfig tunes the session windows.
+type SessionConfig struct {
+	// Window is the sliding session length (default 1 hour).
+	Window time.Duration
+	// MinTweets is the minimum number of tweets in the window before a
+	// session can be judged (default 3).
+	MinTweets int
+	// AggressiveShare is the fraction of window tweets predicted
+	// aggressive that flags the session (default 0.6).
+	AggressiveShare float64
+	// Cooldown suppresses repeated verdicts for the same user within this
+	// duration (default = Window).
+	Cooldown time.Duration
+}
+
+// DefaultSessionConfig returns the defaults described above.
+func DefaultSessionConfig() SessionConfig {
+	return SessionConfig{Window: time.Hour, MinTweets: 3, AggressiveShare: 0.6}
+}
+
+func (c SessionConfig) withDefaults() SessionConfig {
+	d := DefaultSessionConfig()
+	if c.Window <= 0 {
+		c.Window = d.Window
+	}
+	if c.MinTweets <= 0 {
+		c.MinTweets = d.MinTweets
+	}
+	if c.AggressiveShare <= 0 {
+		c.AggressiveShare = d.AggressiveShare
+	}
+	if c.Cooldown <= 0 {
+		c.Cooldown = c.Window
+	}
+	return c
+}
+
+// SessionVerdict is emitted when a user's sliding window crosses the
+// aggression threshold.
+type SessionVerdict struct {
+	UserID          string
+	ScreenName      string
+	WindowStart     time.Time
+	WindowEnd       time.Time
+	Tweets          int
+	AggressiveShare float64
+	MeanConfidence  float64
+}
+
+// sessionEntry is one observed tweet within a user window.
+type sessionEntry struct {
+	at         time.Time
+	aggressive bool
+	confidence float64
+}
+
+// userSession is the per-user sliding window.
+type userSession struct {
+	entries     []sessionEntry
+	lastVerdict time.Time
+	screenName  string
+}
+
+// SessionTracker aggregates per-tweet predictions into per-user session
+// verdicts. It is safe for concurrent use.
+type SessionTracker struct {
+	mu       sync.Mutex
+	cfg      SessionConfig
+	sessions map[string]*userSession
+	verdicts int64
+}
+
+// NewSessionTracker creates a tracker.
+func NewSessionTracker(cfg SessionConfig) *SessionTracker {
+	return &SessionTracker{cfg: cfg.withDefaults(), sessions: make(map[string]*userSession)}
+}
+
+// Observe folds one classified tweet into its author's window and returns
+// a verdict when the window crosses the threshold (nil otherwise).
+func (st *SessionTracker) Observe(tw *twitterdata.Tweet, predictedAggressive bool, confidence float64) *SessionVerdict {
+	at := tw.PostedAt()
+	if at.IsZero() {
+		return nil
+	}
+	st.mu.Lock()
+	defer st.mu.Unlock()
+
+	s := st.sessions[tw.User.IDStr]
+	if s == nil {
+		s = &userSession{}
+		st.sessions[tw.User.IDStr] = s
+	}
+	s.screenName = tw.User.ScreenName
+	s.entries = append(s.entries, sessionEntry{at: at, aggressive: predictedAggressive, confidence: confidence})
+
+	// Evict entries that fell out of the window.
+	cutoff := at.Add(-st.cfg.Window)
+	keep := s.entries[:0]
+	for _, e := range s.entries {
+		if !e.at.Before(cutoff) {
+			keep = append(keep, e)
+		}
+	}
+	s.entries = keep
+
+	if len(s.entries) < st.cfg.MinTweets {
+		return nil
+	}
+	if !s.lastVerdict.IsZero() && at.Sub(s.lastVerdict) < st.cfg.Cooldown {
+		return nil
+	}
+	aggr, confSum := 0, 0.0
+	for _, e := range s.entries {
+		if e.aggressive {
+			aggr++
+			confSum += e.confidence
+		}
+	}
+	share := float64(aggr) / float64(len(s.entries))
+	if share < st.cfg.AggressiveShare {
+		return nil
+	}
+	s.lastVerdict = at
+	st.verdicts++
+	return &SessionVerdict{
+		UserID:          tw.User.IDStr,
+		ScreenName:      s.screenName,
+		WindowStart:     s.entries[0].at,
+		WindowEnd:       at,
+		Tweets:          len(s.entries),
+		AggressiveShare: share,
+		MeanConfidence:  confSum / float64(aggr),
+	}
+}
+
+// Verdicts returns the number of session verdicts emitted.
+func (st *SessionTracker) Verdicts() int64 {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return st.verdicts
+}
+
+// ActiveUsers returns how many users currently have a tracked window.
+func (st *SessionTracker) ActiveUsers() int {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return len(st.sessions)
+}
+
+// Prune drops users whose windows ended before the cutoff, bounding
+// memory over long streams.
+func (st *SessionTracker) Prune(cutoff time.Time) int {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	removed := 0
+	for id, s := range st.sessions {
+		if len(s.entries) == 0 || s.entries[len(s.entries)-1].at.Before(cutoff) {
+			delete(st.sessions, id)
+			removed++
+		}
+	}
+	return removed
+}

@@ -1,0 +1,138 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"redhanded/internal/twitterdata"
+)
+
+func sessionTweet(user string, at time.Time) *twitterdata.Tweet {
+	return &twitterdata.Tweet{
+		IDStr:     "t" + user,
+		CreatedAt: at.Format(twitterdata.TimeLayout),
+		User:      twitterdata.User{IDStr: user, ScreenName: user},
+	}
+}
+
+func TestSessionVerdictOnRepeatedAggression(t *testing.T) {
+	st := NewSessionTracker(SessionConfig{Window: time.Hour, MinTweets: 3, AggressiveShare: 0.6})
+	base := time.Date(2017, 6, 1, 12, 0, 0, 0, time.UTC)
+	var verdict *SessionVerdict
+	for i := 0; i < 4; i++ {
+		if v := st.Observe(sessionTweet("bully", base.Add(time.Duration(i)*time.Minute)), true, 0.9); v != nil {
+			verdict = v
+		}
+	}
+	if verdict == nil {
+		t.Fatalf("no verdict after 4 aggressive tweets in a window")
+	}
+	if verdict.UserID != "bully" || verdict.Tweets < 3 || verdict.AggressiveShare != 1 {
+		t.Fatalf("verdict wrong: %+v", verdict)
+	}
+	if verdict.MeanConfidence < 0.89 || verdict.MeanConfidence > 0.91 {
+		t.Fatalf("mean confidence = %v", verdict.MeanConfidence)
+	}
+}
+
+func TestSessionNoVerdictBelowShare(t *testing.T) {
+	st := NewSessionTracker(SessionConfig{Window: time.Hour, MinTweets: 3, AggressiveShare: 0.6})
+	base := time.Date(2017, 6, 1, 12, 0, 0, 0, time.UTC)
+	// Alternating normal-first: the window share never reaches 0.6.
+	for i := 0; i < 10; i++ {
+		if v := st.Observe(sessionTweet("mixed", base.Add(time.Duration(i)*time.Minute)), i%2 == 1, 0.8); v != nil {
+			t.Fatalf("verdict despite share below threshold: %+v", v)
+		}
+	}
+}
+
+func TestSessionWindowEviction(t *testing.T) {
+	st := NewSessionTracker(SessionConfig{Window: 10 * time.Minute, MinTweets: 3, AggressiveShare: 0.5})
+	base := time.Date(2017, 6, 1, 12, 0, 0, 0, time.UTC)
+	// Two aggressive tweets, then a long gap: the window empties, so the
+	// third aggressive tweet alone cannot produce a verdict.
+	st.Observe(sessionTweet("u", base), true, 0.9)
+	st.Observe(sessionTweet("u", base.Add(time.Minute)), true, 0.9)
+	if v := st.Observe(sessionTweet("u", base.Add(2*time.Hour)), true, 0.9); v != nil {
+		t.Fatalf("stale entries should have been evicted: %+v", v)
+	}
+}
+
+func TestSessionCooldown(t *testing.T) {
+	st := NewSessionTracker(SessionConfig{Window: time.Hour, MinTweets: 2, AggressiveShare: 0.5, Cooldown: time.Hour})
+	base := time.Date(2017, 6, 1, 12, 0, 0, 0, time.UTC)
+	verdicts := 0
+	for i := 0; i < 10; i++ {
+		if v := st.Observe(sessionTweet("u", base.Add(time.Duration(i)*time.Minute)), true, 0.9); v != nil {
+			verdicts++
+		}
+	}
+	if verdicts != 1 {
+		t.Fatalf("cooldown broken: %d verdicts in one window", verdicts)
+	}
+	if st.Verdicts() != 1 {
+		t.Fatalf("verdict counter = %d", st.Verdicts())
+	}
+}
+
+func TestSessionSeparatesUsers(t *testing.T) {
+	st := NewSessionTracker(SessionConfig{Window: time.Hour, MinTweets: 3, AggressiveShare: 0.9})
+	base := time.Date(2017, 6, 1, 12, 0, 0, 0, time.UTC)
+	// Three users each post one aggressive tweet: no user crosses
+	// MinTweets, so no verdicts.
+	for i := 0; i < 3; i++ {
+		u := fmt.Sprintf("user%d", i)
+		if v := st.Observe(sessionTweet(u, base.Add(time.Duration(i)*time.Minute)), true, 0.9); v != nil {
+			t.Fatalf("cross-user aggregation leak: %+v", v)
+		}
+	}
+	if st.ActiveUsers() != 3 {
+		t.Fatalf("active users = %d, want 3", st.ActiveUsers())
+	}
+}
+
+func TestSessionMalformedTimestampIgnored(t *testing.T) {
+	st := NewSessionTracker(DefaultSessionConfig())
+	tw := &twitterdata.Tweet{CreatedAt: "garbage", User: twitterdata.User{IDStr: "u"}}
+	if v := st.Observe(tw, true, 0.9); v != nil {
+		t.Fatalf("malformed timestamp produced a verdict")
+	}
+	if st.ActiveUsers() != 0 {
+		t.Fatalf("malformed tweet tracked")
+	}
+}
+
+func TestSessionPrune(t *testing.T) {
+	st := NewSessionTracker(DefaultSessionConfig())
+	base := time.Date(2017, 6, 1, 12, 0, 0, 0, time.UTC)
+	st.Observe(sessionTweet("old", base), false, 0.1)
+	st.Observe(sessionTweet("new", base.Add(3*time.Hour)), false, 0.1)
+	removed := st.Prune(base.Add(time.Hour))
+	if removed != 1 || st.ActiveUsers() != 1 {
+		t.Fatalf("prune removed %d, active %d", removed, st.ActiveUsers())
+	}
+}
+
+func TestSessionEndToEndWithPipeline(t *testing.T) {
+	opts := DefaultOptions()
+	opts.Scheme = TwoClass
+	p := NewPipeline(opts)
+	// Warm the model.
+	p.ProcessAll(smallDataset(31, 2500, 1200, 250))
+
+	st := NewSessionTracker(SessionConfig{Window: 24 * time.Hour, MinTweets: 3, AggressiveShare: 0.6})
+	gen := twitterdata.NewGenerator(77, 10)
+	verdicts := 0
+	for i := 0; i < 300; i++ {
+		tw := gen.Tweet(1, 0) // abusive traffic
+		tw.User.IDStr = fmt.Sprintf("bully%d", i%5)
+		res := p.Process(&tw)
+		if v := st.Observe(&tw, res.Predicted > 0, res.Confidence); v != nil {
+			verdicts++
+		}
+	}
+	if verdicts == 0 {
+		t.Fatalf("no session verdicts over concentrated abusive traffic")
+	}
+}

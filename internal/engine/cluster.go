@@ -1,0 +1,429 @@
+package engine
+
+import (
+	"encoding/gob"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"redhanded/internal/core"
+	"redhanded/internal/feature"
+	"redhanded/internal/ml"
+	"redhanded/internal/norm"
+	"redhanded/internal/stream"
+	"redhanded/internal/twitterdata"
+)
+
+// The cluster engine distributes micro-batch tasks across executor nodes
+// over TCP, mirroring the paper's 3-node SparkCluster deployment: the
+// driver broadcasts the serialized global model (< 1 MB), the normalizer
+// statistics, and the adaptive BoW vocabulary with each batch partition;
+// executors extract features, train local accumulators, and predict in
+// parallel; the driver merges the returned deltas.
+
+// batchRequest is the driver -> executor message for one micro-batch.
+type batchRequest struct {
+	Seq        int64
+	ModelKind  string // "HT" or "SLR"
+	ModelBlob  []byte
+	StatsBlob  []byte
+	BoWWords   []string
+	Preprocess bool
+	NormMode   int
+	Scheme     int
+	Tasks      int // parallel partitions within the executor
+	Tweets     []twitterdata.Tweet
+	Shutdown   bool
+}
+
+// batchResponse is the executor -> driver reply.
+type batchResponse struct {
+	Seq        int64
+	DeltaBlobs [][]byte
+	StatsBlob  []byte
+	Classified []classifiedRec
+	Err        string
+}
+
+// Executor is one cluster node: it listens on a TCP address and serves
+// micro-batch requests with a local worker pool. The paper's cluster nodes
+// have 8 cores each.
+type Executor struct {
+	ln       net.Listener
+	workers  int
+	mu       sync.Mutex
+	closed   bool
+	handled  int64
+	serveErr error
+}
+
+// StartExecutor launches an executor listening on addr (use "127.0.0.1:0"
+// for an ephemeral port).
+func StartExecutor(addr string, workers int) (*Executor, error) {
+	if workers < 1 {
+		workers = 1
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("engine: executor listen: %w", err)
+	}
+	e := &Executor{ln: ln, workers: workers}
+	go e.serve()
+	return e, nil
+}
+
+// Addr returns the executor's listen address.
+func (e *Executor) Addr() string { return e.ln.Addr().String() }
+
+// Handled returns how many batch requests this executor served.
+func (e *Executor) Handled() int64 {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.handled
+}
+
+// Close stops the executor.
+func (e *Executor) Close() error {
+	e.mu.Lock()
+	e.closed = true
+	e.mu.Unlock()
+	return e.ln.Close()
+}
+
+func (e *Executor) serve() {
+	for {
+		conn, err := e.ln.Accept()
+		if err != nil {
+			e.mu.Lock()
+			if !e.closed {
+				e.serveErr = err
+			}
+			e.mu.Unlock()
+			return
+		}
+		go e.serveConn(conn)
+	}
+}
+
+// serveConn handles one driver connection for its lifetime. Each executor
+// keeps a persistent extractor whose BoW is replaced by the per-batch
+// broadcast vocabulary.
+func (e *Executor) serveConn(conn net.Conn) {
+	defer conn.Close()
+	dec := gob.NewDecoder(conn)
+	enc := gob.NewEncoder(conn)
+	var extractor *feature.Extractor
+	extractorPre := false
+	for {
+		var req batchRequest
+		if err := dec.Decode(&req); err != nil {
+			return // connection closed or corrupted; driver will notice
+		}
+		if req.Shutdown {
+			return
+		}
+		if extractor == nil || extractorPre != req.Preprocess {
+			bowCfg := feature.DefaultBoWConfig()
+			bowCfg.Frozen = true // adaptation happens at the driver only
+			extractor = feature.NewExtractor(feature.Config{Preprocess: req.Preprocess, BoW: bowCfg})
+			extractorPre = req.Preprocess
+		}
+		resp := e.handleBatch(&req, extractor)
+		e.mu.Lock()
+		e.handled++
+		e.mu.Unlock()
+		if err := enc.Encode(resp); err != nil {
+			return
+		}
+	}
+}
+
+func (e *Executor) handleBatch(req *batchRequest, extractor *feature.Extractor) batchResponse {
+	resp := batchResponse{Seq: req.Seq}
+	model, err := stream.DecodeModel(req.ModelKind, req.ModelBlob)
+	if err != nil {
+		resp.Err = err.Error()
+		return resp
+	}
+	stats := norm.NewFeatureStats(feature.NumFeatures)
+	if err := stats.UnmarshalBinary(req.StatsBlob); err != nil {
+		resp.Err = err.Error()
+		return resp
+	}
+	extractor.BoW().SetWords(req.BoWWords)
+	scheme := core.ClassScheme(req.Scheme)
+
+	parts := req.Tasks
+	if parts < 1 {
+		parts = 1
+	}
+	if parts > len(req.Tweets) {
+		parts = len(req.Tweets)
+	}
+
+	// Phase 1 (parallel): extract raw features, accumulate local stats.
+	raws := make([][]float64, len(req.Tweets))
+	labels := make([]int, len(req.Tweets))
+	statsDeltas := make([]*norm.FeatureStats, parts)
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, e.workers)
+	runTasks := func(fn func(part int)) {
+		for part := 0; part < parts; part++ {
+			part := part
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				sem <- struct{}{}
+				defer func() { <-sem }()
+				fn(part)
+			}()
+		}
+		wg.Wait()
+	}
+	runTasks(func(part int) {
+		delta := norm.NewFeatureStats(feature.NumFeatures)
+		for idx := part; idx < len(req.Tweets); idx += parts {
+			tw := &req.Tweets[idx]
+			raws[idx] = extractor.Extract(tw)
+			delta.Observe(raws[idx])
+			labels[idx] = ml.Unlabeled
+			if tw.IsLabeled() {
+				labels[idx] = scheme.LabelIndex(tw.Label)
+			}
+		}
+		statsDeltas[part] = delta
+	})
+
+	// The executor normalizes against the broadcast global statistics plus
+	// its own share's delta; the authoritative merge happens at the driver.
+	localDelta := norm.NewFeatureStats(feature.NumFeatures)
+	for _, d := range statsDeltas {
+		localDelta.Merge(d)
+	}
+	stats.Merge(localDelta)
+	snapshot := &norm.Normalizer{Mode: norm.Mode(req.NormMode), Stats: stats}
+
+	// Phase 2 (parallel): normalize, predict, accumulate training deltas.
+	results := make([]partitionResult, parts)
+	runTasks(func(part int) {
+		res := partitionResult{part: part, acc: model.NewAccumulator()}
+		for idx := part; idx < len(req.Tweets); idx += parts {
+			x := snapshot.Normalize(raws[idx], nil)
+			votes := model.Predict(x)
+			label := labels[idx]
+			if label >= 0 {
+				res.acc.Observe(ml.Instance{
+					X: x, Label: label, Weight: 1,
+					ID: req.Tweets[idx].IDStr, Day: req.Tweets[idx].Day,
+				})
+			}
+			res.classified = append(res.classified, classifiedRec{
+				Idx: idx, Label: label, Pred: votes.ArgMax(), Conf: votes.Confidence(),
+			})
+		}
+		results[part] = res
+	})
+
+	for _, res := range results {
+		blob, err := res.acc.(stream.StatefulAccumulator).State()
+		if err != nil {
+			resp.Err = err.Error()
+			return resp
+		}
+		resp.DeltaBlobs = append(resp.DeltaBlobs, blob)
+		resp.Classified = append(resp.Classified, res.classified...)
+	}
+	statsBlob, err := localDelta.MarshalBinary()
+	if err != nil {
+		resp.Err = err.Error()
+		return resp
+	}
+	resp.StatsBlob = statsBlob
+	return resp
+}
+
+// ClusterConfig configures the distributed engine.
+type ClusterConfig struct {
+	// Executors lists the executor TCP addresses (the paper uses 3 nodes).
+	Executors []string
+	// BatchSize is the micro-batch length across the whole cluster.
+	BatchSize int
+	// TasksPerExecutor is the parallel partition count per node (8 cores
+	// per node in the paper's testbed).
+	TasksPerExecutor int
+}
+
+func (c ClusterConfig) withDefaults() ClusterConfig {
+	if c.BatchSize <= 0 {
+		c.BatchSize = 6000
+	}
+	if c.TasksPerExecutor <= 0 {
+		c.TasksPerExecutor = 8
+	}
+	return c
+}
+
+// RunCluster executes the pipeline across the executor nodes. The
+// pipeline's model must implement stream.RemoteTrainable (HT or SLR).
+func RunCluster(p *core.Pipeline, src Source, cfg ClusterConfig) (Stats, error) {
+	cfg = cfg.withDefaults()
+	if len(cfg.Executors) == 0 {
+		return Stats{}, fmt.Errorf("engine: cluster needs at least one executor")
+	}
+	model, ok := p.Model().(stream.RemoteTrainable)
+	if !ok {
+		return Stats{}, fmt.Errorf("engine: model %T does not support remote training", p.Model())
+	}
+	kind, err := stream.ModelKindOf(model)
+	if err != nil {
+		return Stats{}, err
+	}
+
+	conns := make([]net.Conn, len(cfg.Executors))
+	encs := make([]*gob.Encoder, len(cfg.Executors))
+	decs := make([]*gob.Decoder, len(cfg.Executors))
+	for i, addr := range cfg.Executors {
+		conn, err := net.Dial("tcp", addr)
+		if err != nil {
+			return Stats{}, fmt.Errorf("engine: dial executor %s: %w", addr, err)
+		}
+		defer conn.Close()
+		conns[i] = conn
+		encs[i] = gob.NewEncoder(conn)
+		decs[i] = gob.NewDecoder(conn)
+	}
+
+	start := time.Now()
+	var stats Stats
+	var lat latencyTracker
+	var seq int64
+	batch := make([]twitterdata.Tweet, 0, cfg.BatchSize)
+	for {
+		batch = batch[:0]
+		for len(batch) < cfg.BatchSize {
+			t, ok := src.Next()
+			if !ok {
+				break
+			}
+			batch = append(batch, t)
+		}
+		if len(batch) == 0 {
+			break
+		}
+		seq++
+		batchStart := time.Now()
+		if err := runClusterBatch(p, model, kind, batch, seq, cfg, encs, decs); err != nil {
+			stats.Duration = time.Since(start)
+			return stats, err
+		}
+		lat.add(time.Since(batchStart))
+		stats.Processed += int64(len(batch))
+		stats.Batches++
+		if len(batch) < cfg.BatchSize {
+			break
+		}
+	}
+	stats.Duration = time.Since(start)
+	lat.fill(&stats)
+	return stats, nil
+}
+
+func runClusterBatch(p *core.Pipeline, model stream.RemoteTrainable, kind string,
+	batch []twitterdata.Tweet, seq int64, cfg ClusterConfig,
+	encs []*gob.Encoder, decs []*gob.Decoder) error {
+
+	modelBlob, err := model.MarshalBinary()
+	if err != nil {
+		return fmt.Errorf("engine: broadcast model: %w", err)
+	}
+	statsBlob, err := p.Normalizer().Stats.MarshalBinary()
+	if err != nil {
+		return fmt.Errorf("engine: broadcast stats: %w", err)
+	}
+	words := p.Extractor().BoW().Words()
+	nodes := len(encs)
+
+	// Split the batch contiguously across nodes; record each node's tweet
+	// offsets so classified indices can be mapped back.
+	type share struct{ lo, hi int }
+	shares := make([]share, nodes)
+	per := (len(batch) + nodes - 1) / nodes
+	for i := 0; i < nodes; i++ {
+		lo := i * per
+		hi := lo + per
+		if lo > len(batch) {
+			lo = len(batch)
+		}
+		if hi > len(batch) {
+			hi = len(batch)
+		}
+		shares[i] = share{lo, hi}
+	}
+
+	responses := make([]batchResponse, nodes)
+	errs := make([]error, nodes)
+	var wg sync.WaitGroup
+	for i := 0; i < nodes; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			sh := shares[i]
+			req := batchRequest{
+				Seq:        seq,
+				ModelKind:  kind,
+				ModelBlob:  modelBlob,
+				StatsBlob:  statsBlob,
+				BoWWords:   words,
+				Preprocess: p.Options().Preprocess,
+				NormMode:   int(p.Normalizer().Mode),
+				Scheme:     int(p.Options().Scheme),
+				Tasks:      cfg.TasksPerExecutor,
+				Tweets:     batch[sh.lo:sh.hi],
+			}
+			if err := encs[i].Encode(&req); err != nil {
+				errs[i] = fmt.Errorf("engine: send to executor %d: %w", i, err)
+				return
+			}
+			if err := decs[i].Decode(&responses[i]); err != nil {
+				errs[i] = fmt.Errorf("engine: receive from executor %d: %w", i, err)
+				return
+			}
+			if responses[i].Err != "" {
+				errs[i] = fmt.Errorf("engine: executor %d: %s", i, responses[i].Err)
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+
+	// Merge deltas and statistics in node order.
+	var accs []ml.Accumulator
+	outcomes := make([]core.Outcome, len(batch))
+	for i, resp := range responses {
+		delta := norm.NewFeatureStats(p.Normalizer().Stats.Dim())
+		if err := delta.UnmarshalBinary(resp.StatsBlob); err != nil {
+			return fmt.Errorf("engine: merge stats from executor %d: %w", i, err)
+		}
+		p.Normalizer().Stats.Merge(delta)
+		for _, blob := range resp.DeltaBlobs {
+			acc, err := model.AccumulatorFromState(blob)
+			if err != nil {
+				return fmt.Errorf("engine: merge delta from executor %d: %w", i, err)
+			}
+			accs = append(accs, acc)
+		}
+		for _, c := range resp.Classified {
+			globalIdx := shares[i].lo + c.Idx
+			outcomes[globalIdx] = core.Outcome{Label: c.Label, Pred: c.Pred, Conf: c.Conf}
+		}
+	}
+	model.ApplyAccumulators(accs)
+	p.AbsorbBatch(batch, outcomes)
+	return nil
+}

@@ -1,0 +1,233 @@
+// Package engine provides the execution substrates the paper evaluates in
+// §V-E: a sequential single-threaded engine (the MOA execution model), a
+// Spark-Streaming-style micro-batch engine with parallel tasks over
+// partitioned data (SparkSingle with one worker, SparkLocal with many), and
+// a distributed cluster engine where executors run on separate TCP
+// endpoints and the driver broadcasts the global model each micro-batch
+// (SparkCluster).
+package engine
+
+import (
+	"io"
+	"time"
+
+	"redhanded/internal/core"
+	"redhanded/internal/twitterdata"
+)
+
+// Source yields a stream of tweets. Next returns false when the stream is
+// exhausted.
+type Source interface {
+	Next() (twitterdata.Tweet, bool)
+}
+
+// SliceSource streams a dataset slice.
+type SliceSource struct {
+	tweets []twitterdata.Tweet
+	pos    int
+}
+
+// NewSliceSource wraps a dataset.
+func NewSliceSource(tweets []twitterdata.Tweet) *SliceSource {
+	return &SliceSource{tweets: tweets}
+}
+
+// Next implements Source.
+func (s *SliceSource) Next() (twitterdata.Tweet, bool) {
+	if s.pos >= len(s.tweets) {
+		return twitterdata.Tweet{}, false
+	}
+	t := s.tweets[s.pos]
+	s.pos++
+	return t, true
+}
+
+// MixedSource interleaves a finite labeled dataset uniformly into an
+// endless unlabeled stream, producing exactly Total tweets — the workload
+// of the scalability experiments ("a fixed number of unlabeled tweets
+// intermixed with the 86k labeled tweets").
+type MixedSource struct {
+	labeled   []twitterdata.Tweet
+	unlabeled *twitterdata.UnlabeledSource
+	total     int64
+	emitted   int64
+	nextLab   int
+}
+
+// NewMixedSource builds the mixture. Labeled tweets are spread evenly over
+// the total stream length.
+func NewMixedSource(labeled []twitterdata.Tweet, unlabeled *twitterdata.UnlabeledSource, total int64) *MixedSource {
+	return &MixedSource{labeled: labeled, unlabeled: unlabeled, total: total}
+}
+
+// Next implements Source.
+func (m *MixedSource) Next() (twitterdata.Tweet, bool) {
+	if m.emitted >= m.total {
+		return twitterdata.Tweet{}, false
+	}
+	m.emitted++
+	// Emit the next labeled tweet when its scheduled position arrives.
+	if m.nextLab < len(m.labeled) {
+		due := int64(m.nextLab+1) * m.total / int64(len(m.labeled)+1)
+		if m.emitted >= due {
+			t := m.labeled[m.nextLab]
+			m.nextLab++
+			return t, true
+		}
+	}
+	return m.unlabeled.Next(), true
+}
+
+// LimitSource caps another source at n tweets.
+type LimitSource struct {
+	src  Source
+	n    int64
+	done int64
+}
+
+// NewLimitSource wraps src, yielding at most n tweets.
+func NewLimitSource(src Source, n int64) *LimitSource {
+	return &LimitSource{src: src, n: n}
+}
+
+// Next implements Source.
+func (l *LimitSource) Next() (twitterdata.Tweet, bool) {
+	if l.done >= l.n {
+		return twitterdata.Tweet{}, false
+	}
+	t, ok := l.src.Next()
+	if ok {
+		l.done++
+	}
+	return t, ok
+}
+
+// ReaderSource streams tweets from a JSONL reader, skipping malformed
+// lines (counted in Malformed).
+type ReaderSource struct {
+	r         *twitterdata.Reader
+	Malformed int64
+}
+
+// NewReaderSource wraps a twitterdata JSONL reader.
+func NewReaderSource(r *twitterdata.Reader) *ReaderSource {
+	return &ReaderSource{r: r}
+}
+
+// Next implements Source.
+func (s *ReaderSource) Next() (twitterdata.Tweet, bool) {
+	for {
+		t, err := s.r.Read()
+		if err == nil {
+			return t, true
+		}
+		if err == io.EOF {
+			return twitterdata.Tweet{}, false
+		}
+		s.Malformed++
+	}
+}
+
+// unlabeledAdapter lets *twitterdata.UnlabeledSource (endless) act as a
+// Source.
+type unlabeledAdapter struct{ src *twitterdata.UnlabeledSource }
+
+// NewUnlabeledAdapter wraps the endless generator source.
+func NewUnlabeledAdapter(src *twitterdata.UnlabeledSource) Source {
+	return unlabeledAdapter{src: src}
+}
+
+func (u unlabeledAdapter) Next() (twitterdata.Tweet, bool) { return u.src.Next(), true }
+
+// Stats summarises one engine run.
+type Stats struct {
+	// Processed is the number of tweets run through the pipeline.
+	Processed int64
+	// Duration is the wall-clock execution time.
+	Duration time.Duration
+	// Batches is the number of micro-batches executed (0 for sequential).
+	Batches int
+	// MeanBatchLatency and MaxBatchLatency describe per-micro-batch
+	// processing time — the framework's alerting delay bound (alerts for
+	// a tweet are raised at the end of its batch).
+	MeanBatchLatency time.Duration
+	MaxBatchLatency  time.Duration
+}
+
+// Throughput returns tweets per second.
+func (s Stats) Throughput() float64 {
+	if s.Duration <= 0 {
+		return 0
+	}
+	return float64(s.Processed) / s.Duration.Seconds()
+}
+
+// latencyTracker accumulates per-batch latencies.
+type latencyTracker struct {
+	total time.Duration
+	max   time.Duration
+	n     int
+}
+
+func (l *latencyTracker) add(d time.Duration) {
+	l.total += d
+	if d > l.max {
+		l.max = d
+	}
+	l.n++
+}
+
+func (l *latencyTracker) fill(s *Stats) {
+	if l.n == 0 {
+		return
+	}
+	s.MeanBatchLatency = l.total / time.Duration(l.n)
+	s.MaxBatchLatency = l.max
+}
+
+// RateLimitedSource throttles another source to a fixed arrival rate in
+// tweets/second, simulating a live stream (e.g. the ~9k tweets/s Twitter
+// Firehose) for end-to-end latency experiments.
+type RateLimitedSource struct {
+	src     Source
+	perItem time.Duration
+	next    time.Time
+}
+
+// NewRateLimitedSource wraps src at the given arrival rate (tweets/sec).
+func NewRateLimitedSource(src Source, rate float64) *RateLimitedSource {
+	if rate <= 0 {
+		rate = 1
+	}
+	return &RateLimitedSource{src: src, perItem: time.Duration(float64(time.Second) / rate)}
+}
+
+// Next implements Source, sleeping as needed to honour the arrival rate.
+func (r *RateLimitedSource) Next() (twitterdata.Tweet, bool) {
+	now := time.Now()
+	if r.next.IsZero() {
+		r.next = now
+	}
+	if wait := r.next.Sub(now); wait > 0 {
+		time.Sleep(wait)
+	}
+	r.next = r.next.Add(r.perItem)
+	return r.src.Next()
+}
+
+// RunSequential executes the pipeline one tweet at a time on the calling
+// goroutine — the MOA execution model (single-threaded ML engine without
+// parallelized processing).
+func RunSequential(p *core.Pipeline, src Source) Stats {
+	start := time.Now()
+	var n int64
+	for {
+		t, ok := src.Next()
+		if !ok {
+			break
+		}
+		p.Process(&t)
+		n++
+	}
+	return Stats{Processed: n, Duration: time.Since(start)}
+}

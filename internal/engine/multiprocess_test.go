@@ -1,0 +1,114 @@
+package engine
+
+import (
+	"bufio"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"testing"
+	"time"
+
+	"redhanded/internal/core"
+)
+
+// TestClusterMultiProcess drives real executor processes (cmd/rhexecutor)
+// over TCP — the fully cross-process version of the SparkCluster setup.
+func TestClusterMultiProcess(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-process cluster test is slow")
+	}
+	bin := filepath.Join(t.TempDir(), "rhexecutor")
+	build := exec.Command("go", "build", "-o", bin, "redhanded/cmd/rhexecutor")
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("building rhexecutor: %v\n%s", err, out)
+	}
+
+	addrRe := regexp.MustCompile(`listening on (\S+)`)
+	var addrs []string
+	for i := 0; i < 2; i++ {
+		cmd := exec.Command(bin, "-addr", "127.0.0.1:0", "-workers", "2")
+		stderr, err := cmd.StderrPipe()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := cmd.Start(); err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() {
+			cmd.Process.Kill()
+			cmd.Wait()
+		})
+
+		addrCh := make(chan string, 1)
+		go func() {
+			sc := bufio.NewScanner(stderr)
+			for sc.Scan() {
+				if m := addrRe.FindStringSubmatch(sc.Text()); m != nil {
+					addrCh <- m[1]
+					return
+				}
+			}
+		}()
+		select {
+		case addr := <-addrCh:
+			addrs = append(addrs, addr)
+		case <-time.After(10 * time.Second):
+			t.Fatalf("executor %d did not report its address", i)
+		}
+	}
+
+	data := testDataset(21, 2000, 1000, 200)
+	p := core.NewPipeline(testOptions())
+	stats, err := RunCluster(p, NewSliceSource(data), ClusterConfig{
+		Executors: addrs, BatchSize: 800, TasksPerExecutor: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Processed != int64(len(data)) {
+		t.Fatalf("processed %d, want %d", stats.Processed, len(data))
+	}
+	if f1 := p.Summary().F1; f1 < 0.75 {
+		t.Fatalf("multi-process cluster F1 = %v, want >= 0.75", f1)
+	}
+	if stats.MeanBatchLatency <= 0 || stats.MaxBatchLatency < stats.MeanBatchLatency {
+		t.Fatalf("latency stats malformed: %+v", stats)
+	}
+}
+
+func TestRateLimitedSource(t *testing.T) {
+	data := testDataset(22, 30, 15, 5)
+	src := NewRateLimitedSource(NewSliceSource(data), 1000) // 1k tweets/s
+	start := time.Now()
+	n := 0
+	for {
+		_, ok := src.Next()
+		if !ok {
+			break
+		}
+		n++
+	}
+	elapsed := time.Since(start)
+	if n != 50 {
+		t.Fatalf("yielded %d tweets, want 50", n)
+	}
+	// 50 tweets at 1000/s should take ~50ms.
+	if elapsed < 30*time.Millisecond {
+		t.Fatalf("rate limit not applied: 50 tweets in %v", elapsed)
+	}
+}
+
+func TestMicroBatchLatencyStats(t *testing.T) {
+	data := testDataset(23, 1500, 700, 150)
+	p := core.NewPipeline(testOptions())
+	stats, err := RunMicroBatch(p, NewSliceSource(data), SparkSingleConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.MeanBatchLatency <= 0 {
+		t.Fatalf("mean batch latency missing: %+v", stats)
+	}
+	if stats.MaxBatchLatency < stats.MeanBatchLatency {
+		t.Fatalf("max < mean: %+v", stats)
+	}
+}

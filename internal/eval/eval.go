@@ -1,0 +1,239 @@
+// Package eval implements the evaluation step of the pipeline: confusion
+// matrices, the standard classification metrics (accuracy, precision,
+// recall, F1), and the prequential (test-then-train) evaluation scheme the
+// paper uses, including the over-time metric series behind its figures.
+package eval
+
+import (
+	"fmt"
+	"strings"
+)
+
+// ConfusionMatrix accumulates counts of (true class, predicted class)
+// pairs for a fixed number of classes.
+type ConfusionMatrix struct {
+	k      int
+	counts [][]int64
+	total  int64
+}
+
+// NewConfusionMatrix creates a k-class confusion matrix (k >= 2).
+func NewConfusionMatrix(k int) *ConfusionMatrix {
+	if k < 2 {
+		panic(fmt.Sprintf("eval: confusion matrix needs >= 2 classes, got %d", k))
+	}
+	counts := make([][]int64, k)
+	for i := range counts {
+		counts[i] = make([]int64, k)
+	}
+	return &ConfusionMatrix{k: k, counts: counts}
+}
+
+// Add records one classified instance.
+func (m *ConfusionMatrix) Add(trueClass, predClass int) {
+	if trueClass < 0 || trueClass >= m.k || predClass < 0 || predClass >= m.k {
+		return
+	}
+	m.counts[trueClass][predClass]++
+	m.total++
+}
+
+// AddN records n classified instances at once (checkpoint restore).
+func (m *ConfusionMatrix) AddN(trueClass, predClass int, n int64) {
+	if trueClass < 0 || trueClass >= m.k || predClass < 0 || predClass >= m.k || n <= 0 {
+		return
+	}
+	m.counts[trueClass][predClass] += n
+	m.total += n
+}
+
+// Merge folds another matrix of the same shape into this one.
+func (m *ConfusionMatrix) Merge(other *ConfusionMatrix) {
+	if other == nil || other.k != m.k {
+		return
+	}
+	for i := 0; i < m.k; i++ {
+		for j := 0; j < m.k; j++ {
+			m.counts[i][j] += other.counts[i][j]
+		}
+	}
+	m.total += other.total
+}
+
+// Reset zeroes all counts.
+func (m *ConfusionMatrix) Reset() {
+	for i := range m.counts {
+		for j := range m.counts[i] {
+			m.counts[i][j] = 0
+		}
+	}
+	m.total = 0
+}
+
+// Clone returns a deep copy.
+func (m *ConfusionMatrix) Clone() *ConfusionMatrix {
+	cp := NewConfusionMatrix(m.k)
+	cp.Merge(m)
+	return cp
+}
+
+// NumClasses returns k.
+func (m *ConfusionMatrix) NumClasses() int { return m.k }
+
+// Total returns the number of instances recorded.
+func (m *ConfusionMatrix) Total() int64 { return m.total }
+
+// Count returns the count for (trueClass, predClass).
+func (m *ConfusionMatrix) Count(trueClass, predClass int) int64 {
+	return m.counts[trueClass][predClass]
+}
+
+// ClassSupport returns how many instances of class c were observed.
+func (m *ConfusionMatrix) ClassSupport(c int) int64 {
+	var s int64
+	for j := 0; j < m.k; j++ {
+		s += m.counts[c][j]
+	}
+	return s
+}
+
+// Accuracy returns the fraction of correctly classified instances.
+func (m *ConfusionMatrix) Accuracy() float64 {
+	if m.total == 0 {
+		return 0
+	}
+	var correct int64
+	for i := 0; i < m.k; i++ {
+		correct += m.counts[i][i]
+	}
+	return float64(correct) / float64(m.total)
+}
+
+// Precision returns the precision of class c: TP / (TP + FP).
+// Classes never predicted have precision 0.
+func (m *ConfusionMatrix) Precision(c int) float64 {
+	var predicted int64
+	for i := 0; i < m.k; i++ {
+		predicted += m.counts[i][c]
+	}
+	if predicted == 0 {
+		return 0
+	}
+	return float64(m.counts[c][c]) / float64(predicted)
+}
+
+// Recall returns the recall of class c: TP / (TP + FN).
+// Classes never observed have recall 0.
+func (m *ConfusionMatrix) Recall(c int) float64 {
+	support := m.ClassSupport(c)
+	if support == 0 {
+		return 0
+	}
+	return float64(m.counts[c][c]) / float64(support)
+}
+
+// F1 returns the harmonic mean of precision and recall for class c.
+func (m *ConfusionMatrix) F1(c int) float64 {
+	p, r := m.Precision(c), m.Recall(c)
+	if p+r == 0 {
+		return 0
+	}
+	return 2 * p * r / (p + r)
+}
+
+// WeightedPrecision returns support-weighted average precision, the
+// multi-class summary WEKA and the paper report.
+func (m *ConfusionMatrix) WeightedPrecision() float64 {
+	return m.weightedMetric(m.Precision)
+}
+
+// WeightedRecall returns support-weighted average recall. For single-label
+// classification this equals accuracy.
+func (m *ConfusionMatrix) WeightedRecall() float64 {
+	return m.weightedMetric(m.Recall)
+}
+
+// WeightedF1 returns support-weighted average F1.
+func (m *ConfusionMatrix) WeightedF1() float64 {
+	return m.weightedMetric(m.F1)
+}
+
+// MacroF1 returns the unweighted average F1 over classes.
+func (m *ConfusionMatrix) MacroF1() float64 {
+	s := 0.0
+	for c := 0; c < m.k; c++ {
+		s += m.F1(c)
+	}
+	return s / float64(m.k)
+}
+
+// Kappa returns Cohen's kappa statistic: chance-corrected agreement, the
+// metric MOA reports alongside accuracy because plain accuracy flatters
+// classifiers on imbalanced streams (exactly the minority-class situation
+// of aggression detection). 1 = perfect, 0 = no better than chance.
+func (m *ConfusionMatrix) Kappa() float64 {
+	if m.total == 0 {
+		return 0
+	}
+	n := float64(m.total)
+	po := m.Accuracy()
+	pe := 0.0
+	for c := 0; c < m.k; c++ {
+		var predicted int64
+		for i := 0; i < m.k; i++ {
+			predicted += m.counts[i][c]
+		}
+		pe += (float64(m.ClassSupport(c)) / n) * (float64(predicted) / n)
+	}
+	if pe >= 1 {
+		return 0
+	}
+	return (po - pe) / (1 - pe)
+}
+
+func (m *ConfusionMatrix) weightedMetric(f func(int) float64) float64 {
+	if m.total == 0 {
+		return 0
+	}
+	s := 0.0
+	for c := 0; c < m.k; c++ {
+		s += f(c) * float64(m.ClassSupport(c))
+	}
+	return s / float64(m.total)
+}
+
+// Report bundles the headline metrics (the rows of Table II, plus Cohen's
+// kappa for imbalance-aware reading).
+type Report struct {
+	Accuracy  float64
+	Precision float64
+	Recall    float64
+	F1        float64
+	Kappa     float64
+	Instances int64
+}
+
+// Summary extracts a Report using weighted multi-class averages.
+func (m *ConfusionMatrix) Summary() Report {
+	return Report{
+		Accuracy:  m.Accuracy(),
+		Precision: m.WeightedPrecision(),
+		Recall:    m.WeightedRecall(),
+		F1:        m.WeightedF1(),
+		Kappa:     m.Kappa(),
+		Instances: m.total,
+	}
+}
+
+// String renders the matrix with row = true class, column = predicted.
+func (m *ConfusionMatrix) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "confusion (%d classes, %d instances)\n", m.k, m.total)
+	for i := 0; i < m.k; i++ {
+		for j := 0; j < m.k; j++ {
+			fmt.Fprintf(&b, "%8d", m.counts[i][j])
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

@@ -1,0 +1,103 @@
+package eval
+
+// FadingPrequential is prequential evaluation with exponential forgetting
+// (Gama, Sebastião & Rodrigues 2013): every confusion-matrix cell decays
+// by a fading factor before each new observation, so the metrics reflect
+// *current* model performance rather than the whole history. This is the
+// standard way to read a streaming model's health under concept drift —
+// the cumulative estimator can mask a decaying model for a long time.
+type FadingPrequential struct {
+	k      int
+	alpha  float64
+	counts [][]float64
+	total  float64
+	seen   int64
+}
+
+// NewFadingPrequential creates an evaluator with fading factor alpha in
+// (0, 1]; alpha = 1 reduces to the cumulative estimator. Typical values
+// are 0.999-0.9999.
+func NewFadingPrequential(k int, alpha float64) *FadingPrequential {
+	if k < 2 {
+		panic("eval: fading prequential needs >= 2 classes")
+	}
+	if alpha <= 0 || alpha > 1 {
+		alpha = 0.999
+	}
+	counts := make([][]float64, k)
+	for i := range counts {
+		counts[i] = make([]float64, k)
+	}
+	return &FadingPrequential{k: k, alpha: alpha, counts: counts}
+}
+
+// Record registers one tested instance.
+func (f *FadingPrequential) Record(trueClass, predClass int) {
+	if trueClass < 0 || trueClass >= f.k || predClass < 0 || predClass >= f.k {
+		return
+	}
+	for i := range f.counts {
+		for j := range f.counts[i] {
+			f.counts[i][j] *= f.alpha
+		}
+	}
+	f.total = f.total*f.alpha + 1
+	f.counts[trueClass][predClass]++
+	f.seen++
+}
+
+// Seen returns the number of instances recorded (unfaded).
+func (f *FadingPrequential) Seen() int64 { return f.seen }
+
+// Accuracy returns the faded accuracy.
+func (f *FadingPrequential) Accuracy() float64 {
+	if f.total == 0 {
+		return 0
+	}
+	correct := 0.0
+	for i := 0; i < f.k; i++ {
+		correct += f.counts[i][i]
+	}
+	return correct / f.total
+}
+
+// precisionRecall returns the faded precision and recall of class c.
+func (f *FadingPrequential) precisionRecall(c int) (p, r float64) {
+	var predicted, support float64
+	for i := 0; i < f.k; i++ {
+		predicted += f.counts[i][c]
+		support += f.counts[c][i]
+	}
+	if predicted > 0 {
+		p = f.counts[c][c] / predicted
+	}
+	if support > 0 {
+		r = f.counts[c][c] / support
+	}
+	return p, r
+}
+
+// F1 returns the faded F1 of class c.
+func (f *FadingPrequential) F1(c int) float64 {
+	p, r := f.precisionRecall(c)
+	if p+r == 0 {
+		return 0
+	}
+	return 2 * p * r / (p + r)
+}
+
+// WeightedF1 returns the faded support-weighted F1.
+func (f *FadingPrequential) WeightedF1() float64 {
+	if f.total == 0 {
+		return 0
+	}
+	s := 0.0
+	for c := 0; c < f.k; c++ {
+		var support float64
+		for i := 0; i < f.k; i++ {
+			support += f.counts[c][i]
+		}
+		s += f.F1(c) * support
+	}
+	return s / f.total
+}

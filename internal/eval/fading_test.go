@@ -1,0 +1,88 @@
+package eval
+
+import (
+	"math"
+	"testing"
+)
+
+func TestFadingReducesToCumulativeAtAlphaOne(t *testing.T) {
+	f := NewFadingPrequential(2, 1)
+	m := NewConfusionMatrix(2)
+	pairs := [][2]int{{0, 0}, {0, 1}, {1, 1}, {1, 1}, {1, 0}}
+	for _, p := range pairs {
+		f.Record(p[0], p[1])
+		m.Add(p[0], p[1])
+	}
+	if math.Abs(f.Accuracy()-m.Accuracy()) > 1e-12 {
+		t.Fatalf("alpha=1 accuracy %v != cumulative %v", f.Accuracy(), m.Accuracy())
+	}
+	if math.Abs(f.WeightedF1()-m.WeightedF1()) > 1e-12 {
+		t.Fatalf("alpha=1 F1 %v != cumulative %v", f.WeightedF1(), m.WeightedF1())
+	}
+}
+
+func TestFadingTracksRecentPerformance(t *testing.T) {
+	faded := NewFadingPrequential(2, 0.99)
+	cumulative := NewConfusionMatrix(2)
+	// Phase 1: 2000 correct predictions; phase 2: 500 wrong ones.
+	for i := 0; i < 2000; i++ {
+		faded.Record(0, 0)
+		cumulative.Add(0, 0)
+	}
+	for i := 0; i < 500; i++ {
+		faded.Record(0, 1)
+		cumulative.Add(0, 1)
+	}
+	// The cumulative estimator still looks healthy; the faded one has
+	// collapsed towards the recent error.
+	if cumulative.Accuracy() < 0.75 {
+		t.Fatalf("test setup wrong: cumulative %v", cumulative.Accuracy())
+	}
+	if faded.Accuracy() > 0.1 {
+		t.Fatalf("faded accuracy %v should reflect the recent failures", faded.Accuracy())
+	}
+}
+
+func TestFadingRecovery(t *testing.T) {
+	f := NewFadingPrequential(2, 0.99)
+	for i := 0; i < 1000; i++ {
+		f.Record(0, 1) // all wrong
+	}
+	for i := 0; i < 1000; i++ {
+		f.Record(0, 0) // all right
+	}
+	if f.Accuracy() < 0.9 {
+		t.Fatalf("faded accuracy %v did not recover", f.Accuracy())
+	}
+	if f.Seen() != 2000 {
+		t.Fatalf("seen = %d", f.Seen())
+	}
+}
+
+func TestFadingIgnoresOutOfRange(t *testing.T) {
+	f := NewFadingPrequential(2, 0.99)
+	f.Record(-1, 0)
+	f.Record(0, 7)
+	if f.Seen() != 0 {
+		t.Fatalf("out-of-range pairs recorded")
+	}
+	if f.Accuracy() != 0 || f.WeightedF1() != 0 {
+		t.Fatalf("empty evaluator metrics nonzero")
+	}
+}
+
+func TestFadingDefaultsBadAlpha(t *testing.T) {
+	f := NewFadingPrequential(2, 7)
+	if f.alpha != 0.999 {
+		t.Fatalf("bad alpha not defaulted: %v", f.alpha)
+	}
+}
+
+func TestFadingPanicsOnTinyK(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("k=1 accepted")
+		}
+	}()
+	NewFadingPrequential(1, 0.99)
+}

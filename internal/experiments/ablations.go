@@ -1,0 +1,96 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"redhanded/internal/core"
+	"redhanded/internal/norm"
+	"redhanded/internal/stream"
+)
+
+func init() {
+	register("ablate", "Ablation matrix: model x normalization, leaf predictors, drift detectors", runAblations)
+}
+
+// runAblations goes beyond the paper's figures: it crosses every model
+// with every normalization mode, compares the HT leaf predictors, and
+// compares the ARF drift-detector families — the design-space checks
+// DESIGN.md calls out.
+func runAblations(cfg Config, w io.Writer) error {
+	data := AggressionDataset(cfg)
+
+	// Model x normalization.
+	t := Table{
+		Title:   "Ablation: F1 by model and normalization mode (3-class)",
+		Columns: []string{"model", "none", "minmax", "minmax-no-outliers", "z-score"},
+	}
+	for _, model := range []core.ModelKind{core.ModelHT, core.ModelARF, core.ModelSLR} {
+		row := []string{model.String()}
+		for _, mode := range []norm.Mode{norm.None, norm.MinMax, norm.MinMaxRobust, norm.ZScore} {
+			opts := baseOptions(cfg, core.ThreeClass, model)
+			opts.Normalization = mode
+			p := runPipeline(opts, data)
+			row = append(row, fmt.Sprintf("%.4f", p.Summary().F1))
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	t.Print(w)
+	fmt.Fprintln(w)
+
+	// HT leaf predictors.
+	t = Table{
+		Title:   "Ablation: HT leaf prediction (3-class)",
+		Columns: []string{"leaf predictor", "F1", "accuracy", "kappa"},
+	}
+	leaves := []struct {
+		name string
+		mode stream.LeafPrediction
+	}{
+		{"majority-class", stream.MajorityClass},
+		{"naive-bayes", stream.NaiveBayes},
+		{"nb-adaptive", stream.NaiveBayesAdaptive},
+	}
+	for _, l := range leaves {
+		opts := baseOptions(cfg, core.ThreeClass, core.ModelHT)
+		opts.HT.LeafPrediction = l.mode
+		p := runPipeline(opts, data)
+		r := p.Summary()
+		t.Rows = append(t.Rows, []string{
+			l.name, fmt.Sprintf("%.4f", r.F1),
+			fmt.Sprintf("%.4f", r.Accuracy), fmt.Sprintf("%.4f", r.Kappa),
+		})
+	}
+	t.Print(w)
+	fmt.Fprintln(w)
+
+	// ARF drift detectors.
+	t = Table{
+		Title:   "Ablation: ARF drift detector (3-class)",
+		Columns: []string{"detector", "F1", "drift resets"},
+	}
+	detectors := []struct {
+		name string
+		cfg  func(*core.Options)
+	}{
+		{"adwin", func(o *core.Options) { o.ARF.Detector = stream.DetectADWIN }},
+		{"adwin-gated", func(o *core.Options) {
+			o.ARF.Detector = stream.DetectADWIN
+			o.ARF.GateOnErrorIncrease = true
+		}},
+		{"ddm", func(o *core.Options) { o.ARF.Detector = stream.DetectDDM }},
+		{"disabled", func(o *core.Options) { o.ARF.DisableDrift = true }},
+	}
+	for _, d := range detectors {
+		opts := baseOptions(cfg, core.ThreeClass, core.ModelARF)
+		d.cfg(&opts)
+		p := runPipeline(opts, data)
+		arf := p.Model().(*stream.AdaptiveRandomForest)
+		t.Rows = append(t.Rows, []string{
+			d.name, fmt.Sprintf("%.4f", p.Summary().F1),
+			fmt.Sprintf("%d", arf.DriftsDetected()),
+		})
+	}
+	t.Print(w)
+	return nil
+}

@@ -1,0 +1,256 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"redhanded/internal/core"
+	"redhanded/internal/eval"
+	"redhanded/internal/feature"
+)
+
+// tinyConfig keeps experiment smoke tests fast.
+func tinyConfig() Config {
+	cfg := DefaultConfig()
+	cfg.Scale = 0.04 // ~3.4k tweets
+	cfg.TweetCounts = []int64{3000}
+	cfg.ClusterExecutors = 2
+	cfg.ClusterWorkers = 2
+	return cfg
+}
+
+func TestRegistryComplete(t *testing.T) {
+	want := []string{
+		"table1", "table2", "fig4", "fig5", "fig6", "fig7", "fig8",
+		"fig9", "fig10", "fig11", "fig12", "fig13", "fig14", "fig15",
+		"fig16", "fig17",
+	}
+	ids := IDs()
+	have := map[string]bool{}
+	for _, id := range ids {
+		have[id] = true
+		if Description(id) == "" {
+			t.Errorf("experiment %s lacks a description", id)
+		}
+	}
+	for _, id := range want {
+		if !have[id] {
+			t.Errorf("experiment %s not registered", id)
+		}
+	}
+}
+
+func TestRunUnknownExperiment(t *testing.T) {
+	if err := Run("nope", tinyConfig(), &bytes.Buffer{}); err == nil {
+		t.Fatalf("unknown experiment accepted")
+	}
+}
+
+func TestTable2Shape(t *testing.T) {
+	results := Table2(tinyConfig())
+	if len(results) != 6 {
+		t.Fatalf("Table II has %d cells, want 6", len(results))
+	}
+	for _, r := range results {
+		if r.F1 <= 0 || r.F1 > 1 || r.Accuracy <= 0 || r.Accuracy > 1 {
+			t.Errorf("%v/%v metrics out of range: %+v", r.Model, r.Scheme, r)
+		}
+	}
+	// The paper's headline: 2-class beats 3-class for every model.
+	get := func(s core.ClassScheme, m core.ModelKind) float64 {
+		for _, r := range results {
+			if r.Scheme == s && r.Model == m {
+				return r.F1
+			}
+		}
+		return 0
+	}
+	for _, m := range []core.ModelKind{core.ModelHT, core.ModelARF, core.ModelSLR} {
+		if get(core.TwoClass, m) < get(core.ThreeClass, m)-0.02 {
+			t.Errorf("%v: 2-class F1 (%v) should be >= 3-class (%v)",
+				m, get(core.TwoClass, m), get(core.ThreeClass, m))
+		}
+	}
+}
+
+func TestFig5ImportancesRankSwears(t *testing.T) {
+	cfg := tinyConfig()
+	cfg.Scale = 0.08
+	imp, err := Fig5Importances(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(imp) != feature.BoWScore {
+		t.Fatalf("importances cover %d features, want %d", len(imp), feature.BoWScore)
+	}
+	// cntSwearWords and sentimentScoreNeg are the paper's top two.
+	rank := func(f int) int {
+		r := 0
+		for _, v := range imp {
+			if v > imp[f] {
+				r++
+			}
+		}
+		return r
+	}
+	if rank(feature.CntSwearWords) > 2 {
+		t.Errorf("cntSwearWords ranked %d, want top-3 (%v)", rank(feature.CntSwearWords)+1, imp)
+	}
+	if rank(feature.SentimentScoreNeg) > 3 {
+		t.Errorf("sentimentScoreNeg ranked %d, want top-4", rank(feature.SentimentScoreNeg)+1)
+	}
+}
+
+func TestStreamVsBatchShape(t *testing.T) {
+	res, err := StreamVsBatch(tinyConfig(), core.TwoClass)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Days != 10 {
+		t.Fatalf("days = %d, want 10", res.Days)
+	}
+	// Both batch scenarios produce valid scores on later days.
+	for d := 1; d < res.Days; d++ {
+		if res.TrainFirstDay[d] <= 0 || res.TrainPrevDay[d] <= 0 {
+			t.Fatalf("day %d batch scores missing: %+v", d, res)
+		}
+	}
+	// HT catches up: its late-day daily F1 should rival the batch DT.
+	lastHT := res.HTDaily[res.Days-1]
+	lastDT := res.TrainPrevDay[res.Days-1]
+	if lastHT < lastDT-0.1 {
+		t.Errorf("final-day HT F1 (%v) far below DT (%v)", lastHT, lastDT)
+	}
+}
+
+func TestScalabilityOrdering(t *testing.T) {
+	cfg := tinyConfig()
+	cfg.TweetCounts = []int64{4000}
+	points, err := Scalability(cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byName := map[EngineSetup]ScalabilityPoint{}
+	for _, pt := range points {
+		byName[pt.Setup] = pt
+		if pt.Tweets != 4000 {
+			t.Fatalf("%s processed %d tweets, want 4000", pt.Setup, pt.Tweets)
+		}
+	}
+	// The headline shape: multi-worker beats single-worker.
+	if byName[SetupSparkLocal].Throughput <= byName[SetupSparkSingle].Throughput {
+		t.Errorf("SparkLocal (%0.f/s) should beat SparkSingle (%0.f/s)",
+			byName[SetupSparkLocal].Throughput, byName[SetupSparkSingle].Throughput)
+	}
+}
+
+func TestRelatedBehaviors(t *testing.T) {
+	cfg := tinyConfig()
+	cfg.Scale = 0.2
+	sarcasm := RunSarcasm(cfg)
+	if sarcasm.Final < 0.8 {
+		t.Errorf("sarcasm accuracy = %v, want >= 0.8 (converges to ~0.93)", sarcasm.Final)
+	}
+	offensive := RunOffensive(cfg)
+	if offensive.Final < 0.5 || offensive.Final > 0.95 {
+		t.Errorf("offensive F1 = %v, want mid-range (paper: 0.74)", offensive.Final)
+	}
+}
+
+func TestAllExperimentsSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("smoke test of every experiment is slow")
+	}
+	cfg := tinyConfig()
+	for _, id := range IDs() {
+		id := id
+		t.Run(id, func(t *testing.T) {
+			var buf bytes.Buffer
+			if err := Run(id, cfg, &buf); err != nil {
+				t.Fatalf("%s failed: %v", id, err)
+			}
+			if buf.Len() == 0 {
+				t.Fatalf("%s produced no output", id)
+			}
+		})
+	}
+}
+
+func TestScaleCount(t *testing.T) {
+	if scaleCount(1000, 0.5) != 500 {
+		t.Fatalf("scaleCount(1000, 0.5) = %d", scaleCount(1000, 0.5))
+	}
+	if scaleCount(100, 0.001) != 10 {
+		t.Fatalf("scaleCount floor broken: %d", scaleCount(100, 0.001))
+	}
+}
+
+func TestValueAtEdges(t *testing.T) {
+	points := []eval.Point{{Instances: 10, Value: 0.5}, {Instances: 20, Value: 0.8}}
+	if v := valueAt(points, 5); v != 0 {
+		t.Fatalf("before first sample = %v, want 0", v)
+	}
+	if v := valueAt(points, 10); v != 0.5 {
+		t.Fatalf("exact sample = %v", v)
+	}
+	if v := valueAt(points, 15); v != 0.5 {
+		t.Fatalf("between samples = %v", v)
+	}
+	if v := valueAt(points, 100); v != 0.8 {
+		t.Fatalf("after last sample = %v", v)
+	}
+	if v := valueAt(nil, 1); v != 0 {
+		t.Fatalf("empty series = %v", v)
+	}
+}
+
+func TestConfigWithDefaults(t *testing.T) {
+	var zero Config
+	cfg := zero.withDefaults()
+	if cfg.Scale != 1.0 || cfg.Seed == 0 || len(cfg.TweetCounts) == 0 {
+		t.Fatalf("defaults not applied: %+v", cfg)
+	}
+	if cfg.ClusterExecutors != 3 || cfg.ClusterWorkers != 8 {
+		t.Fatalf("cluster defaults wrong: %+v", cfg)
+	}
+}
+
+func TestDatasetCacheReuse(t *testing.T) {
+	cfg := tinyConfig()
+	a := AggressionDataset(cfg)
+	b := AggressionDataset(cfg)
+	if &a[0] != &b[0] {
+		t.Fatalf("dataset not cached")
+	}
+}
+
+func TestCurveTableCarriesValuesForward(t *testing.T) {
+	series := []Series{{
+		Name: "a",
+		Points: []eval.Point{
+			{Instances: 100, Value: 0.5},
+			{Instances: 300, Value: 0.7},
+		},
+	}}
+	tab := CurveTable("t", series, 100)
+	if len(tab.Rows) != 3 {
+		t.Fatalf("rows = %d, want 3", len(tab.Rows))
+	}
+	if tab.Rows[1][1] != "0.5000" { // at 200, carry the 100-sample forward
+		t.Fatalf("carry-forward broken: %v", tab.Rows)
+	}
+	if tab.Rows[2][1] != "0.7000" {
+		t.Fatalf("final value wrong: %v", tab.Rows)
+	}
+}
+
+func TestTablePrintAligns(t *testing.T) {
+	tab := Table{Title: "x", Columns: []string{"a", "bb"}, Rows: [][]string{{"1", "2"}}}
+	var buf bytes.Buffer
+	tab.Print(&buf)
+	out := buf.String()
+	if !strings.Contains(out, "a") || !strings.Contains(out, "--") {
+		t.Fatalf("table print malformed:\n%s", out)
+	}
+}

@@ -1,0 +1,173 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"redhanded/internal/batch"
+	"redhanded/internal/core"
+	"redhanded/internal/eval"
+	"redhanded/internal/feature"
+	"redhanded/internal/ml"
+	"redhanded/internal/twitterdata"
+)
+
+func init() {
+	register("fig13", "HT vs batch DT under two training scenarios (3-class)", runFig13)
+	register("fig14", "HT vs batch DT under two training scenarios (2-class)", runFig14)
+}
+
+// StreamVsBatchResult carries the per-day F1 curves of Figs. 13/14.
+type StreamVsBatchResult struct {
+	// Days is the number of collection days.
+	Days int
+	// HTDaily is the streaming HT's F1 within each day's tweets.
+	HTDaily []float64
+	// HTCumulative is the HT's prequential F1 at each day boundary.
+	HTCumulative []float64
+	// TrainFirstDay is "train-first-day test-all-others": the DT F1 on
+	// each subsequent day (index 0 unused).
+	TrainFirstDay []float64
+	// TrainPrevDay is "train-one-day test-next-day" (index 0 unused).
+	TrainPrevDay []float64
+}
+
+// StreamVsBatch runs the Fig. 13/14 comparison for a class scheme.
+func StreamVsBatch(cfg Config, scheme core.ClassScheme) (StreamVsBatchResult, error) {
+	cfg = cfg.withDefaults()
+	data := AggressionDataset(cfg)
+
+	// Group tweets (and their extracted feature vectors) by day. A single
+	// extractor instance mirrors the deployed pipeline; batch models use
+	// the same features as the streaming one.
+	ext := feature.NewExtractor(feature.DefaultConfig())
+	days := 0
+	for i := range data {
+		if data[i].Day > days {
+			days = data[i].Day
+		}
+	}
+	days++
+	byDay := make([][]ml.Instance, days)
+	for i := range data {
+		tw := &data[i]
+		in := ml.NewInstance(ext.Extract(tw), scheme.LabelIndex(tw.Label))
+		byDay[tw.Day] = append(byDay[tw.Day], in)
+		ext.Learn(tw)
+	}
+
+	res := StreamVsBatchResult{
+		Days:          days,
+		HTDaily:       make([]float64, days),
+		HTCumulative:  make([]float64, days),
+		TrainFirstDay: make([]float64, days),
+		TrainPrevDay:  make([]float64, days),
+	}
+
+	// Streaming HT: prequential over the whole stream, tracking each
+	// day's own confusion matrix.
+	opts := baseOptions(cfg, scheme, core.ModelHT)
+	p := core.NewPipeline(opts)
+	cumulative := eval.NewPrequential(scheme.NumClasses(), 0)
+	for d := 0; d < days; d++ {
+		daily := eval.NewConfusionMatrix(scheme.NumClasses())
+		for i := range dataOfDay(data, d) {
+			tw := dataOfDay(data, d)[i]
+			r := p.Process(&tw)
+			if r.Tested {
+				daily.Add(r.Instance.Label, r.Predicted)
+				cumulative.Record(r.Instance.Label, r.Predicted)
+			}
+		}
+		res.HTDaily[d] = daily.WeightedF1()
+		res.HTCumulative[d] = cumulative.Matrix().WeightedF1()
+	}
+
+	evalDT := func(model ml.BatchClassifier, test []ml.Instance) float64 {
+		m := eval.NewConfusionMatrix(scheme.NumClasses())
+		for _, in := range test {
+			m.Add(in.Label, model.Predict(in.X).ArgMax())
+		}
+		return m.WeightedF1()
+	}
+	newDT := func() *batch.DecisionTree {
+		return batch.NewDecisionTree(batch.TreeConfig{NumClasses: scheme.NumClasses()})
+	}
+
+	// Scenario 1: train on day 0, test on each later day (model goes stale).
+	first := newDT()
+	if err := first.Fit(byDay[0]); err != nil {
+		return res, err
+	}
+	for d := 1; d < days; d++ {
+		res.TrainFirstDay[d] = evalDT(first, byDay[d])
+	}
+
+	// Scenario 2: train on day d-1, test on day d (daily retraining).
+	for d := 1; d < days; d++ {
+		dt := newDT()
+		if err := dt.Fit(byDay[d-1]); err != nil {
+			return res, err
+		}
+		res.TrainPrevDay[d] = evalDT(dt, byDay[d])
+	}
+	return res, nil
+}
+
+// dataOfDay filters the dataset slice for one day. Days are contiguous in
+// generation order, so this is a cheap scan.
+func dataOfDay(data []twitterdata.Tweet, day int) []twitterdata.Tweet {
+	lo := -1
+	hi := len(data)
+	for i := range data {
+		if data[i].Day == day {
+			if lo < 0 {
+				lo = i
+			}
+		} else if lo >= 0 {
+			hi = i
+			break
+		}
+	}
+	if lo < 0 {
+		return nil
+	}
+	return data[lo:hi]
+}
+
+func runStreamVsBatch(cfg Config, w io.Writer, scheme core.ClassScheme, title string) error {
+	res, err := StreamVsBatch(cfg, scheme)
+	if err != nil {
+		return err
+	}
+	t := Table{
+		Title: title,
+		Columns: []string{"day", "HT (daily)", "HT (cumulative)",
+			"DT train-first-day", "DT train-prev-day"},
+	}
+	for d := 0; d < res.Days; d++ {
+		row := []string{fmt.Sprintf("%d", d+1),
+			fmt.Sprintf("%.4f", res.HTDaily[d]),
+			fmt.Sprintf("%.4f", res.HTCumulative[d])}
+		if d == 0 {
+			row = append(row, "(train)", "(train)")
+		} else {
+			row = append(row,
+				fmt.Sprintf("%.4f", res.TrainFirstDay[d]),
+				fmt.Sprintf("%.4f", res.TrainPrevDay[d]))
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	t.Print(w)
+	return nil
+}
+
+func runFig13(cfg Config, w io.Writer) error {
+	return runStreamVsBatch(cfg, w, core.ThreeClass,
+		"Fig. 13: HT vs batch DT, 3-class, two batch training scenarios")
+}
+
+func runFig14(cfg Config, w io.Writer) error {
+	return runStreamVsBatch(cfg, w, core.TwoClass,
+		"Fig. 14: HT vs batch DT, 2-class, two batch training scenarios")
+}

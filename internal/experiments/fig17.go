@@ -1,0 +1,214 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"redhanded/internal/batch"
+	"redhanded/internal/core"
+	"redhanded/internal/eval"
+	"redhanded/internal/feature"
+	"redhanded/internal/ml"
+	"redhanded/internal/norm"
+	"redhanded/internal/stream"
+	"redhanded/internal/twitterdata"
+)
+
+func init() {
+	register("fig17", "Streaming HT on the Sarcasm and Offensive datasets vs batch-reported scores", runFig17)
+}
+
+// Fig. 17 reference lines: the best batch results the original papers
+// report (93% accuracy for Sarcasm, 74% F1 for Offensive).
+const (
+	SarcasmReportedAccuracy = 0.93
+	OffensiveReportedF1     = 0.74
+)
+
+// RelatedResult is one dataset's streaming result.
+type RelatedResult struct {
+	Dataset string
+	Metric  string
+	Final   float64
+	Curve   []eval.Point
+}
+
+// labelIndexer maps dataset-specific labels to class indices.
+func labelIndex(labels []string, label string) int {
+	for i, l := range labels {
+		if l == label {
+			return i
+		}
+	}
+	return -1
+}
+
+// runRelatedDataset streams a labeled dataset through preprocessing,
+// feature extraction, normalization, and a Hoeffding tree — the same
+// pipeline, retargeted at another behavior with zero structural change
+// ("minimal adaptation and tuning").
+func runRelatedDataset(cfg Config, data []twitterdata.Tweet, labels []string,
+	metric func(*eval.ConfusionMatrix) float64) RelatedResult {
+
+	ext := feature.NewExtractor(feature.DefaultConfig())
+	normalizer := core.DefaultOptions().Normalization
+	nz := newNormalizer(normalizer)
+	ht := stream.NewHoeffdingTree(stream.HTConfig{
+		NumClasses:  len(labels),
+		NumFeatures: feature.NumFeatures,
+	})
+	pre := eval.NewPrequential(len(labels), int64(1000*cfg.Scale))
+	pre.SetMetric(metric)
+
+	for i := range data {
+		tw := &data[i]
+		label := labelIndex(labels, tw.Label)
+		if label < 0 {
+			continue
+		}
+		raw := ext.Extract(tw)
+		nz.Observe(raw)
+		x := nz.Normalize(raw, nil)
+		pred := ht.Predict(x).ArgMax()
+		pre.Record(label, pred)
+		ht.Train(ml.NewInstance(x, label))
+		// The BoW adapts towards whatever the "positive" behaviors are.
+		aggressive := label != 0
+		learnTw := *tw
+		if aggressive {
+			learnTw.Label = twitterdata.LabelAbusive
+		} else {
+			learnTw.Label = twitterdata.LabelNormal
+		}
+		ext.Learn(&learnTw)
+	}
+	return RelatedResult{Final: metric(pre.Matrix()), Curve: pre.Curve()}
+}
+
+// RunSarcasm streams the sarcasm dataset (metric: accuracy, as reported
+// by Rajadesingan et al.).
+func RunSarcasm(cfg Config) RelatedResult {
+	cfg = cfg.withDefaults()
+	scfg := twitterdata.DefaultSarcasmConfig()
+	scfg.Seed = cfg.Seed + 7
+	scfg.SarcasticCount = scaleCount(scfg.SarcasticCount, cfg.Scale)
+	scfg.NormalCount = scaleCount(scfg.NormalCount, cfg.Scale)
+	data := twitterdata.GenerateSarcasm(scfg)
+	res := runRelatedDataset(cfg, data,
+		[]string{twitterdata.LabelNormal, twitterdata.LabelSarcastic},
+		(*eval.ConfusionMatrix).Accuracy)
+	res.Dataset, res.Metric = "Sarcasm", "accuracy"
+	return res
+}
+
+// RunOffensive streams the racism/sexism dataset (metric: weighted F1, as
+// reported by Waseem & Hovy).
+func RunOffensive(cfg Config) RelatedResult {
+	cfg = cfg.withDefaults()
+	ocfg := twitterdata.DefaultOffensiveConfig()
+	ocfg.Seed = cfg.Seed + 11
+	ocfg.RacistCount = scaleCount(ocfg.RacistCount, cfg.Scale)
+	ocfg.SexistCount = scaleCount(ocfg.SexistCount, cfg.Scale)
+	ocfg.NoneCount = scaleCount(ocfg.NoneCount, cfg.Scale)
+	data := twitterdata.GenerateOffensive(ocfg)
+	res := runRelatedDataset(cfg, data,
+		[]string{twitterdata.LabelNone, twitterdata.LabelRacism, twitterdata.LabelSexism},
+		(*eval.ConfusionMatrix).WeightedF1)
+	res.Dataset, res.Metric = "Offensive", "weighted F1"
+	return res
+}
+
+// BatchCVReference computes the batch counterpart the original papers
+// report: logistic regression under 10-fold cross validation, on the same
+// extracted features.
+func BatchCVReference(cfg Config, data []twitterdata.Tweet, labels []string,
+	metric func(*eval.ConfusionMatrix) float64) (float64, error) {
+
+	ext := feature.NewExtractor(feature.DefaultConfig())
+	instances := make([]ml.Instance, 0, len(data))
+	for i := range data {
+		tw := &data[i]
+		label := labelIndex(labels, tw.Label)
+		if label < 0 {
+			continue
+		}
+		instances = append(instances, ml.NewInstance(ext.Extract(tw), label))
+		ext.Learn(remapAggressive(tw, label))
+	}
+	// Batch LR needs scaled features; use z-score over the full dataset
+	// (batch setting: global statistics are available).
+	stats := norm.NewFeatureStats(feature.NumFeatures)
+	for _, in := range instances {
+		stats.Observe(in.X)
+	}
+	nz := &norm.Normalizer{Mode: norm.ZScore, Stats: stats}
+	for i := range instances {
+		instances[i].X = nz.Normalize(instances[i].X, nil)
+	}
+	pairs, err := ml.CrossValidate(instances, 10, cfg.Seed, func() ml.BatchClassifier {
+		return batch.NewLogistic(batch.LogisticConfig{NumClasses: len(labels), Epochs: 5})
+	})
+	if err != nil {
+		return 0, err
+	}
+	m := eval.NewConfusionMatrix(len(labels))
+	for _, p := range pairs {
+		m.Add(p[0], p[1])
+	}
+	return metric(m), nil
+}
+
+// remapAggressive maps a related-dataset tweet onto the BoW's
+// aggressive/normal dichotomy for adaptation.
+func remapAggressive(tw *twitterdata.Tweet, label int) *twitterdata.Tweet {
+	cp := *tw
+	if label != 0 {
+		cp.Label = twitterdata.LabelAbusive
+	} else {
+		cp.Label = twitterdata.LabelNormal
+	}
+	return &cp
+}
+
+func runFig17(cfg Config, w io.Writer) error {
+	sarcasm := RunSarcasm(cfg)
+	offensive := RunOffensive(cfg)
+	step := int64(5000 * cfg.Scale)
+	if step < 100 {
+		step = 100
+	}
+	CurveTable("Fig. 17: streaming HT on related behaviors", []Series{
+		{Name: "Sarcasm accuracy (HT)", Points: sarcasm.Curve},
+		{Name: "Offensive F1 (HT)", Points: offensive.Curve},
+	}, step).Print(w)
+
+	// Batch LR + 10-fold CV on the same synthetic data — the measured
+	// equivalent of the scores the original papers report.
+	scfg := twitterdata.DefaultSarcasmConfig()
+	scfg.Seed = cfg.Seed + 7
+	scfg.SarcasticCount = scaleCount(scfg.SarcasticCount, cfg.Scale)
+	scfg.NormalCount = scaleCount(scfg.NormalCount, cfg.Scale)
+	sarcasmRef, err := BatchCVReference(cfg, twitterdata.GenerateSarcasm(scfg),
+		[]string{twitterdata.LabelNormal, twitterdata.LabelSarcastic},
+		(*eval.ConfusionMatrix).Accuracy)
+	if err != nil {
+		return err
+	}
+	ocfg := twitterdata.DefaultOffensiveConfig()
+	ocfg.Seed = cfg.Seed + 11
+	ocfg.RacistCount = scaleCount(ocfg.RacistCount, cfg.Scale)
+	ocfg.SexistCount = scaleCount(ocfg.SexistCount, cfg.Scale)
+	ocfg.NoneCount = scaleCount(ocfg.NoneCount, cfg.Scale)
+	offensiveRef, err := BatchCVReference(cfg, twitterdata.GenerateOffensive(ocfg),
+		[]string{twitterdata.LabelNone, twitterdata.LabelRacism, twitterdata.LabelSexism},
+		(*eval.ConfusionMatrix).WeightedF1)
+	if err != nil {
+		return err
+	}
+
+	fmt.Fprintf(w, "final Sarcasm accuracy:  %.4f (batch LR 10-fold CV here: %.4f; paper-reported: %.2f)\n",
+		sarcasm.Final, sarcasmRef, SarcasmReportedAccuracy)
+	fmt.Fprintf(w, "final Offensive F1:      %.4f (batch LR 10-fold CV here: %.4f; paper-reported: %.2f)\n",
+		offensive.Final, offensiveRef, OffensiveReportedF1)
+	return nil
+}

@@ -1,0 +1,145 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"redhanded/internal/batch"
+	"redhanded/internal/core"
+	"redhanded/internal/feature"
+	"redhanded/internal/ml"
+	"redhanded/internal/norm"
+)
+
+func init() {
+	register("fig4", "Per-class distributions of six headline features", runFig4)
+	register("fig5", "Gini feature importances over the 16 base features", runFig5)
+	register("fig10", "Adaptive bag-of-words size while processing tweets", runFig10)
+}
+
+// extractAll extracts raw (unnormalized) feature vectors and 3-class
+// labels for the whole dataset using the default extractor configuration.
+func extractAll(cfg Config) []ml.Instance {
+	data := AggressionDataset(cfg)
+	ext := feature.NewExtractor(feature.DefaultConfig())
+	out := make([]ml.Instance, 0, len(data))
+	for i := range data {
+		tw := &data[i]
+		label := core.ThreeClass.LabelIndex(tw.Label)
+		out = append(out, ml.NewInstance(ext.Extract(tw), label))
+		ext.Learn(tw) // keep the BoW adapting as the paper's pipeline does
+	}
+	return out
+}
+
+// fig4Features are the six features the paper plots.
+var fig4Features = []int{
+	feature.AccountAge, feature.NumUpperCases, feature.CntAdjectives,
+	feature.WordsPerSentence, feature.SentimentScoreNeg, feature.CntSwearWords,
+}
+
+func runFig4(cfg Config, w io.Writer) error {
+	instances := extractAll(cfg)
+	classNames := []string{"normal", "abusive", "hateful"}
+
+	for _, f := range fig4Features {
+		t := Table{
+			Title:   fmt.Sprintf("Fig. 4: distribution of %s by class", feature.Name(f)),
+			Columns: []string{"class", "mean", "std", "min", "p25", "median", "p75", "max"},
+		}
+		for c, name := range classNames {
+			var wf norm.Welford
+			var values []float64
+			for _, in := range instances {
+				if in.Label == c {
+					wf.Add(in.X[f])
+					values = append(values, in.X[f])
+				}
+			}
+			sort.Float64s(values)
+			q := func(p float64) float64 {
+				if len(values) == 0 {
+					return 0
+				}
+				i := int(p * float64(len(values)-1))
+				return values[i]
+			}
+			t.Rows = append(t.Rows, []string{
+				name,
+				fmt.Sprintf("%.2f", wf.Mean),
+				fmt.Sprintf("%.2f", wf.Std()),
+				fmt.Sprintf("%.2f", q(0)),
+				fmt.Sprintf("%.2f", q(0.25)),
+				fmt.Sprintf("%.2f", q(0.5)),
+				fmt.Sprintf("%.2f", q(0.75)),
+				fmt.Sprintf("%.2f", q(1)),
+			})
+		}
+		t.Print(w)
+		fmt.Fprintln(w)
+	}
+	return nil
+}
+
+// Fig5Importances fits the batch random forest on the 16 base features
+// (the adaptive BoW score is the paper's 17th, presented separately) and
+// returns the normalized Gini importances by feature index.
+func Fig5Importances(cfg Config) ([]float64, error) {
+	instances := extractAll(cfg)
+	// Drop the BoW feature to match the paper's Fig. 5 feature list.
+	base := make([]ml.Instance, len(instances))
+	for i, in := range instances {
+		base[i] = ml.Instance{X: in.X[:feature.BoWScore], Label: in.Label, Weight: 1}
+	}
+	rf := batch.NewRandomForest(batch.ForestConfig{NumClasses: 3, Trees: 30, Seed: cfg.Seed})
+	if err := rf.Fit(base); err != nil {
+		return nil, err
+	}
+	return rf.GiniImportances(), nil
+}
+
+func runFig5(cfg Config, w io.Writer) error {
+	imp, err := Fig5Importances(cfg)
+	if err != nil {
+		return err
+	}
+	type fi struct {
+		feature int
+		value   float64
+	}
+	ranked := make([]fi, len(imp))
+	for i, v := range imp {
+		ranked[i] = fi{i, v}
+	}
+	sort.Slice(ranked, func(a, b int) bool { return ranked[a].value > ranked[b].value })
+	t := Table{
+		Title:   "Fig. 5: feature importances (Gini), descending",
+		Columns: []string{"rank", "feature", "importance"},
+	}
+	for rank, e := range ranked {
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("%d", rank+1),
+			feature.Name(e.feature),
+			fmt.Sprintf("%.4f", e.value),
+		})
+	}
+	t.Print(w)
+	return nil
+}
+
+func runFig10(cfg Config, w io.Writer) error {
+	data := AggressionDataset(cfg)
+	p := runPipeline(baseOptions(cfg, core.ThreeClass, core.ModelHT), data)
+	curve := p.BoWSizeCurve()
+	series := []Series{{Name: "BoW size (words)", Points: curve}}
+	step := int64(5000 * cfg.Scale)
+	if step < 100 {
+		step = 100
+	}
+	CurveTable("Fig. 10: size of the adaptive bag-of-words over the stream", series, step).Print(w)
+	if len(curve) > 0 {
+		fmt.Fprintf(w, "start: %d words (seed), end: %.0f words\n", 347, curve[len(curve)-1].Value)
+	}
+	return nil
+}

@@ -1,0 +1,158 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"redhanded/internal/core"
+	"redhanded/internal/feature"
+	"redhanded/internal/norm"
+	"redhanded/internal/stream"
+)
+
+func init() {
+	register("table1", "Hyperparameter grid search for the streaming models", runTable1)
+}
+
+func newNormalizer(mode norm.Mode) *norm.Normalizer {
+	return norm.NewNormalizer(mode, feature.NumFeatures)
+}
+
+// GridResult is the outcome of tuning one parameter.
+type GridResult struct {
+	Model    string
+	Param    string
+	Range    string
+	Selected string
+	BestF1   float64
+}
+
+// gridEval runs the pipeline with the given options and returns weighted F1.
+func gridEval(cfg Config, opts core.Options) float64 {
+	data := AggressionDataset(cfg)
+	return runPipeline(opts, data).Summary().F1
+}
+
+// sweep evaluates a parameter's candidate values with all other parameters
+// at their selected settings (coordinate-wise search — full cartesian grids
+// are run at paper scale via `gridsearch -full`).
+func sweep[T any](cfg Config, model, param string, values []T,
+	format func(T) string, rangeStr string,
+	apply func(core.Options, T) core.Options, base core.Options) GridResult {
+
+	best, bestF1 := 0, -1.0
+	for i, v := range values {
+		f1 := gridEval(cfg, apply(base, v))
+		if f1 > bestF1 {
+			best, bestF1 = i, f1
+		}
+	}
+	return GridResult{
+		Model: model, Param: param, Range: rangeStr,
+		Selected: format(values[best]), BestF1: bestF1,
+	}
+}
+
+// Table1 runs the hyperparameter study. The ranges mirror Table I of the
+// paper; each parameter is swept around the Table I defaults.
+func Table1(cfg Config) []GridResult {
+	cfg = cfg.withDefaults()
+	var out []GridResult
+
+	fmtF := func(v float64) string { return fmt.Sprintf("%g", v) }
+	fmtI := func(v int) string { return fmt.Sprintf("%d", v) }
+
+	htBase := baseOptions(cfg, core.ThreeClass, core.ModelHT)
+	out = append(out,
+		sweep(cfg, "HT", "Split Criterion",
+			[]stream.Criterion{stream.Gini, stream.InfoGain},
+			func(c stream.Criterion) string { return c.String() }, "Gini, InfoGain",
+			func(o core.Options, v stream.Criterion) core.Options { o.HT.SplitCriterion = v; return o }, htBase),
+		sweep(cfg, "HT", "Split Confidence",
+			[]float64{0.001, 0.01, 0.1, 0.5}, fmtF, "0.001 - 0.5",
+			func(o core.Options, v float64) core.Options { o.HT.SplitConfidence = v; return o }, htBase),
+		sweep(cfg, "HT", "Tie Threshold",
+			[]float64{0.01, 0.05, 0.1}, fmtF, "0.01 - 0.1",
+			func(o core.Options, v float64) core.Options { o.HT.TieThreshold = v; return o }, htBase),
+		sweep(cfg, "HT", "Grace Period",
+			[]int{200, 300, 500}, fmtI, "200 - 500",
+			func(o core.Options, v int) core.Options { o.HT.GracePeriod = v; return o }, htBase),
+		sweep(cfg, "HT", "Max Tree Depth",
+			[]int{10, 20, 30}, fmtI, "10 - 30",
+			func(o core.Options, v int) core.Options { o.HT.MaxDepth = v; return o }, htBase),
+	)
+
+	arfBase := baseOptions(cfg, core.ThreeClass, core.ModelARF)
+	out = append(out,
+		sweep(cfg, "ARF", "Ensemble Size",
+			[]int{10, 15, 20}, fmtI, "10 - 20",
+			func(o core.Options, v int) core.Options { o.ARF.EnsembleSize = v; return o }, arfBase),
+	)
+
+	slrBase := baseOptions(cfg, core.ThreeClass, core.ModelSLR)
+	out = append(out,
+		sweep(cfg, "SLR", "Lambda",
+			[]float64{0.01, 0.05, 0.1}, fmtF, "0.01 - 0.1",
+			func(o core.Options, v float64) core.Options { o.SLR.LearningRate = v; return o }, slrBase),
+		sweep(cfg, "SLR", "Regularizer",
+			[]stream.Regularizer{stream.RegZero, stream.RegL1, stream.RegL2},
+			func(r stream.Regularizer) string { return r.String() }, "Zero, L1, L2",
+			func(o core.Options, v stream.Regularizer) core.Options { o.SLR.Regularizer = v; return o }, slrBase),
+		sweep(cfg, "SLR", "Regularization",
+			[]float64{0.001, 0.01, 0.1}, fmtF, "0.001 - 0.1",
+			func(o core.Options, v float64) core.Options { o.SLR.RegLambda = v; return o }, slrBase),
+	)
+	return out
+}
+
+// FullHTGrid runs the complete cartesian HT grid (Table I ranges) and
+// returns the best configuration — the heavyweight mode of the gridsearch
+// CLI.
+func FullHTGrid(cfg Config, progress io.Writer) (stream.HTConfig, float64) {
+	cfg = cfg.withDefaults()
+	best := stream.HTConfig{}
+	bestF1 := -1.0
+	for _, crit := range []stream.Criterion{stream.Gini, stream.InfoGain} {
+		for _, conf := range []float64{0.001, 0.01, 0.1, 0.5} {
+			for _, tie := range []float64{0.01, 0.05, 0.1} {
+				for _, grace := range []int{200, 300, 500} {
+					for _, depth := range []int{10, 20, 30} {
+						opts := baseOptions(cfg, core.ThreeClass, core.ModelHT)
+						opts.HT.SplitCriterion = crit
+						opts.HT.SplitConfidence = conf
+						opts.HT.TieThreshold = tie
+						opts.HT.GracePeriod = grace
+						opts.HT.MaxDepth = depth
+						f1 := gridEval(cfg, opts)
+						if progress != nil {
+							fmt.Fprintf(progress, "  %v conf=%g tie=%g grace=%d depth=%d -> F1 %.4f\n",
+								crit, conf, tie, grace, depth, f1)
+						}
+						if f1 > bestF1 {
+							bestF1 = f1
+							best = opts.HT
+							best.NumClasses = 3
+							best.NumFeatures = feature.NumFeatures
+						}
+					}
+				}
+			}
+		}
+	}
+	return best, bestF1
+}
+
+func runTable1(cfg Config, w io.Writer) error {
+	results := Table1(cfg)
+	t := Table{
+		Title:   "Table I: hyperparameter tuning for streaming models",
+		Columns: []string{"Model", "Parameter", "Range or Options", "Selected", "F1"},
+	}
+	for _, r := range results {
+		t.Rows = append(t.Rows, []string{
+			r.Model, r.Param, r.Range, r.Selected, fmt.Sprintf("%.4f", r.BestF1),
+		})
+	}
+	t.Print(w)
+	return nil
+}

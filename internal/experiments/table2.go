@@ -1,0 +1,79 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"redhanded/internal/core"
+)
+
+func init() {
+	register("table2", "Key evaluation metrics for HT, ARF, and SLR (3-class and 2-class)", runTable2)
+}
+
+// Table2Result holds the measured metrics for one (model, scheme) cell.
+type Table2Result struct {
+	Model     core.ModelKind
+	Scheme    core.ClassScheme
+	Accuracy  float64
+	Precision float64
+	Recall    float64
+	F1        float64
+}
+
+// Table2 computes all six cells of Table II.
+func Table2(cfg Config) []Table2Result {
+	cfg = cfg.withDefaults()
+	data := AggressionDataset(cfg)
+	var out []Table2Result
+	for _, scheme := range []core.ClassScheme{core.ThreeClass, core.TwoClass} {
+		for _, model := range []core.ModelKind{core.ModelHT, core.ModelARF, core.ModelSLR} {
+			p := runPipeline(baseOptions(cfg, scheme, model), data)
+			r := p.Summary()
+			out = append(out, Table2Result{
+				Model: model, Scheme: scheme,
+				Accuracy: r.Accuracy, Precision: r.Precision,
+				Recall: r.Recall, F1: r.F1,
+			})
+		}
+	}
+	return out
+}
+
+func runTable2(cfg Config, w io.Writer) error {
+	results := Table2(cfg)
+	get := func(scheme core.ClassScheme, model core.ModelKind) Table2Result {
+		for _, r := range results {
+			if r.Scheme == scheme && r.Model == model {
+				return r
+			}
+		}
+		return Table2Result{}
+	}
+	t := Table{
+		Title: "Table II: Key evaluation metrics for HT, ARF, and SLR",
+		Columns: []string{"Metric",
+			"3c-HT", "3c-ARF", "3c-SLR",
+			"2c-HT", "2c-ARF", "2c-SLR"},
+	}
+	metrics := []struct {
+		name string
+		get  func(Table2Result) float64
+	}{
+		{"Accuracy", func(r Table2Result) float64 { return r.Accuracy }},
+		{"Precision", func(r Table2Result) float64 { return r.Precision }},
+		{"Recall", func(r Table2Result) float64 { return r.Recall }},
+		{"F1-score", func(r Table2Result) float64 { return r.F1 }},
+	}
+	for _, m := range metrics {
+		row := []string{m.name}
+		for _, scheme := range []core.ClassScheme{core.ThreeClass, core.TwoClass} {
+			for _, model := range []core.ModelKind{core.ModelHT, core.ModelARF, core.ModelSLR} {
+				row = append(row, fmt.Sprintf("%.2f", m.get(get(scheme, model))))
+			}
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	t.Print(w)
+	return nil
+}

@@ -1,0 +1,56 @@
+package feature
+
+import (
+	"testing"
+
+	"redhanded/internal/twitterdata"
+)
+
+func benchTweets(n int) []twitterdata.Tweet {
+	g := twitterdata.NewGenerator(1, 10)
+	out := make([]twitterdata.Tweet, n)
+	for i := range out {
+		out[i] = g.Tweet(i%3, i%10)
+	}
+	return out
+}
+
+func BenchmarkExtract(b *testing.B) {
+	tweets := benchTweets(2000)
+	e := NewExtractor(DefaultConfig())
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.Extract(&tweets[i%len(tweets)])
+	}
+}
+
+func BenchmarkExtractNoPreprocess(b *testing.B) {
+	tweets := benchTweets(2000)
+	e := NewExtractor(Config{Preprocess: false, BoW: DefaultBoWConfig()})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.Extract(&tweets[i%len(tweets)])
+	}
+}
+
+func BenchmarkBoWLearn(b *testing.B) {
+	bow := NewAdaptiveBoW(DefaultBoWConfig())
+	tokens := []string{"you", "are", "a", "zorp", "idiot", "and", "fool"}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		bow.Learn(tokens, i%2 == 0)
+	}
+}
+
+func BenchmarkBoWScore(b *testing.B) {
+	bow := NewAdaptiveBoW(DefaultBoWConfig())
+	tokens := []string{"you", "fucking", "idiot", "look", "at", "this", "shit"}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		bow.Score(tokens)
+	}
+}

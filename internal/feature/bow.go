@@ -1,0 +1,305 @@
+package feature
+
+import (
+	"sort"
+	"strings"
+	"sync"
+
+	"redhanded/internal/text/lexicon"
+	"redhanded/internal/text/stem"
+)
+
+// BoWConfig tunes the adaptive bag-of-words.
+type BoWConfig struct {
+	// UpdateEvery is how many labeled tweets pass between enhancement
+	// rounds ("periodically enhanced based on tweet content").
+	UpdateEvery int
+	// MinAggressiveRate is the minimum per-tweet occurrence rate in
+	// aggressive tweets for a word to be considered.
+	MinAggressiveRate float64
+	// MinRatio is how many times more frequent a word must be in
+	// aggressive than in normal tweets to enter the BoW.
+	MinRatio float64
+	// Decay is the multiplicative factor applied to the rolling word
+	// statistics at every enhancement round, so the BoW tracks *current*
+	// vocabulary rather than all history.
+	Decay float64
+	// MaxVocab caps each rolling table's size (memory bound).
+	MaxVocab int
+	// Frozen disables adaptation: the BoW stays at the seed list. This is
+	// the paper's "fixed bag-of-words" baseline (ad=OFF in the figures).
+	Frozen bool
+	// Stem applies Porter stemming to tokens (and the seed list) so that
+	// inflected forms of aggressive vocabulary consolidate onto one stem
+	// and cross the admission threshold sooner. Off by default to match
+	// the paper's word-level BoW.
+	Stem bool
+}
+
+// DefaultBoWConfig returns the settings used by the experiments.
+func DefaultBoWConfig() BoWConfig {
+	return BoWConfig{
+		UpdateEvery:       500,
+		MinAggressiveRate: 0.005,
+		MinRatio:          3,
+		Decay:             0.996,
+		MaxVocab:          50000,
+	}
+}
+
+func (c BoWConfig) withDefaults() BoWConfig {
+	d := DefaultBoWConfig()
+	if c.UpdateEvery == 0 {
+		c.UpdateEvery = d.UpdateEvery
+	}
+	if c.MinAggressiveRate == 0 {
+		c.MinAggressiveRate = d.MinAggressiveRate
+	}
+	if c.MinRatio == 0 {
+		c.MinRatio = d.MinRatio
+	}
+	if c.Decay == 0 {
+		c.Decay = d.Decay
+	}
+	if c.MaxVocab == 0 {
+		c.MaxVocab = d.MaxVocab
+	}
+	return c
+}
+
+// wordTable is a decayed word-frequency table for one side (aggressive or
+// normal tweets).
+type wordTable struct {
+	counts map[string]float64
+	tweets float64
+}
+
+func newWordTable() *wordTable {
+	return &wordTable{counts: make(map[string]float64)}
+}
+
+func (t *wordTable) observe(tokens []string) {
+	t.tweets++
+	seen := map[string]bool{}
+	for _, tok := range tokens {
+		if len(tok) < 2 || seen[tok] {
+			continue // per-tweet presence counting
+		}
+		seen[tok] = true
+		t.counts[tok]++
+	}
+}
+
+// rate returns the fraction of tweets containing the word.
+func (t *wordTable) rate(w string) float64 {
+	if t.tweets == 0 {
+		return 0
+	}
+	return t.counts[w] / t.tweets
+}
+
+func (t *wordTable) decay(factor float64) {
+	t.tweets *= factor
+	for w, c := range t.counts {
+		c *= factor
+		if c < 0.05 {
+			delete(t.counts, w)
+		} else {
+			t.counts[w] = c
+		}
+	}
+}
+
+// prune drops the lowest-count words until the table fits maxVocab.
+func (t *wordTable) prune(maxVocab int) {
+	if len(t.counts) <= maxVocab {
+		return
+	}
+	type wc struct {
+		w string
+		c float64
+	}
+	all := make([]wc, 0, len(t.counts))
+	for w, c := range t.counts {
+		all = append(all, wc{w, c})
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i].c > all[j].c })
+	for _, e := range all[maxVocab:] {
+		delete(t.counts, e.w)
+	}
+}
+
+// AdaptiveBoW is the adaptive bag-of-words feature of §IV-B: it starts
+// from the 347-entry swear-word seed list, tracks rolling word statistics
+// for aggressive (abusive or hateful) and normal tweets, adds words that
+// occur frequently in aggressive tweets but not in normal ones, and drops
+// learned words that become popular in normal tweets while losing traction
+// in aggressive ones. Seed words are permanent. AdaptiveBoW is safe for
+// concurrent use.
+type AdaptiveBoW struct {
+	mu          sync.RWMutex
+	cfg         BoWConfig
+	words       map[string]bool
+	seed        map[string]bool
+	aggressive  *wordTable
+	normal      *wordTable
+	sinceUpdate int
+	additions   int
+	removals    int
+}
+
+// NewAdaptiveBoW creates the feature seeded with the swear-word lexicon.
+func NewAdaptiveBoW(cfg BoWConfig) *AdaptiveBoW {
+	b := &AdaptiveBoW{
+		cfg:        cfg.withDefaults(),
+		words:      make(map[string]bool),
+		seed:       make(map[string]bool),
+		aggressive: newWordTable(),
+		normal:     newWordTable(),
+	}
+	for _, w := range lexicon.SwearWords() {
+		w = b.canon(w)
+		b.words[w] = true
+		b.seed[w] = true
+	}
+	return b
+}
+
+// canon maps a token to its lookup key (lower case, optionally stemmed).
+func (b *AdaptiveBoW) canon(tok string) string {
+	tok = strings.ToLower(tok)
+	if b.cfg.Stem {
+		tok = stem.Stem(tok)
+	}
+	return tok
+}
+
+// Size returns the current number of words in the BoW (Fig. 10's y-axis).
+func (b *AdaptiveBoW) Size() int {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	return len(b.words)
+}
+
+// Additions returns how many words have been added over time.
+func (b *AdaptiveBoW) Additions() int {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	return b.additions
+}
+
+// Removals returns how many learned words have been evicted.
+func (b *AdaptiveBoW) Removals() int {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	return b.removals
+}
+
+// Words returns a snapshot of the current BoW contents, used to broadcast
+// the vocabulary to remote tasks each micro-batch.
+func (b *AdaptiveBoW) Words() []string {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	out := make([]string, 0, len(b.words))
+	for w := range b.words {
+		out = append(out, w)
+	}
+	return out
+}
+
+// SetWords replaces the BoW contents with a broadcast snapshot (remote
+// executor side). Rolling statistics are untouched; remote BoWs never
+// adapt locally — adaptation happens at the driver.
+func (b *AdaptiveBoW) SetWords(words []string) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.words = make(map[string]bool, len(words))
+	for _, w := range words {
+		b.words[w] = true
+	}
+}
+
+// Contains reports membership of the lower-cased token.
+func (b *AdaptiveBoW) Contains(token string) bool {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	return b.words[b.canon(token)]
+}
+
+// Score counts how many tokens are BoW members (the feature value).
+func (b *AdaptiveBoW) Score(tokens []string) float64 {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	n := 0.0
+	for _, tok := range tokens {
+		if b.words[b.canon(tok)] {
+			n++
+		}
+	}
+	return n
+}
+
+// Learn folds one labeled tweet's tokens into the rolling statistics and
+// periodically runs the enhancement round. Tokens should be the cleaned,
+// tokenized tweet text; aggressive marks abusive-or-hateful labels.
+func (b *AdaptiveBoW) Learn(tokens []string, aggressive bool) {
+	if b.cfg.Frozen {
+		return
+	}
+	lower := make([]string, 0, len(tokens))
+	for _, tok := range tokens {
+		lower = append(lower, b.canon(tok))
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if aggressive {
+		b.aggressive.observe(lower)
+	} else {
+		b.normal.observe(lower)
+	}
+	b.sinceUpdate++
+	if b.sinceUpdate >= b.cfg.UpdateEvery {
+		b.sinceUpdate = 0
+		b.enhance()
+	}
+}
+
+// enhance applies the add/remove rules. Callers hold the write lock.
+func (b *AdaptiveBoW) enhance() {
+	if b.aggressive.tweets < 50 || b.normal.tweets < 50 {
+		return // not enough evidence yet
+	}
+	for w := range b.aggressive.counts {
+		if b.words[w] {
+			continue
+		}
+		ra := b.aggressive.rate(w)
+		rn := b.normal.rate(w)
+		if ra >= b.cfg.MinAggressiveRate && ra >= b.cfg.MinRatio*maxf(rn, 1e-6) {
+			b.words[w] = true
+			b.additions++
+		}
+	}
+	for w := range b.words {
+		if b.seed[w] {
+			continue
+		}
+		ra := b.aggressive.rate(w)
+		rn := b.normal.rate(w)
+		if rn > ra {
+			delete(b.words, w)
+			b.removals++
+		}
+	}
+	b.aggressive.decay(b.cfg.Decay)
+	b.normal.decay(b.cfg.Decay)
+	b.aggressive.prune(b.cfg.MaxVocab)
+	b.normal.prune(b.cfg.MaxVocab)
+}
+
+func maxf(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,88 @@
+package feature
+
+import (
+	"math"
+	"testing"
+
+	"redhanded/internal/twitterdata"
+)
+
+// classMeans extracts features for n generated tweets per class and
+// returns the per-class feature means — the end-to-end check that the
+// generator + extraction pipeline recovers the paper's Fig. 4 statistics.
+func classMeans(t *testing.T, n int) [3][]float64 {
+	t.Helper()
+	e := NewExtractor(DefaultConfig())
+	g := twitterdata.NewGenerator(123, 10)
+	var means [3][]float64
+	for class := 0; class < 3; class++ {
+		sums := make([]float64, NumFeatures)
+		for i := 0; i < n; i++ {
+			tw := g.Tweet(class, i%10)
+			for f, v := range e.Extract(&tw) {
+				sums[f] += v
+			}
+		}
+		for f := range sums {
+			sums[f] /= float64(n)
+		}
+		means[class] = sums
+	}
+	return means
+}
+
+func TestCalibrationHeadlineStatistics(t *testing.T) {
+	means := classMeans(t, 2500)
+	normal, abusive, hateful := means[0], means[1], means[2]
+
+	checks := []struct {
+		name    string
+		feature int
+		class   []float64
+		want    float64
+		tol     float64
+	}{
+		{"normal swears", CntSwearWords, normal, 0.10, 0.08},
+		{"abusive swears", CntSwearWords, abusive, 2.54, 0.5},
+		{"hateful swears", CntSwearWords, hateful, 1.84, 0.5},
+		{"normal upper", NumUpperCases, normal, 0.96, 0.4},
+		{"abusive upper", NumUpperCases, abusive, 1.84, 0.6},
+		{"hateful upper", NumUpperCases, hateful, 1.57, 0.6},
+		{"normal wps", WordsPerSentence, normal, 16.66, 2.5},
+		{"abusive wps", WordsPerSentence, abusive, 12.66, 2.5},
+		{"hateful wps", WordsPerSentence, hateful, 15.93, 2.5},
+	}
+	for _, c := range checks {
+		got := c.class[c.feature]
+		if math.Abs(got-c.want) > c.tol {
+			t.Errorf("%s = %.3f, want %.2f ± %.2f", c.name, got, c.want, c.tol)
+		}
+	}
+}
+
+func TestCalibrationOrderings(t *testing.T) {
+	means := classMeans(t, 2000)
+	normal, abusive, hateful := means[0], means[1], means[2]
+
+	// Fig 4a: normal accounts oldest, abusive youngest.
+	if !(normal[AccountAge] > hateful[AccountAge] && hateful[AccountAge] > abusive[AccountAge]) {
+		t.Errorf("account age ordering broken: n=%.0f h=%.0f a=%.0f",
+			normal[AccountAge], hateful[AccountAge], abusive[AccountAge])
+	}
+	// Fig 4c: abusive/hateful use fewer adjectives than normal.
+	if !(normal[CntAdjectives] > abusive[CntAdjectives]) {
+		t.Errorf("adjective ordering broken: n=%.2f a=%.2f",
+			normal[CntAdjectives], abusive[CntAdjectives])
+	}
+	// Fig 4e: normal far less negative sentiment (less negative = higher).
+	if !(normal[SentimentScoreNeg] > abusive[SentimentScoreNeg]+0.5 &&
+		normal[SentimentScoreNeg] > hateful[SentimentScoreNeg]+0.5) {
+		t.Errorf("negative sentiment ordering broken: n=%.2f a=%.2f h=%.2f",
+			normal[SentimentScoreNeg], abusive[SentimentScoreNeg], hateful[SentimentScoreNeg])
+	}
+	// BoW score separates aggressors (swears + slang).
+	if !(abusive[BoWScore] > normal[BoWScore]+1) {
+		t.Errorf("BoW score separation broken: n=%.2f a=%.2f",
+			normal[BoWScore], abusive[BoWScore])
+	}
+}

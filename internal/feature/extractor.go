@@ -1,0 +1,130 @@
+package feature
+
+import (
+	"redhanded/internal/text"
+	"redhanded/internal/text/lexicon"
+	"redhanded/internal/text/pos"
+	"redhanded/internal/text/sentiment"
+	"redhanded/internal/twitterdata"
+)
+
+// Config selects the extraction options the paper's experiments toggle.
+type Config struct {
+	// Preprocess applies the cleaning step before token-based features
+	// (p=ON/OFF in the figures).
+	Preprocess bool
+	// BoW configures the adaptive bag-of-words; set BoW.Frozen for the
+	// fixed-BoW baseline (ad=OFF).
+	BoW BoWConfig
+}
+
+// DefaultConfig enables preprocessing and the adaptive BoW.
+func DefaultConfig() Config {
+	return Config{Preprocess: true, BoW: DefaultBoWConfig()}
+}
+
+// Extractor turns tweets into fixed-length feature vectors. Extraction is
+// safe for concurrent use; Learn serializes internally.
+type Extractor struct {
+	cfg       Config
+	cleanOpts text.CleanOptions
+	// sentOpts strips tweet entities but keeps punctuation, so sentence
+	// boundaries survive while URL dots stop creating fake ones.
+	sentOpts  text.CleanOptions
+	tagger    *pos.Tagger
+	sentiment *sentiment.Analyzer
+	bow       *AdaptiveBoW
+}
+
+// NewExtractor creates an extractor with the given options.
+func NewExtractor(cfg Config) *Extractor {
+	return &Extractor{
+		cfg:       cfg,
+		cleanOpts: text.DefaultCleanOptions(),
+		sentOpts: text.CleanOptions{
+			RemoveURLs:          true,
+			RemoveMentions:      true,
+			RemoveHashtags:      true,
+			RemoveAbbreviations: true,
+			CondenseWhitespace:  true,
+		},
+		tagger:    pos.New(),
+		sentiment: sentiment.New(),
+		bow:       NewAdaptiveBoW(cfg.BoW),
+	}
+}
+
+// BoW exposes the adaptive bag-of-words (for Fig. 10 and the pipeline's
+// training step).
+func (e *Extractor) BoW() *AdaptiveBoW { return e.bow }
+
+// Extract computes the feature vector for one tweet.
+func (e *Extractor) Extract(tw *twitterdata.Tweet) []float64 {
+	x := make([]float64, NumFeatures)
+
+	// Profile and network features come from the user payload.
+	x[AccountAge] = tw.AccountAgeDays()
+	x[CntPosts] = float64(tw.User.StatusesCount)
+	x[CntLists] = float64(tw.User.ListedCount)
+	x[CntFollowers] = float64(tw.User.FollowersCount)
+	x[CntFriends] = float64(tw.User.FriendsCount)
+
+	// Basic text features are counted on the raw text (preprocessing
+	// removes exactly the tokens they count).
+	raw := tw.Text
+	x[NumHashtags] = float64(text.CountTokenKind(raw, text.IsHashtagToken))
+	x[NumURLs] = float64(text.CountTokenKind(raw, text.IsURLToken))
+	x[NumUpperCases] = float64(text.CountUpperWords(raw))
+
+	// Remaining text features operate on the (optionally) cleaned text.
+	body := raw
+	if e.cfg.Preprocess {
+		body = text.Clean(raw, e.cleanOpts)
+	}
+	tokens := text.Tokenize(body)
+	x[MeanWordLength] = text.MeanWordLength(tokens)
+	x[WordsPerSentence] = e.wordsPerSentence(raw, len(tokens))
+
+	counts := e.tagger.Count(tokens)
+	x[CntAdjectives] = float64(counts.Adjectives)
+	x[CntAdverbs] = float64(counts.Adverbs)
+	x[CntVerbs] = float64(counts.Verbs)
+
+	score := e.sentiment.Analyze(body)
+	x[SentimentScorePos] = float64(score.Positive)
+	x[SentimentScoreNeg] = float64(score.Negative)
+
+	x[CntSwearWords] = float64(lexicon.CountSwears(tokens))
+	x[BoWScore] = e.bow.Score(tokens)
+	return x
+}
+
+// wordsPerSentence computes the mean sentence length. With preprocessing
+// on, sentence boundaries come from entity-stripped text (URL dots would
+// otherwise fabricate boundaries) and word counts from the fully cleaned
+// tokens; with preprocessing off, the raw text is used for both — one of
+// the noise sources that makes p=OFF less stable in Fig. 6.
+func (e *Extractor) wordsPerSentence(raw string, tokenCount int) float64 {
+	if !e.cfg.Preprocess {
+		return text.WordsPerSentence(raw)
+	}
+	sentences := text.SplitSentences(text.Clean(raw, e.sentOpts))
+	if len(sentences) == 0 {
+		return 0
+	}
+	return float64(tokenCount) / float64(len(sentences))
+}
+
+// Learn updates the adaptive bag-of-words with a labeled tweet. Aggressive
+// covers the abusive and hateful labels, per §IV-B.
+func (e *Extractor) Learn(tw *twitterdata.Tweet) {
+	if !tw.IsLabeled() {
+		return
+	}
+	body := tw.Text
+	if e.cfg.Preprocess {
+		body = text.Clean(tw.Text, e.cleanOpts)
+	}
+	aggressive := tw.Label == twitterdata.LabelAbusive || tw.Label == twitterdata.LabelHateful
+	e.bow.Learn(text.Tokenize(body), aggressive)
+}

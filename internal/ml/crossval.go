@@ -1,0 +1,68 @@
+package ml
+
+// Cross-validation utilities for the batch baselines. The related-behavior
+// papers the reproduction compares against (Fig. 17) evaluated their
+// models with 10-fold cross validation; these helpers let the harness
+// compute the equivalent batch reference on the synthetic datasets.
+
+// StratifiedFolds partitions instance indices into k folds preserving the
+// class proportions of the whole dataset (within rounding). Instances are
+// shuffled with the given rng before assignment.
+func StratifiedFolds(data []Instance, k int, rng *RNG) [][]int {
+	if k < 2 {
+		k = 2
+	}
+	byClass := map[int][]int{}
+	for i, in := range data {
+		if in.IsLabeled() {
+			byClass[in.Label] = append(byClass[in.Label], i)
+		}
+	}
+	folds := make([][]int, k)
+	for _, idxs := range byClass {
+		rng.Shuffle(len(idxs), func(i, j int) { idxs[i], idxs[j] = idxs[j], idxs[i] })
+		for pos, idx := range idxs {
+			folds[pos%k] = append(folds[pos%k], idx)
+		}
+	}
+	return folds
+}
+
+// TrainTestSplit returns the train set excluding the fold and the fold as
+// the test set.
+func TrainTestSplit(data []Instance, folds [][]int, fold int) (train, test []Instance) {
+	inTest := map[int]bool{}
+	for _, idx := range folds[fold] {
+		inTest[idx] = true
+	}
+	for i, in := range data {
+		if inTest[i] {
+			test = append(test, in)
+		} else if in.IsLabeled() {
+			train = append(train, in)
+		}
+	}
+	return train, test
+}
+
+// CrossValidate runs k-fold cross validation with the model factory and
+// returns the per-fold (trueLabel, predictedLabel) pairs flattened, so the
+// caller can compute any metric.
+func CrossValidate(data []Instance, k int, seed uint64,
+	factory func() BatchClassifier) ([][2]int, error) {
+
+	rng := NewRNG(seed)
+	folds := StratifiedFolds(data, k, rng)
+	var pairs [][2]int
+	for f := range folds {
+		train, test := TrainTestSplit(data, folds, f)
+		model := factory()
+		if err := model.Fit(train); err != nil {
+			return nil, err
+		}
+		for _, in := range test {
+			pairs = append(pairs, [2]int{in.Label, model.Predict(in.X).ArgMax()})
+		}
+	}
+	return pairs, nil
+}

@@ -1,0 +1,103 @@
+package ml
+
+import (
+	"math"
+	"testing"
+)
+
+// cvData builds a small separable dataset.
+func cvData(n int, seed uint64) []Instance {
+	rng := NewRNG(seed)
+	out := make([]Instance, 0, n)
+	for i := 0; i < n; i++ {
+		label := 0
+		if rng.Float64() < 0.3 { // imbalanced
+			label = 1
+		}
+		out = append(out, NewInstance([]float64{float64(label)*4 + rng.NormFloat64()}, label))
+	}
+	return out
+}
+
+func TestStratifiedFoldsPreserveProportions(t *testing.T) {
+	data := cvData(1000, 1)
+	folds := StratifiedFolds(data, 10, NewRNG(2))
+	if len(folds) != 10 {
+		t.Fatalf("fold count = %d", len(folds))
+	}
+	total := 0
+	for f, fold := range folds {
+		pos := 0
+		for _, idx := range fold {
+			if data[idx].Label == 1 {
+				pos++
+			}
+		}
+		share := float64(pos) / float64(len(fold))
+		if math.Abs(share-0.3) > 0.08 {
+			t.Errorf("fold %d minority share = %v, want ~0.3", f, share)
+		}
+		total += len(fold)
+	}
+	if total != 1000 {
+		t.Fatalf("folds cover %d instances, want 1000", total)
+	}
+}
+
+func TestTrainTestSplitDisjoint(t *testing.T) {
+	data := cvData(200, 3)
+	folds := StratifiedFolds(data, 5, NewRNG(4))
+	train, test := TrainTestSplit(data, folds, 2)
+	if len(train)+len(test) != 200 {
+		t.Fatalf("split sizes %d + %d != 200", len(train), len(test))
+	}
+	if len(test) != len(folds[2]) {
+		t.Fatalf("test size %d != fold size %d", len(test), len(folds[2]))
+	}
+}
+
+// stumpClassifier thresholds feature 0 — a trivial BatchClassifier.
+type stumpClassifier struct{ threshold float64 }
+
+func (s *stumpClassifier) Fit(data []Instance) error {
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, in := range data {
+		if in.Label == 0 && in.X[0] > hi {
+			hi = in.X[0]
+		}
+		if in.Label == 1 && in.X[0] < lo {
+			lo = in.X[0]
+		}
+	}
+	s.threshold = (lo + hi) / 2
+	return nil
+}
+
+func (s *stumpClassifier) Predict(x []float64) Prediction {
+	if x[0] > s.threshold {
+		return Prediction{0, 1}
+	}
+	return Prediction{1, 0}
+}
+
+func TestCrossValidate(t *testing.T) {
+	data := cvData(500, 5)
+	pairs, err := CrossValidate(data, 10, 6, func() BatchClassifier {
+		return &stumpClassifier{}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pairs) != 500 {
+		t.Fatalf("CV produced %d pairs, want 500", len(pairs))
+	}
+	correct := 0
+	for _, p := range pairs {
+		if p[0] == p[1] {
+			correct++
+		}
+	}
+	if acc := float64(correct) / 500; acc < 0.9 {
+		t.Fatalf("CV accuracy on separable data = %v", acc)
+	}
+}

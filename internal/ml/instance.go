@@ -1,0 +1,146 @@
+// Package ml provides the core machine-learning data model shared by the
+// streaming and batch learners: dense feature instances, class domains, and
+// deterministic random-number utilities.
+package ml
+
+import (
+	"fmt"
+	"math"
+)
+
+// Instance is a dense feature vector with an optional class label.
+// A negative Label means the instance is unlabeled.
+type Instance struct {
+	// X holds the feature values, indexed by the feature schema.
+	X []float64
+	// Label is the class index in [0, NumClasses) or Unlabeled.
+	Label int
+	// Weight is the instance weight used by learners (1 by default).
+	Weight float64
+	// ID optionally carries an application identifier (e.g. tweet ID).
+	ID string
+	// Day is the 0-based collection day the instance belongs to
+	// (the paper's dataset spans 10 consecutive days).
+	Day int
+}
+
+// Unlabeled marks an instance with no class label.
+const Unlabeled = -1
+
+// NewInstance returns a labeled instance with unit weight.
+func NewInstance(x []float64, label int) Instance {
+	return Instance{X: x, Label: label, Weight: 1}
+}
+
+// IsLabeled reports whether the instance carries a class label.
+func (in Instance) IsLabeled() bool { return in.Label >= 0 }
+
+// Clone returns a deep copy of the instance.
+func (in Instance) Clone() Instance {
+	out := in
+	out.X = make([]float64, len(in.X))
+	copy(out.X, in.X)
+	return out
+}
+
+// Valid reports whether all feature values are finite.
+func (in Instance) Valid() bool {
+	for _, v := range in.X {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return false
+		}
+	}
+	return true
+}
+
+// Classes describes a closed set of class labels.
+type Classes struct {
+	names []string
+}
+
+// NewClasses builds a class domain from the ordered label names.
+func NewClasses(names ...string) Classes {
+	cp := make([]string, len(names))
+	copy(cp, names)
+	return Classes{names: cp}
+}
+
+// Len returns the number of classes.
+func (c Classes) Len() int { return len(c.names) }
+
+// Name returns the name of class i, or "?" when out of range.
+func (c Classes) Name(i int) string {
+	if i < 0 || i >= len(c.names) {
+		return "?"
+	}
+	return c.names[i]
+}
+
+// Names returns a copy of all class names in index order.
+func (c Classes) Names() []string {
+	cp := make([]string, len(c.names))
+	copy(cp, c.names)
+	return cp
+}
+
+// Index returns the index of the named class, or -1 when unknown.
+func (c Classes) Index(name string) int {
+	for i, n := range c.names {
+		if n == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// String implements fmt.Stringer.
+func (c Classes) String() string { return fmt.Sprint(c.names) }
+
+// Prediction is the output of a classifier for one instance: a vote (or
+// probability mass) per class. Votes need not be normalized.
+type Prediction []float64
+
+// ArgMax returns the index of the largest vote, breaking ties towards the
+// smaller index. An empty prediction yields -1.
+func (p Prediction) ArgMax() int {
+	best, bestV := -1, math.Inf(-1)
+	for i, v := range p {
+		if v > bestV {
+			best, bestV = i, v
+		}
+	}
+	return best
+}
+
+// Normalize scales the votes so they sum to 1. A zero-sum prediction is
+// returned unchanged.
+func (p Prediction) Normalize() Prediction {
+	sum := 0.0
+	for _, v := range p {
+		sum += v
+	}
+	if sum <= 0 {
+		return p
+	}
+	out := make(Prediction, len(p))
+	for i, v := range p {
+		out[i] = v / sum
+	}
+	return out
+}
+
+// Confidence returns the normalized vote share of the winning class, in
+// [0,1]. Zero-vote predictions have zero confidence.
+func (p Prediction) Confidence() float64 {
+	sum, best := 0.0, 0.0
+	for _, v := range p {
+		sum += v
+		if v > best {
+			best = v
+		}
+	}
+	if sum <= 0 {
+		return 0
+	}
+	return best / sum
+}

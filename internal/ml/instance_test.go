@@ -1,0 +1,128 @@
+package ml
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestInstanceLabeled(t *testing.T) {
+	in := NewInstance([]float64{1, 2}, 1)
+	if !in.IsLabeled() {
+		t.Fatalf("labeled instance reported unlabeled")
+	}
+	if in.Weight != 1 {
+		t.Fatalf("NewInstance weight = %v, want 1", in.Weight)
+	}
+	un := Instance{X: []float64{1}, Label: Unlabeled}
+	if un.IsLabeled() {
+		t.Fatalf("unlabeled instance reported labeled")
+	}
+}
+
+func TestInstanceCloneIndependence(t *testing.T) {
+	in := NewInstance([]float64{1, 2, 3}, 0)
+	cp := in.Clone()
+	cp.X[0] = 99
+	if in.X[0] != 1 {
+		t.Fatalf("Clone shares backing array")
+	}
+}
+
+func TestInstanceValid(t *testing.T) {
+	cases := []struct {
+		x    []float64
+		want bool
+	}{
+		{[]float64{0, 1, -2.5}, true},
+		{[]float64{math.NaN()}, false},
+		{[]float64{math.Inf(1)}, false},
+		{[]float64{math.Inf(-1), 0}, false},
+		{nil, true},
+	}
+	for _, c := range cases {
+		if got := (Instance{X: c.x}).Valid(); got != c.want {
+			t.Errorf("Valid(%v) = %v, want %v", c.x, got, c.want)
+		}
+	}
+}
+
+func TestClasses(t *testing.T) {
+	c := NewClasses("normal", "abusive", "hateful")
+	if c.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", c.Len())
+	}
+	if c.Index("abusive") != 1 {
+		t.Fatalf("Index(abusive) = %d, want 1", c.Index("abusive"))
+	}
+	if c.Index("spam") != -1 {
+		t.Fatalf("Index(spam) = %d, want -1", c.Index("spam"))
+	}
+	if c.Name(2) != "hateful" || c.Name(5) != "?" || c.Name(-1) != "?" {
+		t.Fatalf("Name lookups wrong: %q %q %q", c.Name(2), c.Name(5), c.Name(-1))
+	}
+	names := c.Names()
+	names[0] = "x"
+	if c.Name(0) != "normal" {
+		t.Fatalf("Names() exposed internal slice")
+	}
+}
+
+func TestPredictionArgMax(t *testing.T) {
+	cases := []struct {
+		p    Prediction
+		want int
+	}{
+		{Prediction{0.2, 0.5, 0.3}, 1},
+		{Prediction{1, 1, 1}, 0}, // tie goes to the lowest index
+		{Prediction{}, -1},
+		{Prediction{-3, -1, -2}, 1},
+	}
+	for _, c := range cases {
+		if got := c.p.ArgMax(); got != c.want {
+			t.Errorf("ArgMax(%v) = %d, want %d", c.p, got, c.want)
+		}
+	}
+}
+
+func TestPredictionNormalize(t *testing.T) {
+	p := Prediction{1, 3}.Normalize()
+	if math.Abs(p[0]-0.25) > 1e-12 || math.Abs(p[1]-0.75) > 1e-12 {
+		t.Fatalf("Normalize = %v, want [0.25 0.75]", p)
+	}
+	zero := Prediction{0, 0}
+	if got := zero.Normalize(); got[0] != 0 || got[1] != 0 {
+		t.Fatalf("Normalize of zero votes changed values: %v", got)
+	}
+}
+
+func TestPredictionConfidence(t *testing.T) {
+	if c := (Prediction{0, 0}).Confidence(); c != 0 {
+		t.Fatalf("zero-vote confidence = %v, want 0", c)
+	}
+	if c := (Prediction{1, 3}).Confidence(); math.Abs(c-0.75) > 1e-12 {
+		t.Fatalf("confidence = %v, want 0.75", c)
+	}
+}
+
+func TestPredictionNormalizeProperty(t *testing.T) {
+	f := func(raw []float64) bool {
+		p := make(Prediction, len(raw))
+		for i, v := range raw {
+			p[i] = math.Abs(math.Mod(v, 1000)) // finite, non-negative
+		}
+		n := p.Normalize()
+		sum := 0.0
+		for _, v := range n {
+			if v < 0 {
+				return false
+			}
+			sum += v
+		}
+		// Either all-zero input (unchanged) or sums to ~1.
+		return sum == 0 || math.Abs(sum-1) < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,51 @@
+package ml
+
+// Classifier is the contract shared by streaming and batch classifiers at
+// prediction time.
+type Classifier interface {
+	// Predict returns the per-class votes for the feature vector x.
+	Predict(x []float64) Prediction
+}
+
+// StreamClassifier is an incrementally trainable classifier. Train observes
+// one instance and updates the model; each instance is seen exactly once.
+type StreamClassifier interface {
+	Classifier
+	// Train updates the model with one labeled instance.
+	Train(in Instance)
+	// NumClasses returns the size of the class domain the model was
+	// configured with.
+	NumClasses() int
+}
+
+// Accumulator collects local training statistics from one parallel task.
+// Accumulators from different tasks over disjoint data partitions are merged
+// into the global model by DistributedClassifier.ApplyAccumulators.
+type Accumulator interface {
+	// Observe folds one labeled instance into the local statistics.
+	Observe(in Instance)
+	// Count returns the number of instances observed.
+	Count() int64
+}
+
+// DistributedClassifier is a StreamClassifier that supports the
+// two-phase distributed training used by the micro-batch engines: tasks
+// accumulate local deltas against a read-only view of the global model, and
+// the driver merges the deltas.
+type DistributedClassifier interface {
+	StreamClassifier
+	// NewAccumulator creates an empty local-statistics collector bound to
+	// the current global model structure.
+	NewAccumulator() Accumulator
+	// ApplyAccumulators merges local deltas into the global model.
+	// Accumulators must have been created by this model after the previous
+	// ApplyAccumulators call.
+	ApplyAccumulators(accs []Accumulator)
+}
+
+// BatchClassifier is trained once on a full dataset.
+type BatchClassifier interface {
+	Classifier
+	// Fit trains the model on the given labeled instances.
+	Fit(data []Instance) error
+}

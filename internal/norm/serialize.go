@@ -1,0 +1,26 @@
+package norm
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+)
+
+// MarshalBinary encodes the statistics for broadcast to remote tasks.
+func (fs *FeatureStats) MarshalBinary() ([]byte, error) {
+	var buf bytes.Buffer
+	type dto FeatureStats // avoid MarshalBinary recursion inside gob
+	if err := gob.NewEncoder(&buf).Encode((*dto)(fs)); err != nil {
+		return nil, fmt.Errorf("norm: encode feature stats: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// UnmarshalBinary restores statistics encoded by MarshalBinary.
+func (fs *FeatureStats) UnmarshalBinary(data []byte) error {
+	type dto FeatureStats
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode((*dto)(fs)); err != nil {
+		return fmt.Errorf("norm: decode feature stats: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,61 @@
+package norm
+
+import (
+	"math"
+	"testing"
+
+	"redhanded/internal/ml"
+)
+
+func TestFeatureStatsSerializationRoundTrip(t *testing.T) {
+	fs := NewFeatureStats(3)
+	rng := ml.NewRNG(1)
+	for i := 0; i < 5000; i++ {
+		fs.Observe([]float64{rng.Float64(), rng.NormFloat64() * 10, float64(i)})
+	}
+	blob, err := fs.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	restored := NewFeatureStats(3)
+	if err := restored.UnmarshalBinary(blob); err != nil {
+		t.Fatal(err)
+	}
+	if restored.Count() != fs.Count() || restored.Dim() != fs.Dim() {
+		t.Fatalf("shape mismatch after round trip")
+	}
+	for f := 0; f < 3; f++ {
+		if restored.Welford[f].Mean != fs.Welford[f].Mean {
+			t.Fatalf("feature %d mean differs", f)
+		}
+		if restored.Range[f] != fs.Range[f] {
+			t.Fatalf("feature %d range differs", f)
+		}
+		if math.Abs(restored.Q1[f].Value()-fs.Q1[f].Value()) > 1e-12 {
+			t.Fatalf("feature %d Q1 differs", f)
+		}
+	}
+	// A normalizer over the restored stats behaves identically.
+	a := &Normalizer{Mode: MinMaxRobust, Stats: fs}
+	b := &Normalizer{Mode: MinMaxRobust, Stats: restored}
+	x := []float64{0.7, 3.3, 1234}
+	va := a.Normalize(x, nil)
+	vb := b.Normalize(x, nil)
+	for i := range va {
+		if va[i] != vb[i] {
+			t.Fatalf("normalization differs after round trip: %v vs %v", va, vb)
+		}
+	}
+	// The restored stats must keep accepting observations.
+	restored.Observe([]float64{1, 2, 3})
+	if restored.Count() != fs.Count()+1 {
+		t.Fatalf("restored stats cannot observe")
+	}
+}
+
+func TestFeatureStatsUnmarshalGarbage(t *testing.T) {
+	fs := NewFeatureStats(2)
+	if err := fs.UnmarshalBinary([]byte("nope")); err == nil {
+		t.Fatalf("garbage accepted")
+	}
+}

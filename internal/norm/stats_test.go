@@ -1,0 +1,209 @@
+package norm
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"redhanded/internal/ml"
+)
+
+func TestWelfordBasics(t *testing.T) {
+	var w Welford
+	for _, v := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		w.Add(v)
+	}
+	if math.Abs(w.Mean-5) > 1e-12 {
+		t.Fatalf("mean = %v, want 5", w.Mean)
+	}
+	if math.Abs(w.Var()-4) > 1e-12 {
+		t.Fatalf("variance = %v, want 4", w.Var())
+	}
+	if math.Abs(w.Std()-2) > 1e-12 {
+		t.Fatalf("std = %v, want 2", w.Std())
+	}
+}
+
+func TestWelfordEmptyAndSingle(t *testing.T) {
+	var w Welford
+	if w.Var() != 0 || w.Std() != 0 {
+		t.Fatalf("empty Welford should have zero variance")
+	}
+	w.Add(3)
+	if w.Mean != 3 || w.Var() != 0 {
+		t.Fatalf("single observation: mean %v var %v", w.Mean, w.Var())
+	}
+}
+
+func TestWelfordMergeEqualsSequential(t *testing.T) {
+	f := func(a, b []float64) bool {
+		clean := func(in []float64) []float64 {
+			out := make([]float64, 0, len(in))
+			for _, v := range in {
+				if !math.IsNaN(v) && !math.IsInf(v, 0) {
+					out = append(out, math.Mod(v, 1e6))
+				}
+			}
+			return out
+		}
+		a, b = clean(a), clean(b)
+		var w1, w2, all Welford
+		for _, v := range a {
+			w1.Add(v)
+			all.Add(v)
+		}
+		for _, v := range b {
+			w2.Add(v)
+			all.Add(v)
+		}
+		w1.Merge(w2)
+		if w1.N != all.N {
+			return false
+		}
+		if all.N == 0 {
+			return true
+		}
+		scale := math.Max(1, math.Abs(all.Mean))
+		return math.Abs(w1.Mean-all.Mean)/scale < 1e-9 &&
+			math.Abs(w1.Var()-all.Var())/math.Max(1, all.Var()) < 1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRangeStat(t *testing.T) {
+	var m RangeStat
+	for _, v := range []float64{3, -1, 7, 2} {
+		m.Add(v)
+	}
+	if m.Min != -1 || m.Max != 7 || m.N != 4 {
+		t.Fatalf("MinMax = %+v", m)
+	}
+}
+
+func TestRangeStatMerge(t *testing.T) {
+	var a, b RangeStat
+	a.Add(1)
+	a.Add(5)
+	b.Add(-2)
+	b.Add(3)
+	a.Merge(b)
+	if a.Min != -2 || a.Max != 5 || a.N != 4 {
+		t.Fatalf("merged MinMax = %+v", a)
+	}
+	var empty RangeStat
+	a.Merge(empty)
+	if a.N != 4 {
+		t.Fatalf("merging empty changed count: %+v", a)
+	}
+	empty.Merge(a)
+	if empty.Min != -2 || empty.Max != 5 {
+		t.Fatalf("merge into empty failed: %+v", empty)
+	}
+}
+
+func TestP2QuantileMedianUniform(t *testing.T) {
+	q := NewP2Quantile(0.5)
+	rng := ml.NewRNG(1)
+	for i := 0; i < 50000; i++ {
+		q.Add(rng.Float64())
+	}
+	if v := q.Value(); math.Abs(v-0.5) > 0.02 {
+		t.Fatalf("median estimate = %v, want ~0.5", v)
+	}
+}
+
+func TestP2QuantileTailsNormal(t *testing.T) {
+	q1 := NewP2Quantile(0.25)
+	q3 := NewP2Quantile(0.75)
+	rng := ml.NewRNG(2)
+	for i := 0; i < 100000; i++ {
+		v := rng.NormFloat64()
+		q1.Add(v)
+		q3.Add(v)
+	}
+	// True quartiles of N(0,1) are ±0.6745.
+	if math.Abs(q1.Value()+0.6745) > 0.05 {
+		t.Fatalf("Q1 = %v, want ~-0.6745", q1.Value())
+	}
+	if math.Abs(q3.Value()-0.6745) > 0.05 {
+		t.Fatalf("Q3 = %v, want ~0.6745", q3.Value())
+	}
+}
+
+func TestP2QuantileSmallCounts(t *testing.T) {
+	q := NewP2Quantile(0.5)
+	if q.Value() != 0 {
+		t.Fatalf("empty estimator value = %v, want 0", q.Value())
+	}
+	q.Add(10)
+	if q.Value() != 10 {
+		t.Fatalf("single observation = %v, want 10", q.Value())
+	}
+	q.Add(20)
+	if v := q.Value(); v < 10 || v > 20 {
+		t.Fatalf("two observations median = %v, want in [10,20]", v)
+	}
+}
+
+func TestP2QuantileMergeReasonable(t *testing.T) {
+	a := NewP2Quantile(0.5)
+	b := NewP2Quantile(0.5)
+	rng := ml.NewRNG(3)
+	for i := 0; i < 20000; i++ {
+		a.Add(rng.Float64())
+		b.Add(rng.Float64())
+	}
+	a.Merge(b)
+	if v := a.Value(); math.Abs(v-0.5) > 0.05 {
+		t.Fatalf("merged median = %v, want ~0.5", v)
+	}
+	if a.Count != 40000 {
+		t.Fatalf("merged count = %d, want 40000", a.Count)
+	}
+}
+
+func TestP2QuantileMergeIntoEmpty(t *testing.T) {
+	a := NewP2Quantile(0.5)
+	b := NewP2Quantile(0.5)
+	for _, v := range []float64{1, 2, 3} {
+		b.Add(v)
+	}
+	a.Merge(b)
+	if a.Count != 3 {
+		t.Fatalf("merge into empty count = %d", a.Count)
+	}
+	if v := a.Value(); v != 2 {
+		t.Fatalf("merge into empty value = %v, want 2", v)
+	}
+}
+
+func TestFeatureStatsObserveAndMerge(t *testing.T) {
+	a := NewFeatureStats(2)
+	b := NewFeatureStats(2)
+	rng := ml.NewRNG(4)
+	for i := 0; i < 1000; i++ {
+		a.Observe([]float64{rng.Float64(), rng.NormFloat64()})
+		b.Observe([]float64{rng.Float64(), rng.NormFloat64()})
+	}
+	a.Merge(b)
+	if a.Count() != 2000 {
+		t.Fatalf("merged count = %d, want 2000", a.Count())
+	}
+	if math.Abs(a.Welford[0].Mean-0.5) > 0.05 {
+		t.Fatalf("feature 0 mean = %v, want ~0.5", a.Welford[0].Mean)
+	}
+}
+
+func TestFeatureStatsIgnoresBadInput(t *testing.T) {
+	fs := NewFeatureStats(2)
+	fs.Observe([]float64{1})             // wrong dimension
+	fs.Observe([]float64{math.NaN(), 1}) // NaN skipped per-feature
+	if fs.Welford[0].N != 0 {
+		t.Fatalf("NaN observation counted for feature 0")
+	}
+	if fs.Welford[1].N != 1 {
+		t.Fatalf("finite value not counted for feature 1")
+	}
+}

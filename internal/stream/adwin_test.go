@@ -1,0 +1,101 @@
+package stream
+
+import (
+	"testing"
+
+	"redhanded/internal/ml"
+)
+
+func TestADWINStationaryNoDrift(t *testing.T) {
+	a := NewADWIN(0.002)
+	rng := ml.NewRNG(1)
+	for i := 0; i < 20000; i++ {
+		bit := 0.0
+		if rng.Float64() < 0.3 {
+			bit = 1
+		}
+		a.Add(bit)
+	}
+	if d := a.Drifts(); d > 2 {
+		t.Fatalf("stationary stream triggered %d drifts, want <= 2", d)
+	}
+	if m := a.Mean(); m < 0.25 || m > 0.35 {
+		t.Fatalf("window mean = %v, want ~0.3", m)
+	}
+}
+
+func TestADWINDetectsAbruptShift(t *testing.T) {
+	a := NewADWIN(0.002)
+	rng := ml.NewRNG(2)
+	detected := false
+	for i := 0; i < 4000; i++ {
+		p := 0.1
+		if i >= 2000 {
+			p = 0.9
+		}
+		bit := 0.0
+		if rng.Float64() < p {
+			bit = 1
+		}
+		if a.Add(bit) && i >= 2000 {
+			detected = true
+		}
+	}
+	if !detected {
+		t.Fatalf("abrupt 0.1 -> 0.9 shift not detected")
+	}
+	// After the shift, the window should track the new mean.
+	if m := a.Mean(); m < 0.6 {
+		t.Fatalf("post-drift window mean = %v, want > 0.6", m)
+	}
+}
+
+func TestADWINWindowShrinksOnDrift(t *testing.T) {
+	a := NewADWIN(0.002)
+	rng := ml.NewRNG(3)
+	for i := 0; i < 3000; i++ {
+		bit := 0.0
+		if rng.Float64() < 0.05 {
+			bit = 1
+		}
+		a.Add(bit)
+	}
+	widthBefore := a.Width()
+	for i := 0; i < 1500; i++ {
+		bit := 0.0
+		if rng.Float64() < 0.95 {
+			bit = 1
+		}
+		a.Add(bit)
+	}
+	if a.Width() >= widthBefore+1500 {
+		t.Fatalf("window did not shrink after drift: before=%d after=%d", widthBefore, a.Width())
+	}
+}
+
+func TestADWINInvalidDeltaDefaults(t *testing.T) {
+	a := NewADWIN(-1)
+	if a.Delta <= 0 || a.Delta >= 1 {
+		t.Fatalf("invalid delta not defaulted: %v", a.Delta)
+	}
+}
+
+func TestADWINMeanTracksInput(t *testing.T) {
+	a := NewADWIN(0.002)
+	for i := 0; i < 1000; i++ {
+		a.Add(0.5)
+	}
+	if m := a.Mean(); m != 0.5 {
+		t.Fatalf("constant stream mean = %v, want 0.5", m)
+	}
+	if a.Width() != 1000 {
+		t.Fatalf("width = %d, want 1000 (no spurious drops)", a.Width())
+	}
+}
+
+func TestADWINEmptyWindow(t *testing.T) {
+	a := NewADWIN(0.002)
+	if a.Mean() != 0 || a.Width() != 0 || a.Drifts() != 0 {
+		t.Fatalf("fresh detector not empty: mean=%v width=%d", a.Mean(), a.Width())
+	}
+}

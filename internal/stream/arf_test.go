@@ -1,0 +1,147 @@
+package stream
+
+import (
+	"testing"
+
+	"redhanded/internal/ml"
+)
+
+func TestARFLearnsSeparableData(t *testing.T) {
+	data := gaussianStream(8000, 2, 4, 4, 1)
+	arf := NewAdaptiveRandomForest(ARFConfig{NumClasses: 2, NumFeatures: 4, EnsembleSize: 5, Seed: 1})
+	acc := prequentialAccuracy(arf, data)
+	if acc < 0.85 {
+		t.Fatalf("ARF accuracy = %v, want >= 0.85", acc)
+	}
+}
+
+func TestARFDefaultEnsembleSize(t *testing.T) {
+	arf := NewAdaptiveRandomForest(ARFConfig{NumClasses: 2, NumFeatures: 4})
+	if arf.EnsembleSize() != 10 {
+		t.Fatalf("default ensemble size = %d, want 10 (Table I)", arf.EnsembleSize())
+	}
+}
+
+func TestARFRecoversFromConceptDrift(t *testing.T) {
+	arf := NewAdaptiveRandomForest(ARFConfig{NumClasses: 2, NumFeatures: 2, EnsembleSize: 5, Seed: 2})
+	rng := ml.NewRNG(3)
+	gen := func(label int, flipped bool) ml.Instance {
+		effective := label
+		if flipped {
+			effective = 1 - label
+		}
+		x := []float64{float64(effective)*5 + rng.NormFloat64(), rng.NormFloat64()}
+		return ml.NewInstance(x, label)
+	}
+	// Phase 1: learn the concept.
+	for i := 0; i < 4000; i++ {
+		arf.Train(gen(rng.Intn(2), false))
+	}
+	// Phase 2: concept flips; train through the drift.
+	for i := 0; i < 6000; i++ {
+		arf.Train(gen(rng.Intn(2), true))
+	}
+	// Evaluate on the new concept.
+	correct := 0
+	n := 1000
+	for i := 0; i < n; i++ {
+		in := gen(rng.Intn(2), true)
+		if arf.Predict(in.X).ArgMax() == in.Label {
+			correct++
+		}
+	}
+	acc := float64(correct) / float64(n)
+	if acc < 0.8 {
+		t.Fatalf("post-drift accuracy = %v, want >= 0.8 (drifts detected: %d)", acc, arf.DriftsDetected())
+	}
+}
+
+func TestARFDriftDetectionFires(t *testing.T) {
+	arf := NewAdaptiveRandomForest(ARFConfig{NumClasses: 2, NumFeatures: 2, EnsembleSize: 3, Seed: 4})
+	rng := ml.NewRNG(5)
+	for i := 0; i < 3000; i++ {
+		label := rng.Intn(2)
+		arf.Train(ml.NewInstance([]float64{float64(label) * 5, rng.NormFloat64()}, label))
+	}
+	// Flip concept hard.
+	for i := 0; i < 3000; i++ {
+		label := rng.Intn(2)
+		arf.Train(ml.NewInstance([]float64{float64(1-label) * 5, rng.NormFloat64()}, label))
+	}
+	if arf.DriftsDetected() == 0 {
+		t.Fatalf("no drifts detected across concept flip")
+	}
+}
+
+func TestARFDisableBaggingDeterministicWeight(t *testing.T) {
+	arf := NewAdaptiveRandomForest(ARFConfig{
+		NumClasses: 2, NumFeatures: 2, EnsembleSize: 2, Seed: 6,
+		DisableBagging: true, DisableDrift: true,
+	})
+	for _, in := range gaussianStream(500, 2, 2, 4, 7) {
+		arf.Train(in)
+	}
+	for _, m := range arf.members {
+		if m.tree.TrainCount() != 500 {
+			t.Fatalf("without bagging every tree sees every instance once: got %d", m.tree.TrainCount())
+		}
+	}
+}
+
+func TestARFSubspacesDiffer(t *testing.T) {
+	arf := NewAdaptiveRandomForest(ARFConfig{NumClasses: 2, NumFeatures: 10, EnsembleSize: 8, Seed: 8})
+	distinct := map[string]bool{}
+	for _, m := range arf.members {
+		key := ""
+		for _, f := range m.tree.cfg.FeatureSubset {
+			key += string(rune('a' + f))
+		}
+		distinct[key] = true
+	}
+	if len(distinct) < 2 {
+		t.Fatalf("all member subspaces identical; diversity broken")
+	}
+}
+
+func TestARFWithDDMDetector(t *testing.T) {
+	arf := NewAdaptiveRandomForest(ARFConfig{
+		NumClasses: 2, NumFeatures: 2, EnsembleSize: 5, Seed: 10,
+		Detector: DetectDDM,
+	})
+	rng := ml.NewRNG(11)
+	gen := func(label int, flipped bool) ml.Instance {
+		effective := label
+		if flipped {
+			effective = 1 - label
+		}
+		return ml.NewInstance([]float64{float64(effective)*5 + rng.NormFloat64(), rng.NormFloat64()}, label)
+	}
+	for i := 0; i < 4000; i++ {
+		arf.Train(gen(rng.Intn(2), false))
+	}
+	for i := 0; i < 6000; i++ {
+		arf.Train(gen(rng.Intn(2), true))
+	}
+	correct, n := 0, 1000
+	for i := 0; i < n; i++ {
+		in := gen(rng.Intn(2), true)
+		if arf.Predict(in.X).ArgMax() == in.Label {
+			correct++
+		}
+	}
+	if acc := float64(correct) / float64(n); acc < 0.8 {
+		t.Fatalf("DDM-based ARF post-drift accuracy = %v (drifts %d)", acc, arf.DriftsDetected())
+	}
+	if arf.DriftsDetected() == 0 {
+		t.Fatalf("DDM detector never fired across the concept flip")
+	}
+}
+
+func TestARFConfigPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("invalid ARF config did not panic")
+		}
+	}()
+	NewAdaptiveRandomForest(ARFConfig{NumClasses: 1, NumFeatures: 2})
+}

@@ -1,0 +1,89 @@
+package stream
+
+import "redhanded/internal/ml"
+
+// Baseline classifiers in the MOA tradition: any streaming method must
+// beat these to be worth its cycles. They also serve as sanity floors in
+// the test and benchmark suites.
+
+// MajorityClassifier always predicts the most frequent class seen so far.
+type MajorityClassifier struct {
+	counts []float64
+	n      int64
+}
+
+var _ ml.StreamClassifier = (*MajorityClassifier)(nil)
+
+// NewMajorityClassifier creates the baseline for k classes.
+func NewMajorityClassifier(k int) *MajorityClassifier {
+	if k < 2 {
+		panic("stream: majority baseline needs >= 2 classes")
+	}
+	return &MajorityClassifier{counts: make([]float64, k)}
+}
+
+// NumClasses implements ml.StreamClassifier.
+func (m *MajorityClassifier) NumClasses() int { return len(m.counts) }
+
+// TrainCount returns the number of instances observed.
+func (m *MajorityClassifier) TrainCount() int64 { return m.n }
+
+// Predict implements ml.Classifier: votes are the observed class priors.
+func (m *MajorityClassifier) Predict(_ []float64) ml.Prediction {
+	return append(ml.Prediction(nil), m.counts...)
+}
+
+// Train implements ml.StreamClassifier.
+func (m *MajorityClassifier) Train(in ml.Instance) {
+	if !in.IsLabeled() || in.Label >= len(m.counts) {
+		return
+	}
+	w := in.Weight
+	if w <= 0 {
+		w = 1
+	}
+	m.counts[in.Label] += w
+	m.n++
+}
+
+// NoChangeClassifier predicts the last label it was trained on — the
+// "persistence" baseline, strong on streams with temporal correlation.
+type NoChangeClassifier struct {
+	k    int
+	last int
+	n    int64
+}
+
+var _ ml.StreamClassifier = (*NoChangeClassifier)(nil)
+
+// NewNoChangeClassifier creates the baseline for k classes.
+func NewNoChangeClassifier(k int) *NoChangeClassifier {
+	if k < 2 {
+		panic("stream: no-change baseline needs >= 2 classes")
+	}
+	return &NoChangeClassifier{k: k, last: -1}
+}
+
+// NumClasses implements ml.StreamClassifier.
+func (m *NoChangeClassifier) NumClasses() int { return m.k }
+
+// TrainCount returns the number of instances observed.
+func (m *NoChangeClassifier) TrainCount() int64 { return m.n }
+
+// Predict implements ml.Classifier.
+func (m *NoChangeClassifier) Predict(_ []float64) ml.Prediction {
+	votes := make(ml.Prediction, m.k)
+	if m.last >= 0 {
+		votes[m.last] = 1
+	}
+	return votes
+}
+
+// Train implements ml.StreamClassifier.
+func (m *NoChangeClassifier) Train(in ml.Instance) {
+	if !in.IsLabeled() || in.Label >= m.k {
+		return
+	}
+	m.last = in.Label
+	m.n++
+}

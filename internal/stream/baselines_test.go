@@ -1,0 +1,73 @@
+package stream
+
+import (
+	"testing"
+
+	"redhanded/internal/ml"
+)
+
+func TestMajorityClassifier(t *testing.T) {
+	m := NewMajorityClassifier(3)
+	if got := m.Predict(nil).ArgMax(); got != 0 {
+		t.Fatalf("untrained majority predicts %d (expected tie -> 0)", got)
+	}
+	for i := 0; i < 7; i++ {
+		m.Train(ml.NewInstance(nil, 2))
+	}
+	for i := 0; i < 3; i++ {
+		m.Train(ml.NewInstance(nil, 0))
+	}
+	if got := m.Predict([]float64{1, 2}).ArgMax(); got != 2 {
+		t.Fatalf("majority = %d, want 2", got)
+	}
+	if m.TrainCount() != 10 {
+		t.Fatalf("count = %d", m.TrainCount())
+	}
+	m.Train(ml.Instance{X: nil, Label: ml.Unlabeled})
+	if m.TrainCount() != 10 {
+		t.Fatalf("unlabeled instance counted")
+	}
+}
+
+func TestNoChangeClassifier(t *testing.T) {
+	m := NewNoChangeClassifier(2)
+	votes := m.Predict(nil)
+	if votes[0] != 0 || votes[1] != 0 {
+		t.Fatalf("untrained no-change should abstain: %v", votes)
+	}
+	m.Train(ml.NewInstance(nil, 1))
+	if got := m.Predict(nil).ArgMax(); got != 1 {
+		t.Fatalf("no-change = %d, want 1", got)
+	}
+	m.Train(ml.NewInstance(nil, 0))
+	if got := m.Predict(nil).ArgMax(); got != 0 {
+		t.Fatalf("no-change = %d, want 0", got)
+	}
+}
+
+func TestHTBeatsBaselines(t *testing.T) {
+	data := gaussianStream(8000, 2, 4, 4, 41)
+	htAcc := prequentialAccuracy(defaultHT(2, 4), data)
+	majAcc := prequentialAccuracy(NewMajorityClassifier(2), data)
+	ncAcc := prequentialAccuracy(NewNoChangeClassifier(2), data)
+	if htAcc <= majAcc || htAcc <= ncAcc {
+		t.Fatalf("HT (%v) does not beat baselines (majority %v, no-change %v)",
+			htAcc, majAcc, ncAcc)
+	}
+}
+
+func TestBaselinePanics(t *testing.T) {
+	for _, fn := range []func(){
+		func() { NewMajorityClassifier(1) },
+		func() { NewNoChangeClassifier(0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("invalid baseline config did not panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}

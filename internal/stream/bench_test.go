@@ -1,0 +1,88 @@
+package stream
+
+import "testing"
+
+func BenchmarkHTTrain(b *testing.B) {
+	data := gaussianStream(10000, 3, 17, 3, 1)
+	ht := NewHoeffdingTree(HTConfig{NumClasses: 3, NumFeatures: 17})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ht.Train(data[i%len(data)])
+	}
+}
+
+func BenchmarkHTPredict(b *testing.B) {
+	data := gaussianStream(10000, 3, 17, 3, 2)
+	ht := NewHoeffdingTree(HTConfig{NumClasses: 3, NumFeatures: 17})
+	for _, in := range data {
+		ht.Train(in)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ht.Predict(data[i%len(data)].X)
+	}
+}
+
+func BenchmarkARFTrain(b *testing.B) {
+	data := gaussianStream(10000, 3, 17, 3, 3)
+	arf := NewAdaptiveRandomForest(ARFConfig{NumClasses: 3, NumFeatures: 17, Seed: 1})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		arf.Train(data[i%len(data)])
+	}
+}
+
+func BenchmarkSLRTrain(b *testing.B) {
+	data := gaussianStream(10000, 3, 17, 3, 4)
+	slr := NewSLR(SLRConfig{NumClasses: 3, NumFeatures: 17})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		slr.Train(data[i%len(data)])
+	}
+}
+
+func BenchmarkADWINAdd(b *testing.B) {
+	a := NewADWIN(0.002)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a.Add(float64(i % 2))
+	}
+}
+
+func BenchmarkHTSerialize(b *testing.B) {
+	ht := NewHoeffdingTree(HTConfig{NumClasses: 3, NumFeatures: 17})
+	for _, in := range gaussianStream(20000, 3, 17, 3, 5) {
+		ht.Train(in)
+	}
+	blob, err := ht.MarshalBinary()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportMetric(float64(len(blob)), "bytes")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ht.MarshalBinary(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkHTAccumulatorObserve(b *testing.B) {
+	data := gaussianStream(10000, 3, 17, 3, 6)
+	ht := NewHoeffdingTree(HTConfig{NumClasses: 3, NumFeatures: 17})
+	for _, in := range data {
+		ht.Train(in)
+	}
+	acc := ht.NewAccumulator()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		acc.Observe(data[i%len(data)])
+	}
+}

@@ -1,0 +1,108 @@
+package stream
+
+import "math"
+
+// Criterion selects the impurity measure used to evaluate candidate splits
+// in Hoeffding trees (Table I of the paper: Gini or InfoGain).
+type Criterion int
+
+const (
+	// InfoGain is information gain over Shannon entropy (the value the
+	// paper's grid search selects).
+	InfoGain Criterion = iota
+	// Gini is the Gini-impurity reduction.
+	Gini
+)
+
+// String returns the Table I name of the criterion.
+func (c Criterion) String() string {
+	if c == Gini {
+		return "Gini"
+	}
+	return "InfoGain"
+}
+
+// Range returns the range R of the criterion used in the Hoeffding bound:
+// log2(numClasses) for information gain, 1 for Gini.
+func (c Criterion) Range(numClasses int) float64 {
+	if c == Gini {
+		return 1
+	}
+	if numClasses < 2 {
+		numClasses = 2
+	}
+	return log2(float64(numClasses))
+}
+
+// entropy returns the Shannon entropy of a class-count distribution.
+func entropy(counts []float64) float64 {
+	total := 0.0
+	for _, c := range counts {
+		total += c
+	}
+	if total <= 0 {
+		return 0
+	}
+	h := 0.0
+	for _, c := range counts {
+		if c > 0 {
+			p := c / total
+			h -= p * log2(p)
+		}
+	}
+	return h
+}
+
+// giniImpurity returns the Gini impurity of a class-count distribution.
+func giniImpurity(counts []float64) float64 {
+	total := 0.0
+	for _, c := range counts {
+		total += c
+	}
+	if total <= 0 {
+		return 0
+	}
+	sumSq := 0.0
+	for _, c := range counts {
+		p := c / total
+		sumSq += p * p
+	}
+	return 1 - sumSq
+}
+
+// impurity dispatches on the criterion.
+func (c Criterion) impurity(counts []float64) float64 {
+	if c == Gini {
+		return giniImpurity(counts)
+	}
+	return entropy(counts)
+}
+
+// splitMerit returns the impurity reduction achieved by partitioning the
+// parent distribution into the left/right child distributions.
+func (c Criterion) splitMerit(parent, left, right []float64) float64 {
+	nl, nr := sum(left), sum(right)
+	total := nl + nr
+	if total <= 0 || nl <= 0 || nr <= 0 {
+		return 0
+	}
+	weighted := (nl*c.impurity(left) + nr*c.impurity(right)) / total
+	return c.impurity(parent) - weighted
+}
+
+func sum(a []float64) float64 {
+	s := 0.0
+	for _, v := range a {
+		s += v
+	}
+	return s
+}
+
+// hoeffdingBound returns epsilon for range r, confidence delta, and n
+// observations: sqrt(r^2 ln(1/delta) / 2n).
+func hoeffdingBound(r, delta, n float64) float64 {
+	if n <= 0 {
+		return math.Inf(1)
+	}
+	return math.Sqrt(r * r * math.Log(1/delta) / (2 * n))
+}

@@ -1,0 +1,97 @@
+package stream
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestEntropy(t *testing.T) {
+	if h := entropy([]float64{10, 10}); math.Abs(h-1) > 1e-12 {
+		t.Fatalf("entropy(balanced 2-class) = %v, want 1", h)
+	}
+	if h := entropy([]float64{10, 0}); h != 0 {
+		t.Fatalf("entropy(pure) = %v, want 0", h)
+	}
+	if h := entropy([]float64{0, 0}); h != 0 {
+		t.Fatalf("entropy(empty) = %v, want 0", h)
+	}
+	if h := entropy([]float64{1, 1, 1, 1}); math.Abs(h-2) > 1e-12 {
+		t.Fatalf("entropy(balanced 4-class) = %v, want 2", h)
+	}
+}
+
+func TestGiniImpurity(t *testing.T) {
+	if g := giniImpurity([]float64{10, 10}); math.Abs(g-0.5) > 1e-12 {
+		t.Fatalf("gini(balanced) = %v, want 0.5", g)
+	}
+	if g := giniImpurity([]float64{7, 0}); g != 0 {
+		t.Fatalf("gini(pure) = %v, want 0", g)
+	}
+}
+
+func TestSplitMerit(t *testing.T) {
+	parent := []float64{50, 50}
+	perfectL := []float64{50, 0}
+	perfectR := []float64{0, 50}
+	for _, crit := range []Criterion{InfoGain, Gini} {
+		m := crit.splitMerit(parent, perfectL, perfectR)
+		if m <= 0 {
+			t.Errorf("%v merit of perfect split = %v, want > 0", crit, m)
+		}
+		useless := crit.splitMerit(parent, []float64{25, 25}, []float64{25, 25})
+		if math.Abs(useless) > 1e-12 {
+			t.Errorf("%v merit of useless split = %v, want 0", crit, useless)
+		}
+		if m <= useless {
+			t.Errorf("%v perfect split should beat useless split", crit)
+		}
+	}
+}
+
+func TestSplitMeritDegenerate(t *testing.T) {
+	if m := InfoGain.splitMerit([]float64{10, 10}, []float64{0, 0}, []float64{10, 10}); m != 0 {
+		t.Fatalf("one-sided split merit = %v, want 0", m)
+	}
+}
+
+func TestCriterionRange(t *testing.T) {
+	if r := Gini.Range(3); r != 1 {
+		t.Fatalf("Gini range = %v, want 1", r)
+	}
+	if r := InfoGain.Range(2); math.Abs(r-1) > 1e-12 {
+		t.Fatalf("InfoGain range (2 classes) = %v, want 1", r)
+	}
+	if r := InfoGain.Range(4); math.Abs(r-2) > 1e-12 {
+		t.Fatalf("InfoGain range (4 classes) = %v, want 2", r)
+	}
+}
+
+func TestCriterionString(t *testing.T) {
+	if InfoGain.String() != "InfoGain" || Gini.String() != "Gini" {
+		t.Fatalf("criterion names wrong: %v %v", InfoGain, Gini)
+	}
+}
+
+func TestHoeffdingBoundMonotone(t *testing.T) {
+	f := func(rawN uint16) bool {
+		n := float64(rawN) + 1
+		e1 := hoeffdingBound(1, 0.01, n)
+		e2 := hoeffdingBound(1, 0.01, n*2)
+		return e2 < e1 // more evidence tightens the bound
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsInf(hoeffdingBound(1, 0.01, 0), 1) {
+		t.Fatalf("zero observations should give infinite bound")
+	}
+}
+
+func TestHoeffdingBoundKnownValue(t *testing.T) {
+	// R=1, delta=0.01, n=1000: sqrt(ln(100)/2000) ~= 0.04799.
+	got := hoeffdingBound(1, 0.01, 1000)
+	if math.Abs(got-0.04799) > 1e-4 {
+		t.Fatalf("bound = %v, want ~0.04799", got)
+	}
+}

@@ -1,0 +1,111 @@
+package stream
+
+import (
+	"testing"
+
+	"redhanded/internal/ml"
+)
+
+func TestDDMStationaryNoDrift(t *testing.T) {
+	d := NewDDM()
+	rng := ml.NewRNG(1)
+	drifts := 0
+	for i := 0; i < 20000; i++ {
+		bit := 0.0
+		if rng.Float64() < 0.2 {
+			bit = 1
+		}
+		if d.Add(bit) == DriftDetected {
+			drifts++
+		}
+	}
+	if drifts > 2 {
+		t.Fatalf("stationary stream triggered %d DDM drifts", drifts)
+	}
+}
+
+func TestDDMDetectsDegradation(t *testing.T) {
+	d := NewDDM()
+	rng := ml.NewRNG(2)
+	detected := false
+	for i := 0; i < 6000; i++ {
+		p := 0.1
+		if i >= 3000 {
+			p = 0.6
+		}
+		bit := 0.0
+		if rng.Float64() < p {
+			bit = 1
+		}
+		if d.Add(bit) == DriftDetected && i >= 3000 {
+			detected = true
+			break
+		}
+	}
+	if !detected {
+		t.Fatalf("0.1 -> 0.6 error increase not detected")
+	}
+	if d.Drifts() == 0 {
+		t.Fatalf("drift counter not incremented")
+	}
+}
+
+func TestDDMWarningPrecedesDrift(t *testing.T) {
+	d := NewDDM()
+	rng := ml.NewRNG(3)
+	for i := 0; i < 3000; i++ {
+		bit := 0.0
+		if rng.Float64() < 0.1 {
+			bit = 1
+		}
+		d.Add(bit)
+	}
+	sawWarning := false
+	for i := 0; i < 3000; i++ {
+		bit := 0.0
+		if rng.Float64() < 0.5 {
+			bit = 1
+		}
+		state := d.Add(bit)
+		if state == DriftWarning {
+			sawWarning = true
+		}
+		if state == DriftDetected {
+			if !sawWarning {
+				t.Fatalf("drift fired without a preceding warning phase")
+			}
+			return
+		}
+	}
+	t.Fatalf("no drift detected")
+}
+
+func TestDDMImprovementIsNotDrift(t *testing.T) {
+	d := NewDDM()
+	rng := ml.NewRNG(4)
+	for i := 0; i < 3000; i++ {
+		bit := 0.0
+		if rng.Float64() < 0.5 {
+			bit = 1
+		}
+		d.Add(bit)
+	}
+	for i := 0; i < 3000; i++ {
+		bit := 0.0
+		if rng.Float64() < 0.05 {
+			bit = 1
+		}
+		if d.Add(bit) == DriftDetected {
+			t.Fatalf("improvement flagged as drift")
+		}
+	}
+}
+
+func TestDDMInactiveBelowMinInstances(t *testing.T) {
+	d := NewDDM()
+	for i := 0; i < 29; i++ {
+		if d.Add(1) != DriftNone {
+			t.Fatalf("detector active before MinInstances")
+		}
+	}
+}

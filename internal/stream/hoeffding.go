@@ -1,0 +1,377 @@
+package stream
+
+import (
+	"fmt"
+	"math"
+
+	"redhanded/internal/ml"
+)
+
+// LeafPrediction selects how Hoeffding tree leaves turn their statistics
+// into votes.
+type LeafPrediction int
+
+const (
+	// MajorityClass votes with the leaf's class counts.
+	MajorityClass LeafPrediction = iota
+	// NaiveBayes votes with class priors times per-feature Gaussian
+	// likelihoods from the leaf's attribute observers.
+	NaiveBayes
+	// NaiveBayesAdaptive picks per leaf whichever of the two has been more
+	// accurate on that leaf's training instances so far.
+	NaiveBayesAdaptive
+)
+
+// HTConfig configures a Hoeffding tree. The defaults are drawn from the
+// Table I grid ranges using the values this reproduction's own grid search
+// selects on the synthetic data (split confidence 0.5, tie threshold 0.1;
+// the paper's search selected 0.01/0.05 on the original data — its
+// features tie less often, so tighter bounds still split quickly).
+type HTConfig struct {
+	NumClasses      int
+	NumFeatures     int
+	SplitCriterion  Criterion      // default InfoGain
+	SplitConfidence float64        // delta; default 0.5 (Table I range 0.001-0.5)
+	TieThreshold    float64        // default 0.1 (Table I range 0.01-0.1)
+	GracePeriod     int            // default 200
+	MaxDepth        int            // default 20
+	SplitCandidates int            // thresholds evaluated per feature; default 10
+	LeafPrediction  LeafPrediction // default MajorityClass
+	// FeatureSubset restricts split evaluation to these feature indices
+	// (used by the Adaptive Random Forest for diversity). Empty means all.
+	FeatureSubset []int
+}
+
+// withDefaults fills zero values with the selected grid values.
+func (c HTConfig) withDefaults() HTConfig {
+	if c.SplitConfidence == 0 {
+		c.SplitConfidence = 0.5
+	}
+	if c.TieThreshold == 0 {
+		c.TieThreshold = 0.1
+	}
+	if c.GracePeriod == 0 {
+		c.GracePeriod = 200
+	}
+	if c.MaxDepth == 0 {
+		c.MaxDepth = 20
+	}
+	if c.SplitCandidates == 0 {
+		c.SplitCandidates = 10
+	}
+	return c
+}
+
+// leafStats holds the sufficient statistics of a learning leaf.
+type leafStats struct {
+	classCounts      []float64
+	observers        []*gaussianObserver // indexed by feature
+	weightSeen       float64
+	weightAtLastEval float64
+	// Naive-Bayes-adaptive bookkeeping.
+	mcCorrect, nbCorrect float64
+}
+
+func newLeafStats(numClasses, numFeatures int) *leafStats {
+	return &leafStats{
+		classCounts: make([]float64, numClasses),
+		observers:   make([]*gaussianObserver, numFeatures),
+	}
+}
+
+// htNode is a tree node: a leaf when stats != nil, otherwise a binary
+// numeric split on feature <= threshold.
+type htNode struct {
+	id        int64
+	depth     int
+	feature   int
+	threshold float64
+	left      *htNode
+	right     *htNode
+	stats     *leafStats
+}
+
+func (n *htNode) isLeaf() bool { return n.stats != nil }
+
+// HoeffdingTree is an incremental decision tree for data streams. A node is
+// split as soon as the Hoeffding bound gives sufficient statistical
+// evidence that the best split feature beats the runner-up.
+type HoeffdingTree struct {
+	cfg        HTConfig
+	root       *htNode
+	leaves     map[int64]*htNode
+	nextID     int64
+	trainCount int64
+	splitCount int64
+}
+
+var _ ml.DistributedClassifier = (*HoeffdingTree)(nil)
+
+// NewHoeffdingTree creates a tree for the given configuration.
+// It panics when NumClasses < 2 or NumFeatures < 1.
+func NewHoeffdingTree(cfg HTConfig) *HoeffdingTree {
+	cfg = cfg.withDefaults()
+	if cfg.NumClasses < 2 {
+		panic(fmt.Sprintf("stream: HoeffdingTree needs >= 2 classes, got %d", cfg.NumClasses))
+	}
+	if cfg.NumFeatures < 1 {
+		panic("stream: HoeffdingTree needs >= 1 feature")
+	}
+	t := &HoeffdingTree{cfg: cfg, leaves: make(map[int64]*htNode)}
+	t.root = t.newLeaf(0)
+	return t
+}
+
+func (t *HoeffdingTree) newLeaf(depth int) *htNode {
+	t.nextID++
+	n := &htNode{
+		id:    t.nextID,
+		depth: depth,
+		stats: newLeafStats(t.cfg.NumClasses, t.cfg.NumFeatures),
+	}
+	t.leaves[n.id] = n
+	return n
+}
+
+// NumClasses implements ml.StreamClassifier.
+func (t *HoeffdingTree) NumClasses() int { return t.cfg.NumClasses }
+
+// NumNodes returns the total node count (leaves + internal).
+func (t *HoeffdingTree) NumNodes() int { return 2*int(t.splitCount) + 1 }
+
+// NumLeaves returns the current leaf count.
+func (t *HoeffdingTree) NumLeaves() int { return len(t.leaves) }
+
+// TrainCount returns the cumulative training weight observed.
+func (t *HoeffdingTree) TrainCount() int64 { return t.trainCount }
+
+// Depth returns the maximum depth of any leaf.
+func (t *HoeffdingTree) Depth() int {
+	max := 0
+	for _, l := range t.leaves {
+		if l.depth > max {
+			max = l.depth
+		}
+	}
+	return max
+}
+
+// sortingLeaf routes a feature vector to its leaf.
+func (t *HoeffdingTree) sortingLeaf(x []float64) *htNode {
+	n := t.root
+	for !n.isLeaf() {
+		if n.feature < len(x) && x[n.feature] <= n.threshold {
+			n = n.left
+		} else {
+			n = n.right
+		}
+	}
+	return n
+}
+
+// Predict implements ml.Classifier.
+func (t *HoeffdingTree) Predict(x []float64) ml.Prediction {
+	leaf := t.sortingLeaf(x)
+	return t.leafVotes(leaf, x)
+}
+
+func (t *HoeffdingTree) leafVotes(leaf *htNode, x []float64) ml.Prediction {
+	s := leaf.stats
+	switch t.cfg.LeafPrediction {
+	case MajorityClass:
+		return append(ml.Prediction(nil), s.classCounts...)
+	case NaiveBayes:
+		return t.naiveBayesVotes(s, x)
+	default: // NaiveBayesAdaptive
+		if s.nbCorrect > s.mcCorrect {
+			return t.naiveBayesVotes(s, x)
+		}
+		return append(ml.Prediction(nil), s.classCounts...)
+	}
+}
+
+// naiveBayesVotes computes class priors times Gaussian likelihoods in log
+// space, returning normalized votes.
+func (t *HoeffdingTree) naiveBayesVotes(s *leafStats, x []float64) ml.Prediction {
+	total := sum(s.classCounts)
+	if total == 0 {
+		return make(ml.Prediction, t.cfg.NumClasses)
+	}
+	logVotes := make([]float64, t.cfg.NumClasses)
+	maxLog := math.Inf(-1)
+	for c := range logVotes {
+		if s.classCounts[c] == 0 {
+			logVotes[c] = math.Inf(-1)
+			continue
+		}
+		lv := math.Log(s.classCounts[c] / total)
+		for f, obs := range s.observers {
+			if obs == nil || f >= len(x) {
+				continue
+			}
+			w := obs.PerClass[c]
+			if w.N < 2 {
+				continue
+			}
+			std := w.Std()
+			if std < 1e-9 {
+				std = 1e-9
+			}
+			z := (x[f] - w.Mean) / std
+			lv += -0.5*z*z - math.Log(std)
+		}
+		logVotes[c] = lv
+		if lv > maxLog {
+			maxLog = lv
+		}
+	}
+	votes := make(ml.Prediction, len(logVotes))
+	for c, lv := range logVotes {
+		if math.IsInf(lv, -1) {
+			continue
+		}
+		votes[c] = math.Exp(lv - maxLog)
+	}
+	return votes
+}
+
+// Train implements ml.StreamClassifier: route, update leaf statistics, and
+// attempt a split when the grace period has elapsed.
+func (t *HoeffdingTree) Train(in ml.Instance) {
+	if !in.IsLabeled() || in.Label >= t.cfg.NumClasses || !in.Valid() {
+		return
+	}
+	w := in.Weight
+	if w <= 0 {
+		w = 1
+	}
+	leaf := t.sortingLeaf(in.X)
+	t.updateLeaf(leaf, in.X, in.Label, w)
+	t.trainCount += int64(w)
+	s := leaf.stats
+	if s.weightSeen-s.weightAtLastEval >= float64(t.cfg.GracePeriod) {
+		s.weightAtLastEval = s.weightSeen
+		t.attemptSplit(leaf)
+	}
+}
+
+func (t *HoeffdingTree) updateLeaf(leaf *htNode, x []float64, label int, w float64) {
+	s := leaf.stats
+	// Naive-Bayes-adaptive bookkeeping: score both predictors on this
+	// instance before learning from it.
+	if t.cfg.LeafPrediction == NaiveBayesAdaptive && s.weightSeen > 0 {
+		if mc := argMax(s.classCounts); mc == label {
+			s.mcCorrect += w
+		}
+		if nb := t.naiveBayesVotes(s, x).ArgMax(); nb == label {
+			s.nbCorrect += w
+		}
+	}
+	s.classCounts[label] += w
+	s.weightSeen += w
+	for f := range x {
+		if s.observers[f] == nil {
+			s.observers[f] = newGaussianObserver(t.cfg.NumClasses)
+		}
+		s.observers[f].observe(x[f], label, w)
+	}
+}
+
+// splitFeatures returns the feature indices eligible for splitting.
+func (t *HoeffdingTree) splitFeatures() []int {
+	if len(t.cfg.FeatureSubset) > 0 {
+		return t.cfg.FeatureSubset
+	}
+	all := make([]int, t.cfg.NumFeatures)
+	for i := range all {
+		all[i] = i
+	}
+	return all
+}
+
+func (t *HoeffdingTree) attemptSplit(leaf *htNode) {
+	s := leaf.stats
+	if leaf.depth >= t.cfg.MaxDepth {
+		return
+	}
+	if isPure(s.classCounts) {
+		return
+	}
+	var best, second candidateSplit
+	for _, f := range t.splitFeatures() {
+		obs := s.observers[f]
+		if obs == nil {
+			continue
+		}
+		cand := obs.bestSplit(t.cfg.SplitCriterion, s.classCounts, f, t.cfg.SplitCandidates)
+		if !cand.Valid {
+			continue
+		}
+		switch {
+		case !best.Valid || cand.Merit > best.Merit:
+			second = best
+			best = cand
+		case !second.Valid || cand.Merit > second.Merit:
+			second = cand
+		}
+	}
+	if !best.Valid || best.Merit <= 0 {
+		return
+	}
+	r := t.cfg.SplitCriterion.Range(t.cfg.NumClasses)
+	eps := hoeffdingBound(r, t.cfg.SplitConfidence, s.weightSeen)
+	secondMerit := 0.0
+	if second.Valid {
+		secondMerit = second.Merit
+	}
+	if best.Merit-secondMerit > eps || eps < t.cfg.TieThreshold {
+		t.split(leaf, best)
+	}
+}
+
+// split converts the leaf into an internal node with two fresh leaves whose
+// class counts are seeded with the Gaussian-projected distributions, so
+// predictions remain sensible until new data arrives.
+func (t *HoeffdingTree) split(leaf *htNode, cand candidateSplit) {
+	s := leaf.stats
+	left := t.newLeaf(leaf.depth + 1)
+	right := t.newLeaf(leaf.depth + 1)
+	if obs := s.observers[cand.Feature]; obs != nil {
+		for c, cnt := range s.classCounts {
+			w := obs.PerClass[c]
+			if w.N == 0 || cnt == 0 {
+				continue
+			}
+			frac := gaussianCDF(cand.Threshold, w.Mean, w.Std())
+			left.stats.classCounts[c] = cnt * frac
+			right.stats.classCounts[c] = cnt * (1 - frac)
+		}
+	}
+	delete(t.leaves, leaf.id)
+	leaf.stats = nil
+	leaf.feature = cand.Feature
+	leaf.threshold = cand.Threshold
+	leaf.left = left
+	leaf.right = right
+	t.splitCount++
+}
+
+func isPure(counts []float64) bool {
+	nonZero := 0
+	for _, c := range counts {
+		if c > 0 {
+			nonZero++
+		}
+	}
+	return nonZero <= 1
+}
+
+func argMax(a []float64) int {
+	best, bestV := -1, math.Inf(-1)
+	for i, v := range a {
+		if v > bestV {
+			best, bestV = i, v
+		}
+	}
+	return best
+}

@@ -1,0 +1,338 @@
+package stream
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+
+	"redhanded/internal/ml"
+	"redhanded/internal/norm"
+)
+
+// Serialization support for distributed execution: the micro-batch engines
+// broadcast the global model to tasks/executors each batch (the paper notes
+// the serialized global model stays under 1 MB) and ship the local
+// sufficient-statistic deltas back for merging.
+
+// RemoteTrainable is a streaming model that can cross process boundaries:
+// it serializes its full state (broadcast), restores it (executor side),
+// and reconstitutes accumulator deltas produced remotely.
+type RemoteTrainable interface {
+	ml.DistributedClassifier
+	MarshalBinary() ([]byte, error)
+	UnmarshalBinary(data []byte) error
+	// AccumulatorFromState rebuilds a remote accumulator delta so it can
+	// be passed to ApplyAccumulators on the global model.
+	AccumulatorFromState(data []byte) (ml.Accumulator, error)
+}
+
+// StatefulAccumulator is an accumulator whose delta can be serialized and
+// shipped to the driver.
+type StatefulAccumulator interface {
+	ml.Accumulator
+	State() ([]byte, error)
+}
+
+// --- Hoeffding tree ---
+
+// htNodeState is the gob DTO for one tree node (pre-order encoding).
+type htNodeState struct {
+	ID        int64
+	Depth     int
+	Leaf      bool
+	Feature   int
+	Threshold float64
+	// Leaf payload: observers are sparse (nil until a feature is seen), so
+	// only present ones are encoded, keyed by feature index.
+	ClassCounts      []float64
+	ObsIdx           []int
+	Obs              []ObserverState
+	WeightSeen       float64
+	WeightAtLastEval float64
+	MCCorrect        float64
+	NBCorrect        float64
+}
+
+// ObserverState is the gob DTO for a Gaussian attribute observer.
+type ObserverState struct {
+	PerClass []norm.Welford
+	Range    norm.RangeStat
+}
+
+// htState is the gob DTO for a whole tree.
+type htState struct {
+	Cfg        HTConfig
+	Nodes      []htNodeState // pre-order
+	NextID     int64
+	TrainCount int64
+	SplitCount int64
+}
+
+// Version identifies the tree structure: it changes on every split, so
+// accumulators can be validated against the structure they were built for.
+func (t *HoeffdingTree) Version() int64 { return t.splitCount }
+
+// MarshalBinary implements encoding.BinaryMarshaler via a pre-order gob
+// encoding of the tree.
+func (t *HoeffdingTree) MarshalBinary() ([]byte, error) {
+	st := htState{
+		Cfg:        t.cfg,
+		NextID:     t.nextID,
+		TrainCount: t.trainCount,
+		SplitCount: t.splitCount,
+	}
+	var walk func(n *htNode)
+	walk = func(n *htNode) {
+		ns := htNodeState{ID: n.id, Depth: n.depth, Leaf: n.isLeaf()}
+		if n.isLeaf() {
+			s := n.stats
+			ns.ClassCounts = s.classCounts
+			ns.WeightSeen = s.weightSeen
+			ns.WeightAtLastEval = s.weightAtLastEval
+			ns.MCCorrect = s.mcCorrect
+			ns.NBCorrect = s.nbCorrect
+			for i, o := range s.observers {
+				if o != nil {
+					ns.ObsIdx = append(ns.ObsIdx, i)
+					ns.Obs = append(ns.Obs, ObserverState{PerClass: o.PerClass, Range: o.Range})
+				}
+			}
+			st.Nodes = append(st.Nodes, ns)
+			return
+		}
+		ns.Feature = n.feature
+		ns.Threshold = n.threshold
+		st.Nodes = append(st.Nodes, ns)
+		walk(n.left)
+		walk(n.right)
+	}
+	walk(t.root)
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(st); err != nil {
+		return nil, fmt.Errorf("stream: encode hoeffding tree: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// UnmarshalBinary restores the tree state in place.
+func (t *HoeffdingTree) UnmarshalBinary(data []byte) error {
+	var st htState
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&st); err != nil {
+		return fmt.Errorf("stream: decode hoeffding tree: %w", err)
+	}
+	t.cfg = st.Cfg
+	t.nextID = st.NextID
+	t.trainCount = st.TrainCount
+	t.splitCount = st.SplitCount
+	t.leaves = make(map[int64]*htNode)
+	pos := 0
+	var build func() (*htNode, error)
+	build = func() (*htNode, error) {
+		if pos >= len(st.Nodes) {
+			return nil, fmt.Errorf("stream: truncated tree encoding")
+		}
+		ns := st.Nodes[pos]
+		pos++
+		n := &htNode{id: ns.ID, depth: ns.Depth}
+		if ns.Leaf {
+			s := newLeafStats(st.Cfg.NumClasses, st.Cfg.NumFeatures)
+			s.classCounts = ns.ClassCounts
+			s.weightSeen = ns.WeightSeen
+			s.weightAtLastEval = ns.WeightAtLastEval
+			s.mcCorrect = ns.MCCorrect
+			s.nbCorrect = ns.NBCorrect
+			for k, i := range ns.ObsIdx {
+				if i >= 0 && i < len(s.observers) {
+					o := ns.Obs[k]
+					s.observers[i] = &gaussianObserver{PerClass: o.PerClass, Range: o.Range}
+				}
+			}
+			n.stats = s
+			t.leaves[n.id] = n
+			return n, nil
+		}
+		n.feature = ns.Feature
+		n.threshold = ns.Threshold
+		var err error
+		if n.left, err = build(); err != nil {
+			return nil, err
+		}
+		if n.right, err = build(); err != nil {
+			return nil, err
+		}
+		return n, nil
+	}
+	root, err := build()
+	if err != nil {
+		return err
+	}
+	if pos != len(st.Nodes) {
+		return fmt.Errorf("stream: trailing nodes in tree encoding")
+	}
+	t.root = root
+	return nil
+}
+
+// htDeltaState is the gob DTO of an accumulator delta.
+type htDeltaState struct {
+	Version int64
+	Count   int64
+	LeafIDs []int64
+	Deltas  []htLeafDeltaState
+}
+
+type htLeafDeltaState struct {
+	ClassCounts []float64
+	ObsIdx      []int
+	Obs         []ObserverState
+	Weight      float64
+}
+
+// State implements StatefulAccumulator.
+func (a *htAccumulator) State() ([]byte, error) {
+	st := htDeltaState{Version: a.tree.Version(), Count: a.count}
+	for id, d := range a.deltas {
+		ds := htLeafDeltaState{ClassCounts: d.classCounts, Weight: d.weight}
+		for i, o := range d.observers {
+			if o != nil {
+				ds.ObsIdx = append(ds.ObsIdx, i)
+				ds.Obs = append(ds.Obs, ObserverState{PerClass: o.PerClass, Range: o.Range})
+			}
+		}
+		st.LeafIDs = append(st.LeafIDs, id)
+		st.Deltas = append(st.Deltas, ds)
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(st); err != nil {
+		return nil, fmt.Errorf("stream: encode HT delta: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// AccumulatorFromState implements RemoteTrainable: it rebinds a remote
+// delta to this tree, rejecting deltas built against a different tree
+// structure.
+func (t *HoeffdingTree) AccumulatorFromState(data []byte) (ml.Accumulator, error) {
+	var st htDeltaState
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&st); err != nil {
+		return nil, fmt.Errorf("stream: decode HT delta: %w", err)
+	}
+	if st.Version != t.Version() {
+		return nil, fmt.Errorf("stream: HT delta version %d does not match tree version %d", st.Version, t.Version())
+	}
+	acc := &htAccumulator{tree: t, deltas: make(map[int64]*htLeafDelta), count: st.Count}
+	for i, id := range st.LeafIDs {
+		d := st.Deltas[i]
+		obs := make([]*gaussianObserver, t.cfg.NumFeatures)
+		for k, j := range d.ObsIdx {
+			if j >= 0 && j < len(obs) {
+				o := d.Obs[k]
+				obs[j] = &gaussianObserver{PerClass: o.PerClass, Range: o.Range}
+			}
+		}
+		acc.deltas[id] = &htLeafDelta{classCounts: d.ClassCounts, observers: obs, weight: d.Weight}
+	}
+	return acc, nil
+}
+
+// --- Streaming logistic regression ---
+
+// slrState is the gob DTO for SLR.
+type slrState struct {
+	Cfg        SLRConfig
+	W          [][]float64
+	TrainCount int64
+}
+
+// MarshalBinary implements encoding.BinaryMarshaler.
+func (s *SLR) MarshalBinary() ([]byte, error) {
+	var buf bytes.Buffer
+	err := gob.NewEncoder(&buf).Encode(slrState{Cfg: s.cfg, W: s.w, TrainCount: s.trainCount})
+	if err != nil {
+		return nil, fmt.Errorf("stream: encode SLR: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// UnmarshalBinary restores the model state in place.
+func (s *SLR) UnmarshalBinary(data []byte) error {
+	var st slrState
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&st); err != nil {
+		return fmt.Errorf("stream: decode SLR: %w", err)
+	}
+	s.cfg = st.Cfg
+	s.w = st.W
+	s.trainCount = st.TrainCount
+	return nil
+}
+
+// slrDeltaState is the gob DTO of an SLR accumulator.
+type slrDeltaState struct {
+	W     [][]float64
+	Count int64
+}
+
+// State implements StatefulAccumulator.
+func (a *slrAccumulator) State() ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(slrDeltaState{W: a.w, Count: a.count}); err != nil {
+		return nil, fmt.Errorf("stream: encode SLR delta: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// AccumulatorFromState implements RemoteTrainable.
+func (s *SLR) AccumulatorFromState(data []byte) (ml.Accumulator, error) {
+	var st slrDeltaState
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&st); err != nil {
+		return nil, fmt.Errorf("stream: decode SLR delta: %w", err)
+	}
+	return &slrAccumulator{cfg: s.cfg, w: st.W, count: st.Count}, nil
+}
+
+// Model kind tags used by the cluster protocol.
+const (
+	KindHT  = "HT"
+	KindSLR = "SLR"
+)
+
+// ModelKindOf returns the protocol tag for a remote-trainable model.
+func ModelKindOf(m RemoteTrainable) (string, error) {
+	switch m.(type) {
+	case *HoeffdingTree:
+		return KindHT, nil
+	case *SLR:
+		return KindSLR, nil
+	default:
+		return "", fmt.Errorf("stream: no remote kind for %T", m)
+	}
+}
+
+// DecodeModel reconstructs a remote-trainable model of the given kind from
+// its serialized state (executor side of the cluster protocol).
+func DecodeModel(kind string, data []byte) (RemoteTrainable, error) {
+	switch kind {
+	case KindHT:
+		t := NewHoeffdingTree(HTConfig{NumClasses: 2, NumFeatures: 1})
+		if err := t.UnmarshalBinary(data); err != nil {
+			return nil, err
+		}
+		return t, nil
+	case KindSLR:
+		s := NewSLR(SLRConfig{NumClasses: 2, NumFeatures: 1})
+		if err := s.UnmarshalBinary(data); err != nil {
+			return nil, err
+		}
+		return s, nil
+	default:
+		return nil, fmt.Errorf("stream: unknown model kind %q", kind)
+	}
+}
+
+// Interface conformance checks.
+var (
+	_ RemoteTrainable     = (*HoeffdingTree)(nil)
+	_ RemoteTrainable     = (*SLR)(nil)
+	_ StatefulAccumulator = (*htAccumulator)(nil)
+	_ StatefulAccumulator = (*slrAccumulator)(nil)
+)

@@ -1,0 +1,158 @@
+package stream
+
+import (
+	"math"
+	"testing"
+
+	"redhanded/internal/ml"
+)
+
+func TestHTSerializationRoundTrip(t *testing.T) {
+	ht := defaultHT(2, 4)
+	train := gaussianStream(10000, 2, 4, 4, 1)
+	for _, in := range train {
+		ht.Train(in)
+	}
+	if ht.NumLeaves() < 2 {
+		t.Fatalf("tree did not grow; test needs splits")
+	}
+	data, err := ht.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(data) == 0 || len(data) > 1<<20 {
+		t.Fatalf("serialized size %d bytes; paper expects < 1MB", len(data))
+	}
+	restored := defaultHT(2, 4)
+	if err := restored.UnmarshalBinary(data); err != nil {
+		t.Fatal(err)
+	}
+	if restored.NumLeaves() != ht.NumLeaves() || restored.Version() != ht.Version() {
+		t.Fatalf("structure mismatch after round trip")
+	}
+	// Predictions must be bit-identical.
+	test := gaussianStream(500, 2, 4, 4, 50)
+	for _, in := range test {
+		a := ht.Predict(in.X)
+		b := restored.Predict(in.X)
+		for c := range a {
+			if a[c] != b[c] {
+				t.Fatalf("votes differ after round trip: %v vs %v", a, b)
+			}
+		}
+	}
+	// The restored tree must keep learning.
+	for _, in := range gaussianStream(1000, 2, 4, 4, 51) {
+		restored.Train(in)
+	}
+}
+
+func TestHTRemoteAccumulatorRoundTrip(t *testing.T) {
+	global := defaultHT(2, 4)
+	for _, in := range gaussianStream(3000, 2, 4, 4, 2) {
+		global.Train(in)
+	}
+	// Simulate a remote executor: copy the model, accumulate, ship state.
+	blob, err := global.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	remote := defaultHT(2, 4)
+	if err := remote.UnmarshalBinary(blob); err != nil {
+		t.Fatal(err)
+	}
+	acc := remote.NewAccumulator()
+	batch := gaussianStream(1000, 2, 4, 4, 3)
+	for _, in := range batch {
+		acc.Observe(in)
+	}
+	state, err := acc.(StatefulAccumulator).State()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rebound, err := global.AccumulatorFromState(state)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := global.TrainCount()
+	global.ApplyAccumulators([]ml.Accumulator{rebound})
+	if global.TrainCount() != before+1000 {
+		t.Fatalf("remote delta lost instances: %d -> %d", before, global.TrainCount())
+	}
+}
+
+func TestHTAccumulatorVersionMismatchRejected(t *testing.T) {
+	global := defaultHT(2, 2)
+	remote := defaultHT(2, 2)
+	blob, _ := global.MarshalBinary()
+	if err := remote.UnmarshalBinary(blob); err != nil {
+		t.Fatal(err)
+	}
+	acc := remote.NewAccumulator()
+	for _, in := range gaussianStream(100, 2, 2, 4, 4) {
+		acc.Observe(in)
+	}
+	state, _ := acc.(StatefulAccumulator).State()
+	// Global tree grows (version changes) before the delta arrives.
+	for _, in := range gaussianStream(20000, 2, 2, 4, 5) {
+		global.Train(in)
+	}
+	if global.Version() == 0 {
+		t.Skip("tree never split")
+	}
+	if _, err := global.AccumulatorFromState(state); err == nil {
+		t.Fatalf("stale delta accepted despite version change")
+	}
+}
+
+func TestSLRSerializationRoundTrip(t *testing.T) {
+	slr := NewSLR(SLRConfig{NumClasses: 3, NumFeatures: 4})
+	for _, in := range gaussianStream(5000, 3, 4, 3, 6) {
+		slr.Train(in)
+	}
+	data, err := slr.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	restored := NewSLR(SLRConfig{NumClasses: 3, NumFeatures: 4})
+	if err := restored.UnmarshalBinary(data); err != nil {
+		t.Fatal(err)
+	}
+	x := []float64{1, 2, 3, 4}
+	a, b := slr.Predict(x), restored.Predict(x)
+	for c := range a {
+		if math.Abs(a[c]-b[c]) > 1e-15 {
+			t.Fatalf("SLR predictions differ after round trip")
+		}
+	}
+}
+
+func TestSLRRemoteAccumulatorRoundTrip(t *testing.T) {
+	global := NewSLR(SLRConfig{NumClasses: 2, NumFeatures: 4})
+	acc := global.NewAccumulator()
+	for _, in := range gaussianStream(500, 2, 4, 3, 7) {
+		acc.Observe(in)
+	}
+	state, err := acc.(StatefulAccumulator).State()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rebound, err := global.AccumulatorFromState(state)
+	if err != nil {
+		t.Fatal(err)
+	}
+	global.ApplyAccumulators([]ml.Accumulator{rebound})
+	if global.TrainCount() != 500 {
+		t.Fatalf("train count = %d, want 500", global.TrainCount())
+	}
+}
+
+func TestHTUnmarshalGarbage(t *testing.T) {
+	ht := defaultHT(2, 2)
+	if err := ht.UnmarshalBinary([]byte("garbage")); err == nil {
+		t.Fatalf("garbage accepted")
+	}
+	if err := ht.UnmarshalBinary(nil); err == nil {
+		t.Fatalf("empty accepted")
+	}
+}

@@ -1,0 +1,98 @@
+package stream
+
+import (
+	"math"
+	"testing"
+
+	"redhanded/internal/ml"
+)
+
+func TestSLRLearnsLinearlySeparable(t *testing.T) {
+	data := gaussianStream(8000, 2, 4, 3, 1)
+	slr := NewSLR(SLRConfig{NumClasses: 2, NumFeatures: 4})
+	acc := prequentialAccuracy(slr, data)
+	if acc < 0.9 {
+		t.Fatalf("SLR accuracy = %v, want >= 0.9", acc)
+	}
+}
+
+func TestSLRMultiClass(t *testing.T) {
+	data := gaussianStream(12000, 3, 4, 4, 2)
+	slr := NewSLR(SLRConfig{NumClasses: 3, NumFeatures: 4})
+	acc := prequentialAccuracy(slr, data)
+	if acc < 0.8 {
+		t.Fatalf("3-class SLR accuracy = %v, want >= 0.8", acc)
+	}
+}
+
+func TestSLRRegularizersShrinkWeights(t *testing.T) {
+	norms := map[Regularizer]float64{}
+	for _, reg := range []Regularizer{RegZero, RegL1, RegL2} {
+		slr := NewSLR(SLRConfig{NumClasses: 2, NumFeatures: 4, Regularizer: reg, RegLambda: 0.05})
+		for _, in := range gaussianStream(5000, 2, 4, 3, 3) {
+			slr.Train(in)
+		}
+		total := 0.0
+		for _, row := range slr.w {
+			for _, v := range row[:len(row)-1] {
+				total += math.Abs(v)
+			}
+		}
+		norms[reg] = total
+	}
+	if norms[RegL2] >= norms[RegZero] {
+		t.Fatalf("L2 weights (%v) should be smaller than unregularized (%v)", norms[RegL2], norms[RegZero])
+	}
+	if norms[RegL1] >= norms[RegZero] {
+		t.Fatalf("L1 weights (%v) should be smaller than unregularized (%v)", norms[RegL1], norms[RegZero])
+	}
+}
+
+func TestSLRIgnoresInvalid(t *testing.T) {
+	slr := NewSLR(SLRConfig{NumClasses: 2, NumFeatures: 2})
+	slr.Train(ml.Instance{X: []float64{1, 1}, Label: ml.Unlabeled})
+	slr.Train(ml.Instance{X: []float64{math.Inf(1), 0}, Label: 0})
+	if slr.TrainCount() != 0 {
+		t.Fatalf("invalid instances trained: %d", slr.TrainCount())
+	}
+}
+
+func TestSLRPredictShape(t *testing.T) {
+	slr := NewSLR(SLRConfig{NumClasses: 3, NumFeatures: 2})
+	votes := slr.Predict([]float64{0, 0})
+	if len(votes) != 3 {
+		t.Fatalf("votes len = %d, want 3", len(votes))
+	}
+	for _, v := range votes {
+		if v < 0 || v > 1 {
+			t.Fatalf("sigmoid vote out of [0,1]: %v", v)
+		}
+	}
+}
+
+func TestSLRConfigPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("1-class SLR did not panic")
+		}
+	}()
+	NewSLR(SLRConfig{NumClasses: 1, NumFeatures: 1})
+}
+
+func TestSLRRegularizerString(t *testing.T) {
+	if RegZero.String() != "Zero" || RegL1.String() != "L1" || RegL2.String() != "L2" {
+		t.Fatalf("regularizer names wrong")
+	}
+}
+
+func TestSigmoid(t *testing.T) {
+	if s := sigmoid(0); math.Abs(s-0.5) > 1e-12 {
+		t.Fatalf("sigmoid(0) = %v", s)
+	}
+	if s := sigmoid(100); s != 1 {
+		t.Fatalf("sigmoid(100) = %v, want 1 (overflow guard)", s)
+	}
+	if s := sigmoid(-100); s != 0 {
+		t.Fatalf("sigmoid(-100) = %v, want 0 (overflow guard)", s)
+	}
+}

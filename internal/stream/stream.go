@@ -1,0 +1,27 @@
+// Package stream implements the streaming machine-learning methods the
+// detection framework builds on: the Hoeffding Tree incremental decision
+// tree (Domingos & Hulten 2000), the Adaptive Random Forest ensemble
+// (Gomes et al. 2017) with ADWIN drift detection (Bifet & Gavaldà 2007),
+// and Streaming Logistic Regression trained by stochastic gradient descent.
+//
+// All learners train on each instance exactly once (the streaming
+// paradigm), support prequential evaluation, and implement
+// ml.DistributedClassifier so the micro-batch engines can train them in
+// parallel: tasks accumulate local sufficient-statistic deltas against a
+// frozen view of the global model and the driver merges the deltas.
+package stream
+
+import "math"
+
+func sigmoid(z float64) float64 {
+	// Guard against overflow for extreme margins.
+	if z > 35 {
+		return 1
+	}
+	if z < -35 {
+		return 0
+	}
+	return 1 / (1 + math.Exp(-z))
+}
+
+func log2(x float64) float64 { return math.Log2(x) }

@@ -1,0 +1,38 @@
+package stream
+
+import (
+	"redhanded/internal/ml"
+)
+
+// gaussianStream generates labeled instances from class-conditional
+// Gaussians. Separation varies by dimension (weaker in low dimensions) so
+// feature merits differ — with identical merits a Hoeffding tree must wait
+// for the tie threshold before its first split, which is correct but makes
+// short-stream accuracy assertions misleading.
+func gaussianStream(n, numClasses, dim int, separation float64, seed uint64) []ml.Instance {
+	rng := ml.NewRNG(seed)
+	out := make([]ml.Instance, 0, n)
+	for i := 0; i < n; i++ {
+		label := rng.Intn(numClasses)
+		x := make([]float64, dim)
+		for d := 0; d < dim; d++ {
+			sep := separation * (0.5 + 0.5*float64(d+1)/float64(dim))
+			x[d] = float64(label)*sep + rng.NormFloat64()
+		}
+		out = append(out, ml.NewInstance(x, label))
+	}
+	return out
+}
+
+// prequentialAccuracy runs test-then-train over the stream and returns the
+// overall accuracy.
+func prequentialAccuracy(m ml.StreamClassifier, data []ml.Instance) float64 {
+	correct := 0
+	for _, in := range data {
+		if m.Predict(in.X).ArgMax() == in.Label {
+			correct++
+		}
+		m.Train(in)
+	}
+	return float64(correct) / float64(len(data))
+}

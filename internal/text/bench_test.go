@@ -1,0 +1,35 @@
+package text
+
+import "testing"
+
+const benchTweet = "RT @somebody: OMG this is SOOO bad, check http://t.co/abc123 " +
+	"the 2nd game of the season was a total mess!! #fail #sports 100%"
+
+func BenchmarkClean(b *testing.B) {
+	opts := DefaultCleanOptions()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		Clean(benchTweet, opts)
+	}
+}
+
+func BenchmarkTokenize(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		Tokenize(benchTweet)
+	}
+}
+
+func BenchmarkSplitSentences(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		SplitSentences(benchTweet)
+	}
+}
+
+func BenchmarkCountUpperWords(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		CountUpperWords(benchTweet)
+	}
+}

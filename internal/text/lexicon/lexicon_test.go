@@ -1,0 +1,74 @@
+package lexicon
+
+import "testing"
+
+func TestSeedSize(t *testing.T) {
+	words := SwearWords()
+	if len(words) != SeedSwearCount {
+		t.Fatalf("seed list has %d words, want %d", len(words), SeedSwearCount)
+	}
+}
+
+func TestSeedNoDuplicates(t *testing.T) {
+	seen := map[string]bool{}
+	for _, w := range SwearWords() {
+		if seen[w] {
+			t.Fatalf("duplicate seed word %q", w)
+		}
+		seen[w] = true
+	}
+}
+
+func TestIsSwear(t *testing.T) {
+	cases := []struct {
+		w    string
+		want bool
+	}{
+		{"fuck", true},
+		{"FUCK", true}, // case-insensitive
+		{"bitch", true},
+		{"hello", false},
+		{"", false},
+	}
+	for _, c := range cases {
+		if got := IsSwear(c.w); got != c.want {
+			t.Errorf("IsSwear(%q) = %v, want %v", c.w, got, c.want)
+		}
+	}
+}
+
+func TestCountSwears(t *testing.T) {
+	n := CountSwears([]string{"you", "fucking", "idiot", "shit"})
+	// "fucking" and "shit" are seeds; "idiot" is insult vocabulary but not
+	// in the curse list (mirrors noswearing.com scope).
+	if n < 2 {
+		t.Fatalf("CountSwears = %d, want >= 2", n)
+	}
+}
+
+func TestSwearWordsReturnsCopy(t *testing.T) {
+	a := SwearWords()
+	a[0] = "changed"
+	b := SwearWords()
+	if b[0] == "changed" {
+		t.Fatalf("SwearWords exposes internal slice")
+	}
+}
+
+func TestVariantsPresent(t *testing.T) {
+	// The seed list must include obfuscation variants beyond the base list,
+	// otherwise the 347 target could not have been met.
+	base := map[string]bool{}
+	for _, w := range baseSwears {
+		base[w] = true
+	}
+	variants := 0
+	for _, w := range SwearWords() {
+		if !base[w] {
+			variants++
+		}
+	}
+	if variants == 0 {
+		t.Fatalf("no obfuscation variants found in seed list")
+	}
+}

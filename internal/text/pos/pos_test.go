@@ -1,0 +1,94 @@
+package pos
+
+import "testing"
+
+func tagOf(t *testing.T, sentence []string, i int) Tag {
+	t.Helper()
+	return New().TagTokens(sentence)[i]
+}
+
+func TestClosedClassWords(t *testing.T) {
+	cases := []struct {
+		word string
+		want Tag
+	}{
+		{"the", Determiner},
+		{"they", Pronoun},
+		{"with", Preposition},
+		{"and", Conjunction},
+		{"lol", Interjection},
+		{"is", Verb},
+		{"very", Adverb},
+		{"good", Adjective},
+		{"run", Verb},
+	}
+	for _, c := range cases {
+		if got := tagOf(t, []string{c.word}, 0); got != c.want {
+			t.Errorf("tag(%q) = %v, want %v", c.word, got, c.want)
+		}
+	}
+}
+
+func TestSuffixRules(t *testing.T) {
+	cases := []struct {
+		word string
+		want Tag
+	}{
+		{"quickly", Adverb},
+		{"wonderful", Adjective},
+		{"spiteful", Adjective},
+		{"flexible", Adjective},
+		{"jumping", Verb},
+		{"zoomed", Verb},
+		{"apparition", Noun},
+		{"blargness", Noun},
+		{"zork", Noun}, // unknown word defaults to noun
+	}
+	for _, c := range cases {
+		if got := tagOf(t, []string{c.word}, 0); got != c.want {
+			t.Errorf("tag(%q) = %v, want %v", c.word, got, c.want)
+		}
+	}
+}
+
+func TestContextRules(t *testing.T) {
+	// "to frobnicate" -> verb even though unknown.
+	if got := tagOf(t, []string{"to", "frobnicate"}, 1); got != Verb {
+		t.Errorf("to+word = %v, want Verb", got)
+	}
+	// "the jumping" -> noun (determiner context).
+	if got := tagOf(t, []string{"the", "jumping"}, 1); got != Noun {
+		t.Errorf("det+Xing = %v, want Noun", got)
+	}
+}
+
+func TestCaseInsensitive(t *testing.T) {
+	if got := tagOf(t, []string{"QUICKLY"}, 0); got != Adverb {
+		t.Errorf("tag(QUICKLY) = %v, want Adverb", got)
+	}
+}
+
+func TestCount(t *testing.T) {
+	c := New().Count([]string{"the", "ugly", "dog", "runs", "quickly"})
+	if c.Adjectives != 1 || c.Adverbs != 1 || c.Verbs != 1 || c.Nouns != 1 {
+		t.Fatalf("Count = %+v, want 1 each of ADJ/ADV/VERB/NOUN", c)
+	}
+	if c.Total != 5 {
+		t.Fatalf("Total = %d, want 5", c.Total)
+	}
+}
+
+func TestEmptyAndGarbage(t *testing.T) {
+	tags := New().TagTokens([]string{"", "123", "..."})
+	for i, tag := range tags {
+		if tag != Other {
+			t.Errorf("token %d tagged %v, want Other", i, tag)
+		}
+	}
+}
+
+func TestTagString(t *testing.T) {
+	if Noun.String() != "NOUN" || Adverb.String() != "ADV" || Tag(99).String() != "OTHER" {
+		t.Fatalf("Tag.String misbehaves: %v %v %v", Noun, Adverb, Tag(99))
+	}
+}

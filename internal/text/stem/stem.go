@@ -1,0 +1,237 @@
+// Package stem implements the Porter stemming algorithm (Porter 1980),
+// the classic suffix-stripping normalizer for English. The adaptive
+// bag-of-words can optionally stem tokens so that inflected forms of
+// aggressive vocabulary ("bullies", "bullying", "bullied") consolidate
+// onto one stem and cross the admission threshold sooner.
+package stem
+
+import "strings"
+
+// Stem returns the Porter stem of a single lower-case word. Words shorter
+// than three letters are returned unchanged, per the original algorithm.
+func Stem(word string) string {
+	if len(word) < 3 {
+		return word
+	}
+	w := []byte(strings.ToLower(word))
+	w = step1a(w)
+	w = step1b(w)
+	w = step1c(w)
+	w = step2(w)
+	w = step3(w)
+	w = step4(w)
+	w = step5a(w)
+	w = step5b(w)
+	return string(w)
+}
+
+// isCons reports whether w[i] acts as a consonant.
+func isCons(w []byte, i int) bool {
+	switch w[i] {
+	case 'a', 'e', 'i', 'o', 'u':
+		return false
+	case 'y':
+		if i == 0 {
+			return true
+		}
+		return !isCons(w, i-1)
+	default:
+		return true
+	}
+}
+
+// measure returns m: the number of VC sequences in w[:k].
+func measure(w []byte) int {
+	m := 0
+	i, n := 0, len(w)
+	// Skip initial consonants.
+	for i < n && isCons(w, i) {
+		i++
+	}
+	for i < n {
+		// Vowel run.
+		for i < n && !isCons(w, i) {
+			i++
+		}
+		if i >= n {
+			break
+		}
+		m++
+		// Consonant run.
+		for i < n && isCons(w, i) {
+			i++
+		}
+	}
+	return m
+}
+
+// hasVowel reports whether w contains a vowel.
+func hasVowel(w []byte) bool {
+	for i := range w {
+		if !isCons(w, i) {
+			return true
+		}
+	}
+	return false
+}
+
+// endsDoubleCons reports whether w ends with a double consonant.
+func endsDoubleCons(w []byte) bool {
+	n := len(w)
+	return n >= 2 && w[n-1] == w[n-2] && isCons(w, n-1)
+}
+
+// endsCVC reports whether w ends consonant-vowel-consonant where the final
+// consonant is not w, x, or y.
+func endsCVC(w []byte) bool {
+	n := len(w)
+	if n < 3 {
+		return false
+	}
+	if !isCons(w, n-3) || isCons(w, n-2) || !isCons(w, n-1) {
+		return false
+	}
+	switch w[n-1] {
+	case 'w', 'x', 'y':
+		return false
+	}
+	return true
+}
+
+func hasSuffix(w []byte, s string) bool {
+	return len(w) >= len(s) && string(w[len(w)-len(s):]) == s
+}
+
+func trim(w []byte, n int) []byte { return w[:len(w)-n] }
+
+// replaceIf replaces suffix `from` with `to` when measure(stem) > minM.
+func replaceIf(w []byte, from, to string, minM int) ([]byte, bool) {
+	if !hasSuffix(w, from) {
+		return w, false
+	}
+	stem := trim(w, len(from))
+	if measure(stem) > minM {
+		return append(append([]byte{}, stem...), to...), true
+	}
+	return w, true // suffix matched but condition failed: stop scanning
+}
+
+func step1a(w []byte) []byte {
+	switch {
+	case hasSuffix(w, "sses"):
+		return trim(w, 2)
+	case hasSuffix(w, "ies"):
+		return trim(w, 2)
+	case hasSuffix(w, "ss"):
+		return w
+	case hasSuffix(w, "s"):
+		return trim(w, 1)
+	}
+	return w
+}
+
+func step1b(w []byte) []byte {
+	if hasSuffix(w, "eed") {
+		if measure(trim(w, 3)) > 0 {
+			return trim(w, 1)
+		}
+		return w
+	}
+	var stem []byte
+	switch {
+	case hasSuffix(w, "ed") && hasVowel(trim(w, 2)):
+		stem = trim(w, 2)
+	case hasSuffix(w, "ing") && hasVowel(trim(w, 3)):
+		stem = trim(w, 3)
+	default:
+		return w
+	}
+	// Cleanup after removing -ed/-ing.
+	switch {
+	case hasSuffix(stem, "at"), hasSuffix(stem, "bl"), hasSuffix(stem, "iz"):
+		return append(stem, 'e')
+	case endsDoubleCons(stem) && !hasSuffix(stem, "l") && !hasSuffix(stem, "s") && !hasSuffix(stem, "z"):
+		return trim(stem, 1)
+	case measure(stem) == 1 && endsCVC(stem):
+		return append(stem, 'e')
+	}
+	return stem
+}
+
+func step1c(w []byte) []byte {
+	if hasSuffix(w, "y") && hasVowel(trim(w, 1)) {
+		return append(trim(w, 1), 'i')
+	}
+	return w
+}
+
+// step2 and step3 map multi-syllable suffixes when m > 0.
+var step2Rules = []struct{ from, to string }{
+	{"ational", "ate"}, {"tional", "tion"}, {"enci", "ence"},
+	{"anci", "ance"}, {"izer", "ize"}, {"abli", "able"}, {"alli", "al"},
+	{"entli", "ent"}, {"eli", "e"}, {"ousli", "ous"}, {"ization", "ize"},
+	{"ation", "ate"}, {"ator", "ate"}, {"alism", "al"}, {"iveness", "ive"},
+	{"fulness", "ful"}, {"ousness", "ous"}, {"aliti", "al"},
+	{"iviti", "ive"}, {"biliti", "ble"},
+}
+
+var step3Rules = []struct{ from, to string }{
+	{"icate", "ic"}, {"ative", ""}, {"alize", "al"}, {"iciti", "ic"},
+	{"ical", "ic"}, {"ful", ""}, {"ness", ""},
+}
+
+func applyRules(w []byte, rules []struct{ from, to string }, minM int) []byte {
+	for _, r := range rules {
+		if out, matched := replaceIf(w, r.from, r.to, minM); matched {
+			return out
+		}
+	}
+	return w
+}
+
+func step2(w []byte) []byte { return applyRules(w, step2Rules, 0) }
+func step3(w []byte) []byte { return applyRules(w, step3Rules, 0) }
+
+// step4 strips residual suffixes when m > 1.
+var step4Suffixes = []string{
+	"al", "ance", "ence", "er", "ic", "able", "ible", "ant", "ement",
+	"ment", "ent", "ou", "ism", "ate", "iti", "ous", "ive", "ize",
+}
+
+func step4(w []byte) []byte {
+	// "ion" requires a preceding s or t.
+	if hasSuffix(w, "ion") {
+		stem := trim(w, 3)
+		if len(stem) > 0 && (stem[len(stem)-1] == 's' || stem[len(stem)-1] == 't') &&
+			measure(stem) > 1 {
+			return stem
+		}
+	}
+	for _, s := range step4Suffixes {
+		if hasSuffix(w, s) {
+			if stem := trim(w, len(s)); measure(stem) > 1 {
+				return stem
+			}
+			return w
+		}
+	}
+	return w
+}
+
+func step5a(w []byte) []byte {
+	if hasSuffix(w, "e") {
+		stem := trim(w, 1)
+		m := measure(stem)
+		if m > 1 || (m == 1 && !endsCVC(stem)) {
+			return stem
+		}
+	}
+	return w
+}
+
+func step5b(w []byte) []byte {
+	if measure(w) > 1 && endsDoubleCons(w) && hasSuffix(w, "ll") {
+		return trim(w, 1)
+	}
+	return w
+}

@@ -1,0 +1,136 @@
+package stem
+
+import "testing"
+
+// TestPorterVectors checks classic input/output pairs from Porter's paper
+// and the standard reference vocabulary.
+func TestPorterVectors(t *testing.T) {
+	cases := map[string]string{
+		// Step 1a.
+		"caresses": "caress",
+		"ponies":   "poni",
+		"caress":   "caress",
+		"cats":     "cat",
+		// Step 1b.
+		"feed":      "feed",
+		"agreed":    "agre",
+		"plastered": "plaster",
+		"bled":      "bled",
+		"motoring":  "motor",
+		"sing":      "sing",
+		"conflated": "conflat",
+		"troubled":  "troubl",
+		"sized":     "size",
+		"hopping":   "hop",
+		"tanned":    "tan",
+		"falling":   "fall",
+		"hissing":   "hiss",
+		"fizzed":    "fizz",
+		"failing":   "fail",
+		"filing":    "file",
+		// Step 1c.
+		"happy": "happi",
+		"sky":   "sky",
+		// Step 2.
+		"relational":     "relat",
+		"conditional":    "condit",
+		"valenci":        "valenc",
+		"digitizer":      "digit",
+		"vietnamization": "vietnam",
+		"predication":    "predic",
+		"operator":       "oper",
+		"feudalism":      "feudal",
+		"decisiveness":   "decis",
+		"hopefulness":    "hope",
+		"formaliti":      "formal",
+		"sensitiviti":    "sensit",
+		"sensibiliti":    "sensibl",
+		// Step 3.
+		"triplicate":  "triplic",
+		"formative":   "form",
+		"formalize":   "formal",
+		"electriciti": "electr",
+		"electrical":  "electr",
+		"hopeful":     "hope",
+		"goodness":    "good",
+		// Step 4.
+		"revival":     "reviv",
+		"allowance":   "allow",
+		"inference":   "infer",
+		"airliner":    "airlin",
+		"adjustable":  "adjust",
+		"defensible":  "defens",
+		"irritant":    "irrit",
+		"replacement": "replac",
+		"adjustment":  "adjust",
+		"dependent":   "depend",
+		"adoption":    "adopt",
+		"communism":   "commun",
+		"activate":    "activ",
+		"angulariti":  "angular",
+		"homologous":  "homolog",
+		"effective":   "effect",
+		"bowdlerize":  "bowdler",
+		// Step 5.
+		"probate":  "probat",
+		"rate":     "rate",
+		"cease":    "ceas",
+		"controll": "control",
+		"roll":     "roll",
+		// Domain vocabulary.
+		"bullying":  "bulli",
+		"bullied":   "bulli",
+		"bullies":   "bulli",
+		"insulting": "insult",
+		"insulted":  "insult",
+		"insults":   "insult",
+		"haters":    "hater",
+	}
+	for in, want := range cases {
+		if got := Stem(in); got != want {
+			t.Errorf("Stem(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestShortWordsUnchanged(t *testing.T) {
+	for _, w := range []string{"", "a", "is", "by"} {
+		if got := Stem(w); got != w {
+			t.Errorf("Stem(%q) = %q, want unchanged", w, got)
+		}
+	}
+}
+
+func TestStemIdempotentOnCommonWords(t *testing.T) {
+	// Stemming an already-stemmed common word should usually be stable.
+	for _, w := range []string{"run", "cat", "insult", "troubl", "hop"} {
+		once := Stem(w)
+		twice := Stem(once)
+		if once != twice {
+			t.Errorf("Stem not stable on %q: %q -> %q", w, once, twice)
+		}
+	}
+}
+
+func TestStemLowercases(t *testing.T) {
+	if Stem("BULLYING") != Stem("bullying") {
+		t.Errorf("Stem should be case-insensitive")
+	}
+}
+
+func TestInflectedFormsConsolidate(t *testing.T) {
+	groups := [][]string{
+		{"bullying", "bullied", "bullies"},
+		{"insulting", "insulted", "insults"},
+		{"threatening", "threatened", "threatens"},
+	}
+	for _, g := range groups {
+		stems := map[string]bool{}
+		for _, w := range g {
+			stems[Stem(w)] = true
+		}
+		if len(stems) != 1 {
+			t.Errorf("forms %v map to %d stems, want 1", g, len(stems))
+		}
+	}
+}

@@ -1,0 +1,136 @@
+// Package text implements the tweet text processing substrate of the
+// detection pipeline: cleaning (the paper's "preprocessing" step),
+// tokenization, and sentence splitting. Heavier linguistic components live
+// in the subpackages pos (part-of-speech tagging), sentiment
+// (SentiStrength-style scoring), and lexicon (profanity word lists).
+package text
+
+import (
+	"strings"
+	"unicode"
+)
+
+// CleanOptions selects which preprocessing transformations Clean applies.
+// The zero value applies nothing; DefaultCleanOptions enables everything the
+// paper describes in §III-A (Preprocessing).
+type CleanOptions struct {
+	RemoveURLs          bool // strip http://, https:// and www. tokens
+	RemoveMentions      bool // strip @user tokens
+	RemoveHashtags      bool // strip #hashtag tokens
+	RemoveAbbreviations bool // strip tweet abbreviations such as RT
+	RemoveNumbers       bool // strip digits
+	RemovePunctuation   bool // strip punctuation marks and special symbols
+	CondenseWhitespace  bool // collapse whitespace runs to single spaces
+}
+
+// DefaultCleanOptions enables the full preprocessing described in the paper:
+// removing numbers, punctuation marks, special symbols and URLs, condensing
+// white space, and removing tweet-specific content (RT, hashtags, mentions).
+func DefaultCleanOptions() CleanOptions {
+	return CleanOptions{
+		RemoveURLs:          true,
+		RemoveMentions:      true,
+		RemoveHashtags:      true,
+		RemoveAbbreviations: true,
+		RemoveNumbers:       true,
+		RemovePunctuation:   true,
+		CondenseWhitespace:  true,
+	}
+}
+
+// tweetAbbreviations are well-known tweet-specific tokens removed during
+// preprocessing when RemoveAbbreviations is set.
+var tweetAbbreviations = map[string]bool{
+	"rt": true, "mt": true, "ht": true, "cc": true, "dm": true,
+	"prt": true, "tmb": true, "oh": true, "fb": true, "ff": true,
+}
+
+// IsURLToken reports whether the token looks like a URL.
+func IsURLToken(tok string) bool {
+	lower := strings.ToLower(tok)
+	return strings.HasPrefix(lower, "http://") ||
+		strings.HasPrefix(lower, "https://") ||
+		strings.HasPrefix(lower, "www.") ||
+		strings.HasPrefix(lower, "t.co/")
+}
+
+// IsMentionToken reports whether the token is a user mention (@name).
+func IsMentionToken(tok string) bool {
+	return len(tok) > 1 && tok[0] == '@'
+}
+
+// IsHashtagToken reports whether the token is a hashtag (#tag).
+func IsHashtagToken(tok string) bool {
+	return len(tok) > 1 && tok[0] == '#'
+}
+
+// Clean applies the selected preprocessing transformations to a tweet text
+// and returns the cleaned text. Case is preserved: downstream features such
+// as the uppercase-word count rely on it.
+func Clean(s string, opts CleanOptions) string {
+	fields := strings.Fields(s)
+	var b strings.Builder
+	b.Grow(len(s))
+	for _, tok := range fields {
+		switch {
+		case opts.RemoveURLs && IsURLToken(tok):
+			continue
+		case opts.RemoveMentions && IsMentionToken(tok):
+			continue
+		case opts.RemoveHashtags && IsHashtagToken(tok):
+			continue
+		case opts.RemoveAbbreviations && tweetAbbreviations[strings.ToLower(trimPunct(tok))]:
+			continue
+		}
+		cleaned := cleanToken(tok, opts)
+		if cleaned == "" {
+			continue
+		}
+		if b.Len() > 0 {
+			b.WriteByte(' ')
+		}
+		b.WriteString(cleaned)
+	}
+	out := b.String()
+	if !opts.CondenseWhitespace && out == "" {
+		// Preserve original when everything was filtered but condensing is
+		// off; callers not requesting condensing get a best-effort result.
+		return out
+	}
+	return out
+}
+
+// cleanToken removes numbers and punctuation from a single token according
+// to the options, keeping sentence-final punctuation only when punctuation
+// removal is disabled.
+func cleanToken(tok string, opts CleanOptions) string {
+	var b strings.Builder
+	b.Grow(len(tok))
+	for _, r := range tok {
+		switch {
+		case unicode.IsLetter(r):
+			b.WriteRune(r)
+		case r == '\'' && !opts.RemovePunctuation:
+			b.WriteRune(r)
+		case r == '\'': // keep apostrophes inside contractions (don't)
+			b.WriteRune(r)
+		case unicode.IsDigit(r):
+			if !opts.RemoveNumbers {
+				b.WriteRune(r)
+			}
+		default:
+			if !opts.RemovePunctuation {
+				b.WriteRune(r)
+			}
+		}
+	}
+	// A token that was pure punctuation/digits vanishes entirely.
+	return strings.Trim(b.String(), "'")
+}
+
+// trimPunct strips leading and trailing non-letter runes from a token.
+func trimPunct(tok string) string {
+	return strings.TrimFunc(tok, func(r rune) bool {
+		return !unicode.IsLetter(r) && !unicode.IsDigit(r)
+	})
+}

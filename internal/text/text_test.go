@@ -1,0 +1,213 @@
+package text
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+	"unicode"
+)
+
+func TestCleanRemovesTweetContent(t *testing.T) {
+	in := "RT @user1: Check this out http://t.co/abc #winning 100%!!!"
+	got := Clean(in, DefaultCleanOptions())
+	for _, banned := range []string{"@", "#", "http", "RT", "100", "%", "!"} {
+		if strings.Contains(got, banned) {
+			t.Errorf("Clean left %q in %q", banned, got)
+		}
+	}
+	if !strings.Contains(got, "Check this out") {
+		t.Errorf("Clean dropped real content: %q", got)
+	}
+}
+
+func TestCleanKeepsCase(t *testing.T) {
+	got := Clean("STOP that NOW", DefaultCleanOptions())
+	if got != "STOP that NOW" {
+		t.Fatalf("Clean altered case: %q", got)
+	}
+}
+
+func TestCleanSelectiveOptions(t *testing.T) {
+	in := "@you see #tag at http://x.co 42 ok!"
+	onlyURLs := Clean(in, CleanOptions{RemoveURLs: true, CondenseWhitespace: true})
+	if strings.Contains(onlyURLs, "http") {
+		t.Errorf("URL not removed: %q", onlyURLs)
+	}
+	if !strings.Contains(onlyURLs, "#tag") || !strings.Contains(onlyURLs, "@you") {
+		t.Errorf("mention/hashtag should remain: %q", onlyURLs)
+	}
+	if !strings.Contains(onlyURLs, "42") || !strings.Contains(onlyURLs, "!") {
+		t.Errorf("numbers/punct should remain: %q", onlyURLs)
+	}
+}
+
+func TestCleanEmptyAndWhitespace(t *testing.T) {
+	if got := Clean("", DefaultCleanOptions()); got != "" {
+		t.Fatalf("Clean(\"\") = %q", got)
+	}
+	if got := Clean("   \t \n ", DefaultCleanOptions()); got != "" {
+		t.Fatalf("Clean(whitespace) = %q", got)
+	}
+	if got := Clean("a    b\t\tc", DefaultCleanOptions()); got != "a b c" {
+		t.Fatalf("whitespace not condensed: %q", got)
+	}
+}
+
+func TestCleanKeepsContractions(t *testing.T) {
+	got := Clean("don't stop", DefaultCleanOptions())
+	if got != "don't stop" {
+		t.Fatalf("contraction mangled: %q", got)
+	}
+}
+
+func TestCleanNeverAddsContent(t *testing.T) {
+	f := func(s string) bool {
+		out := Clean(s, DefaultCleanOptions())
+		// Every letter in the output must exist in the input (cleaning only
+		// removes content).
+		inLetters := map[rune]int{}
+		for _, r := range s {
+			inLetters[r]++
+		}
+		for _, r := range out {
+			if r == ' ' || r == '\'' {
+				continue
+			}
+			if inLetters[r] == 0 {
+				return false
+			}
+			inLetters[r]--
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTokenize(t *testing.T) {
+	toks := Tokenize("Hello, world! (really)")
+	want := []string{"Hello", "world", "really"}
+	if len(toks) != len(want) {
+		t.Fatalf("Tokenize = %v, want %v", toks, want)
+	}
+	for i := range want {
+		if toks[i] != want[i] {
+			t.Fatalf("Tokenize = %v, want %v", toks, want)
+		}
+	}
+	if got := Tokenize("... !!! ---"); len(got) != 0 {
+		t.Fatalf("pure punctuation should tokenize to nothing, got %v", got)
+	}
+}
+
+func TestLowerTokens(t *testing.T) {
+	toks := LowerTokens("HeLLo WORLD")
+	if toks[0] != "hello" || toks[1] != "world" {
+		t.Fatalf("LowerTokens = %v", toks)
+	}
+}
+
+func TestSplitSentences(t *testing.T) {
+	cases := []struct {
+		in   string
+		want int
+	}{
+		{"One. Two! Three?", 3},
+		{"No terminator", 1},
+		{"Trailing dots...", 1},
+		{"", 0},
+		{"A. B.\nC", 3},
+		{"!!!", 0},
+	}
+	for _, c := range cases {
+		if got := SplitSentences(c.in); len(got) != c.want {
+			t.Errorf("SplitSentences(%q) = %v (len %d), want %d", c.in, got, len(got), c.want)
+		}
+	}
+}
+
+func TestIsUpperWord(t *testing.T) {
+	cases := []struct {
+		in   string
+		want bool
+	}{
+		{"STOP", true},
+		{"Stop", false},
+		{"S", false}, // single letters don't count as shouting
+		{"A1B", true},
+		{"stop", false},
+		{"", false},
+	}
+	for _, c := range cases {
+		if got := IsUpperWord(c.in); got != c.want {
+			t.Errorf("IsUpperWord(%q) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestCountUpperWords(t *testing.T) {
+	n := CountUpperWords("RT STOP THAT @NOW #WOW http://X.CO ok")
+	if n != 2 {
+		t.Fatalf("CountUpperWords = %d, want 2 (STOP, THAT)", n)
+	}
+}
+
+func TestCountTokenKind(t *testing.T) {
+	s := "see @a and @b at http://x.co #yes #no #maybe"
+	if n := CountTokenKind(s, IsMentionToken); n != 2 {
+		t.Errorf("mentions = %d, want 2", n)
+	}
+	if n := CountTokenKind(s, IsHashtagToken); n != 3 {
+		t.Errorf("hashtags = %d, want 3", n)
+	}
+	if n := CountTokenKind(s, IsURLToken); n != 1 {
+		t.Errorf("urls = %d, want 1", n)
+	}
+}
+
+func TestMeanWordLength(t *testing.T) {
+	if got := MeanWordLength([]string{"ab", "abcd"}); got != 3 {
+		t.Fatalf("MeanWordLength = %v, want 3", got)
+	}
+	if got := MeanWordLength(nil); got != 0 {
+		t.Fatalf("MeanWordLength(nil) = %v, want 0", got)
+	}
+}
+
+func TestWordsPerSentence(t *testing.T) {
+	if got := WordsPerSentence("one two three. four five."); got != 2.5 {
+		t.Fatalf("WordsPerSentence = %v, want 2.5", got)
+	}
+	if got := WordsPerSentence(""); got != 0 {
+		t.Fatalf("WordsPerSentence(\"\") = %v, want 0", got)
+	}
+}
+
+func TestHasElongation(t *testing.T) {
+	if !HasElongation("sooo") {
+		t.Fatalf("sooo should be elongated")
+	}
+	if HasElongation("soo") {
+		t.Fatalf("soo should not be elongated")
+	}
+}
+
+func TestTokenizePropertyNoPunctAtEdges(t *testing.T) {
+	f := func(s string) bool {
+		for _, tok := range Tokenize(s) {
+			runes := []rune(tok)
+			first, last := runes[0], runes[len(runes)-1]
+			if !unicode.IsLetter(first) && !unicode.IsDigit(first) {
+				return false
+			}
+			if !unicode.IsLetter(last) && !unicode.IsDigit(last) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

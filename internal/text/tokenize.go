@@ -1,0 +1,157 @@
+package text
+
+import (
+	"strings"
+	"unicode"
+)
+
+// Tokenize splits text into word tokens: whitespace-separated fields with
+// surrounding punctuation trimmed. Tokens that contain no letters or digits
+// are dropped. Case is preserved.
+func Tokenize(s string) []string {
+	fields := strings.Fields(s)
+	toks := make([]string, 0, len(fields))
+	for _, f := range fields {
+		t := trimPunct(f)
+		if t != "" {
+			toks = append(toks, t)
+		}
+	}
+	return toks
+}
+
+// LowerTokens tokenizes and lower-cases in a single pass.
+func LowerTokens(s string) []string {
+	toks := Tokenize(s)
+	for i, t := range toks {
+		toks[i] = strings.ToLower(t)
+	}
+	return toks
+}
+
+// SplitSentences splits text into sentences on '.', '!', '?' and newline
+// boundaries. Runs of terminators count once; empty sentences are dropped.
+// A text with no terminator is a single sentence.
+func SplitSentences(s string) []string {
+	var out []string
+	var b strings.Builder
+	flush := func() {
+		sent := strings.TrimSpace(b.String())
+		if sent != "" && hasLetter(sent) {
+			out = append(out, sent)
+		}
+		b.Reset()
+	}
+	for _, r := range s {
+		switch r {
+		case '.', '!', '?', '\n':
+			flush()
+		default:
+			b.WriteRune(r)
+		}
+	}
+	flush()
+	return out
+}
+
+// IsUpperWord reports whether the token is an uppercase "shouted" word:
+// at least two letters, all of them uppercase.
+func IsUpperWord(tok string) bool {
+	letters := 0
+	for _, r := range tok {
+		if unicode.IsLetter(r) {
+			if !unicode.IsUpper(r) {
+				return false
+			}
+			letters++
+		}
+	}
+	return letters >= 2
+}
+
+// CountUpperWords counts uppercase words in the text (e.g. "STOP THAT" has
+// two). Mentions, hashtags, URLs and the RT marker are not counted.
+func CountUpperWords(s string) int {
+	n := 0
+	for _, f := range strings.Fields(s) {
+		if IsURLToken(f) || IsMentionToken(f) || IsHashtagToken(f) {
+			continue
+		}
+		t := trimPunct(f)
+		if t == "" || strings.EqualFold(t, "rt") {
+			continue
+		}
+		if IsUpperWord(t) {
+			n++
+		}
+	}
+	return n
+}
+
+// CountTokenKind counts raw-text tokens matched by the given predicate.
+func CountTokenKind(s string, match func(string) bool) int {
+	n := 0
+	for _, f := range strings.Fields(s) {
+		if match(f) {
+			n++
+		}
+	}
+	return n
+}
+
+// MeanWordLength returns the mean number of letters per word token, or 0
+// for empty text.
+func MeanWordLength(tokens []string) float64 {
+	if len(tokens) == 0 {
+		return 0
+	}
+	total := 0
+	for _, t := range tokens {
+		for _, r := range t {
+			if unicode.IsLetter(r) {
+				total++
+			}
+		}
+	}
+	return float64(total) / float64(len(tokens))
+}
+
+// WordsPerSentence returns the mean number of word tokens per sentence,
+// or 0 for empty text.
+func WordsPerSentence(s string) float64 {
+	sentences := SplitSentences(s)
+	if len(sentences) == 0 {
+		return 0
+	}
+	total := 0
+	for _, sent := range sentences {
+		total += len(Tokenize(sent))
+	}
+	return float64(total) / float64(len(sentences))
+}
+
+// HasElongation reports whether the token has a letter repeated three or
+// more times in a row ("sooo"), a common emphasis marker in tweets.
+func HasElongation(tok string) bool {
+	run, prev := 0, rune(-1)
+	for _, r := range tok {
+		if r == prev {
+			run++
+			if run >= 3 {
+				return true
+			}
+		} else {
+			prev, run = r, 1
+		}
+	}
+	return false
+}
+
+func hasLetter(s string) bool {
+	for _, r := range s {
+		if unicode.IsLetter(r) {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,120 @@
+package twitterdata
+
+// Word pools used by the synthetic tweet generators. The pools are chosen
+// to interact correctly with the feature-extraction substrate: neutral
+// adjectives/adverbs/verbs come from vocabularies the POS tagger resolves
+// to those categories, insult vocabulary carries negative strengths in the
+// sentiment lexicon, and swear words come from the profanity seed list.
+
+// neutralNouns fill out sentence bodies; the tagger defaults unknown open
+// class words to nouns.
+var neutralNouns = []string{
+	"weather", "coffee", "morning", "game", "music", "movie", "book",
+	"road", "city", "team", "dinner", "photo", "garden", "train",
+	"market", "office", "school", "phone", "meeting", "project",
+	"report", "kitchen", "window", "river", "mountain", "bridge",
+	"street", "weekend", "holiday", "ticket", "match", "recipe",
+	"camera", "laptop", "journey", "station", "airport", "museum",
+	"library", "concert", "breakfast", "lunch", "evening", "night",
+	"friend", "family", "neighbor", "teacher", "student", "doctor",
+	"driver", "singer", "writer", "player", "coach", "crowd",
+	"season", "summer", "winter", "spring", "autumn", "rain",
+	"snow", "sun", "moon", "star", "cloud", "wind",
+	"house", "garden", "door", "table", "chair", "plate",
+	"glass", "bottle", "bag", "shoe", "shirt", "jacket",
+}
+
+// neutralVerbs come from the tagger's common-verb lexicon.
+var neutralVerbs = []string{
+	"go", "get", "make", "know", "think", "take", "see", "come",
+	"want", "look", "use", "find", "give", "tell", "work", "call",
+	"try", "ask", "need", "feel", "leave", "put", "keep", "let",
+	"begin", "help", "talk", "turn", "start", "show", "hear", "play",
+	"run", "move", "live", "believe", "bring", "happen", "write",
+	"sit", "stand", "pay", "meet", "learn", "change", "watch",
+	"follow", "stop", "speak", "read", "spend", "grow", "open",
+	"walk", "win", "offer", "remember", "buy", "wait", "serve",
+	"send", "build", "stay", "fall", "cut", "reach",
+}
+
+// neutralAdjectives come from the tagger's adjective lexicon but avoid
+// sentiment-bearing terms so they do not skew the sentiment scores.
+var neutralAdjectives = []string{
+	"small", "large", "big", "little", "old", "new", "young", "long",
+	"short", "high", "low", "early", "late", "open", "red", "blue",
+	"green", "white", "black", "warm", "cold", "hot", "cool", "dark",
+	"bright", "quiet", "loud", "full", "whole", "clear", "recent",
+	"certain", "personal", "public", "special", "free", "real",
+}
+
+// neutralAdverbs come from the tagger's adverb lexicon, avoiding sentiment
+// boosters such as "very" or "really" which would inflate scores.
+var neutralAdverbs = []string{
+	"often", "sometimes", "usually", "rarely", "already", "soon",
+	"today", "tomorrow", "yesterday", "finally", "suddenly", "quickly",
+	"slowly", "again", "once", "twice", "together", "instead",
+	"anyway", "everywhere", "somewhere", "nearly", "almost",
+}
+
+// stopWords glue sentences together.
+var stopWords = []string{
+	"the", "a", "an", "this", "that", "my", "your", "his", "her",
+	"our", "their", "some", "any", "i", "you", "he", "she", "we",
+	"they", "it", "and", "but", "or", "so", "because", "when",
+	"while", "if", "in", "on", "at", "with", "about", "for", "to",
+	"from", "of", "is", "are", "was", "were", "be", "been", "have",
+	"has", "had", "will", "would", "can", "could", "do", "does",
+}
+
+// insultNouns are sentiment-lexicon negatives that tag as nouns; abusive
+// tweets attack directly with these rather than with adjectives (the paper
+// observes fewer adjectives in abusive posts).
+var insultNouns = []string{
+	"idiot", "moron", "loser", "scum", "trash", "garbage", "fool",
+	"creep", "liar", "freak", "psycho", "maniac", "bully", "cheater",
+	"fraud", "disgrace", "bigot", "terrorist", "murderer",
+}
+
+// insultVerbs are strongly negative verbs from the sentiment lexicon.
+var insultVerbs = []string{
+	"hate", "despise", "loathe", "destroy", "kill", "threaten",
+	"attack", "die", "insult", "abuse",
+}
+
+// negativeAdjectives are sentiment-bearing adjectives used sparingly (more
+// by hateful than abusive tweets, which favor direct noun/verb attacks).
+var negativeAdjectives = []string{
+	"pathetic", "worthless", "useless", "stupid", "dumb", "ugly",
+	"nasty", "vile", "disgusting", "horrible", "terrible", "awful",
+	"toxic", "miserable", "violent", "corrupt", "evil", "cruel",
+}
+
+// positiveWords seed positive sentiment in (mostly normal) tweets.
+var positiveWords = []string{
+	"love", "great", "wonderful", "amazing", "happy", "nice", "sweet",
+	"lovely", "fun", "glad", "thanks", "excellent", "beautiful",
+	"awesome", "fantastic", "brilliant", "enjoy", "proud", "friendly",
+	"cheerful", "gorgeous", "perfect",
+}
+
+// mildNegatives give normal tweets their occasional low-strength negative
+// sentiment (complaints, bad days) without abusive vocabulary.
+var mildNegatives = []string{
+	"sad", "tired", "bored", "worried", "annoying", "boring", "sorry",
+	"upset", "unhappy", "lost", "broken", "pain", "problem", "mess",
+}
+
+// targetGroups are generic group placeholders hateful tweets direct their
+// attacks at (synthetic identifiers, not real group names, so the corpus
+// stays clearly synthetic while exercising the same code paths).
+var targetGroups = []string{
+	"grobari", "vennish", "korduns", "mivelan", "sarkath", "pellits",
+	"drovani", "quorith", "zembles", "fyrmen",
+}
+
+// hashtagPool provides hashtag suffixes.
+var hashtagPool = []string{
+	"news", "sports", "mondaymood", "live", "nowplaying", "travel",
+	"foodie", "gameday", "music", "trending", "funny", "photo",
+	"weekend", "fitness", "tech", "politics", "weather", "art",
+}

@@ -1,0 +1,49 @@
+package twitterdata
+
+import "redhanded/internal/ml"
+
+// Aggressive slang drift: users "find innovative ways to circumvent the
+// rules ... by using new words or special text characters to signify their
+// aggression but avoid detection" (§I). The generator models this with a
+// synthetic slang vocabulary that rotates across collection days: each day
+// introduces fresh coined words that appear predominantly in aggressive
+// tweets. None of them are in the seed swear list or the sentiment
+// lexicon, so only the adaptive bag-of-words can learn them — this is the
+// mechanism behind the Fig. 9 (ad=ON vs OFF) gap and the Fig. 10 growth
+// from 347 towards ~530 words.
+
+// slangSyllables combine into pronounceable coined words.
+var slangOnsets = []string{
+	"zor", "trax", "blep", "crin", "vex", "dro", "skro", "quib",
+	"mard", "flug", "grem", "yev", "plon", "sker", "wub", "jax",
+	"thrum", "glib",
+}
+
+var slangCodas = []string{
+	"go", "xa", "pit", "dle", "xo", "mak", "nub", "zer", "vik",
+	"lor", "bex", "dun", "fi", "rog", "sna", "tor", "wex", "zim",
+}
+
+// SlangWordsPerDay is how many new slang words each collection day
+// introduces.
+const SlangWordsPerDay = 28
+
+// slangForDay returns the deterministic slang vocabulary of one day.
+func slangForDay(day int) []string {
+	rng := ml.NewRNG(uint64(day)*2654435761 + 97)
+	words := make([]string, 0, SlangWordsPerDay)
+	seen := map[string]bool{}
+	for len(words) < SlangWordsPerDay {
+		w := slangOnsets[rng.Intn(len(slangOnsets))] + slangCodas[rng.Intn(len(slangCodas))]
+		// Day-salt a fraction of words with an extra coda so days rarely
+		// collide.
+		if rng.Float64() < 0.5 {
+			w += slangCodas[rng.Intn(len(slangCodas))]
+		}
+		if !seen[w] {
+			seen[w] = true
+			words = append(words, w)
+		}
+	}
+	return words
+}

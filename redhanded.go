@@ -1,0 +1,183 @@
+// Package redhanded is a real-time aggression detection framework for
+// social media streams, reproducing "Catching them red-handed: Real-time
+// Aggression Detection on Social Media" (Herodotou, Chatzakou, Kourtellis —
+// ICDE 2021) as a pure-Go library.
+//
+// The framework embraces the streaming machine-learning paradigm: its
+// classifiers (Hoeffding Tree, Adaptive Random Forest, Streaming Logistic
+// Regression) update incrementally as labeled tweets arrive, so the model
+// stays current as aggressive behavior evolves, while the full pipeline —
+// preprocessing, feature extraction, normalization, training, prediction,
+// alerting, evaluation, sampling — scales from a single goroutine to a
+// multi-node micro-batch cluster over TCP.
+//
+// Quick start:
+//
+//	p := redhanded.NewPipeline(redhanded.DefaultOptions())
+//	for tweet := range tweets {
+//		res := p.Process(&tweet)
+//		if res.Alerted {
+//			// forward to moderators
+//		}
+//	}
+//
+// See the examples directory for complete programs and DESIGN.md for the
+// architecture.
+package redhanded
+
+import (
+	"redhanded/internal/core"
+	"redhanded/internal/engine"
+	"redhanded/internal/eval"
+	"redhanded/internal/twitterdata"
+)
+
+// Pipeline is the end-to-end detection pipeline (Fig. 1 of the paper).
+type Pipeline = core.Pipeline
+
+// Options configures a Pipeline.
+type Options = core.Options
+
+// Result reports what the pipeline did with one tweet.
+type Result = core.Result
+
+// Alert is raised when a tweet is predicted aggressive with sufficient
+// confidence.
+type Alert = core.Alert
+
+// AlertSink consumes alerts.
+type AlertSink = core.AlertSink
+
+// AlertSinkFunc adapts a function to AlertSink.
+type AlertSinkFunc = core.AlertSinkFunc
+
+// Report bundles accuracy, precision, recall, and F1.
+type Report = eval.Report
+
+// Class schemes: the 3-class problem distinguishes normal/abusive/hateful;
+// the 2-class problem merges abusive and hateful into "aggressive".
+const (
+	ThreeClass = core.ThreeClass
+	TwoClass   = core.TwoClass
+)
+
+// Streaming model kinds.
+const (
+	ModelHT  = core.ModelHT
+	ModelARF = core.ModelARF
+	ModelSLR = core.ModelSLR
+)
+
+// Tweet is the Twitter-API-shaped stream element.
+type Tweet = twitterdata.Tweet
+
+// User is a tweet's author profile.
+type User = twitterdata.User
+
+// Dataset labels.
+const (
+	LabelNormal  = twitterdata.LabelNormal
+	LabelAbusive = twitterdata.LabelAbusive
+	LabelHateful = twitterdata.LabelHateful
+)
+
+// NewPipeline assembles the detection framework.
+//
+// Pipelines built with HT or SLR models support Checkpoint/Restore for
+// surviving restarts without losing the incrementally learned state.
+func NewPipeline(opts Options) *Pipeline { return core.NewPipeline(opts) }
+
+// Session-level detection (the paper's future-work windowing extension).
+type (
+	// SessionConfig tunes per-user sliding windows.
+	SessionConfig = core.SessionConfig
+	// SessionTracker flags users with repetitive hostile activity.
+	SessionTracker = core.SessionTracker
+	// SessionVerdict is one flagged user window.
+	SessionVerdict = core.SessionVerdict
+)
+
+// NewSessionTracker aggregates per-tweet predictions into per-user
+// session verdicts.
+func NewSessionTracker(cfg SessionConfig) *SessionTracker {
+	return core.NewSessionTracker(cfg)
+}
+
+// DefaultSessionConfig returns 1-hour windows flagging >= 60% aggressive.
+func DefaultSessionConfig() SessionConfig { return core.DefaultSessionConfig() }
+
+// DefaultOptions returns the configuration of the paper's main
+// experiments: Hoeffding Tree, 3-class, preprocessing, minmax-without-
+// outliers normalization, and the adaptive bag-of-words all enabled.
+func DefaultOptions() Options { return core.DefaultOptions() }
+
+// Execution engines (§V-E of the paper).
+type (
+	// Source yields a stream of tweets.
+	Source = engine.Source
+	// EngineStats summarises one engine run.
+	EngineStats = engine.Stats
+	// MicroBatchConfig configures the Spark-Streaming-style engine.
+	MicroBatchConfig = engine.MicroBatchConfig
+	// ClusterConfig configures the multi-node TCP engine.
+	ClusterConfig = engine.ClusterConfig
+	// Executor is one cluster node.
+	Executor = engine.Executor
+)
+
+// NewSliceSource streams a dataset slice.
+func NewSliceSource(tweets []Tweet) Source { return engine.NewSliceSource(tweets) }
+
+// RunSequential processes the stream one tweet at a time (the MOA model).
+func RunSequential(p *Pipeline, src Source) EngineStats {
+	return engine.RunSequential(p, src)
+}
+
+// RunMicroBatch processes the stream with micro-batch parallelism.
+func RunMicroBatch(p *Pipeline, src Source, cfg MicroBatchConfig) (EngineStats, error) {
+	return engine.RunMicroBatch(p, src, cfg)
+}
+
+// RunCluster processes the stream across TCP executor nodes.
+func RunCluster(p *Pipeline, src Source, cfg ClusterConfig) (EngineStats, error) {
+	return engine.RunCluster(p, src, cfg)
+}
+
+// StartExecutor launches a cluster node listening on addr.
+func StartExecutor(addr string, workers int) (*Executor, error) {
+	return engine.StartExecutor(addr, workers)
+}
+
+// SparkSingleConfig mimics single-threaded Spark execution.
+func SparkSingleConfig() MicroBatchConfig { return engine.SparkSingleConfig() }
+
+// SparkLocalConfig mimics one multi-threaded Spark worker.
+func SparkLocalConfig(cores int) MicroBatchConfig { return engine.SparkLocalConfig(cores) }
+
+// Synthetic datasets (see DESIGN.md for the calibration to the paper's
+// reported statistics).
+type (
+	// AggressionConfig sizes the synthetic aggression dataset.
+	AggressionConfig = twitterdata.AggressionConfig
+	// SarcasmConfig sizes the synthetic sarcasm dataset.
+	SarcasmConfig = twitterdata.SarcasmConfig
+	// OffensiveConfig sizes the synthetic racism/sexism dataset.
+	OffensiveConfig = twitterdata.OffensiveConfig
+)
+
+// GenerateAggression produces the labeled aggression dataset.
+func GenerateAggression(cfg AggressionConfig) []Tweet {
+	return twitterdata.GenerateAggression(cfg)
+}
+
+// DefaultAggressionConfig mirrors the paper's 86k dataset (53,835 normal,
+// 27,179 abusive, 4,970 hateful over 10 days).
+func DefaultAggressionConfig() AggressionConfig {
+	return twitterdata.DefaultAggressionConfig()
+}
+
+// GenerateSarcasm produces the sarcasm dataset of §V-F.
+func GenerateSarcasm(cfg SarcasmConfig) []Tweet { return twitterdata.GenerateSarcasm(cfg) }
+
+// GenerateOffensive produces the racism/sexism dataset of §V-F.
+func GenerateOffensive(cfg OffensiveConfig) []Tweet { return twitterdata.GenerateOffensive(cfg) }

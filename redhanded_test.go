@@ -1,0 +1,99 @@
+package redhanded_test
+
+import (
+	"testing"
+
+	"redhanded"
+)
+
+// TestFacadeEndToEnd exercises the public API surface the examples use:
+// dataset generation, pipeline construction, alert subscription, and all
+// three execution engines.
+func TestFacadeEndToEnd(t *testing.T) {
+	cfg := redhanded.AggressionConfig{
+		Seed: 5, Days: 10, NormalCount: 2000, AbusiveCount: 1000, HatefulCount: 200,
+	}
+	tweets := redhanded.GenerateAggression(cfg)
+	if len(tweets) != 3200 {
+		t.Fatalf("generated %d tweets", len(tweets))
+	}
+
+	opts := redhanded.DefaultOptions()
+	opts.Scheme = redhanded.TwoClass
+	p := redhanded.NewPipeline(opts)
+
+	alerts := 0
+	p.Alerter().Subscribe(redhanded.AlertSinkFunc(func(redhanded.Alert) { alerts++ }))
+
+	stats := redhanded.RunSequential(p, redhanded.NewSliceSource(tweets))
+	if stats.Processed != int64(len(tweets)) {
+		t.Fatalf("processed %d", stats.Processed)
+	}
+	if r := p.Summary(); r.F1 < 0.7 {
+		t.Fatalf("facade pipeline F1 = %v", r.F1)
+	}
+	if alerts == 0 {
+		t.Fatalf("no alerts delivered through the facade")
+	}
+}
+
+func TestFacadeMicroBatchAndCluster(t *testing.T) {
+	tweets := redhanded.GenerateAggression(redhanded.AggressionConfig{
+		Seed: 6, Days: 10, NormalCount: 1500, AbusiveCount: 700, HatefulCount: 150,
+	})
+
+	p := redhanded.NewPipeline(redhanded.DefaultOptions())
+	if _, err := redhanded.RunMicroBatch(p, redhanded.NewSliceSource(tweets), redhanded.SparkLocalConfig(4)); err != nil {
+		t.Fatal(err)
+	}
+
+	ex, err := redhanded.StartExecutor("127.0.0.1:0", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ex.Close()
+	p2 := redhanded.NewPipeline(redhanded.DefaultOptions())
+	stats, err := redhanded.RunCluster(p2, redhanded.NewSliceSource(tweets), redhanded.ClusterConfig{
+		Executors: []string{ex.Addr()}, BatchSize: 500, TasksPerExecutor: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Processed != int64(len(tweets)) {
+		t.Fatalf("cluster processed %d", stats.Processed)
+	}
+}
+
+func TestFacadeRelatedDatasets(t *testing.T) {
+	s := redhanded.GenerateSarcasm(redhanded.SarcasmConfig{
+		Seed: 7, SarcasticCount: 50, NormalCount: 200, Days: 4,
+	})
+	if len(s) != 250 {
+		t.Fatalf("sarcasm size %d", len(s))
+	}
+	o := redhanded.GenerateOffensive(redhanded.OffensiveConfig{
+		Seed: 8, RacistCount: 20, SexistCount: 30, NoneCount: 100, Days: 4,
+	})
+	if len(o) != 150 {
+		t.Fatalf("offensive size %d", len(o))
+	}
+	labels := map[string]bool{}
+	for i := range o {
+		labels[o[i].Label] = true
+	}
+	if !labels[redhanded.LabelNormal] && !labels["none"] {
+		t.Fatalf("offensive labels missing: %v", labels)
+	}
+}
+
+func TestFacadeConstants(t *testing.T) {
+	if redhanded.ThreeClass.NumClasses() != 3 || redhanded.TwoClass.NumClasses() != 2 {
+		t.Fatalf("scheme constants broken")
+	}
+	if redhanded.ModelHT.String() != "HT" {
+		t.Fatalf("model constants broken")
+	}
+	if redhanded.DefaultAggressionConfig().NormalCount != 53835 {
+		t.Fatalf("default dataset size wrong")
+	}
+}
