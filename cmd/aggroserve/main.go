@@ -1,0 +1,163 @@
+// Command aggroserve runs the real-time aggression detection pipeline as a
+// sharded HTTP service: tweets arrive over POST /v1/classify (synchronous)
+// and POST /v1/ingest (NDJSON batches, asynchronous), alerts stream out of
+// GET /v1/alerts as Server-Sent Events, and GET /v1/stats and GET /metrics
+// expose per-shard prequential metrics and Prometheus-format counters.
+//
+// Usage:
+//
+//	aggroserve -addr :8080 -shards 4 -queue 2048
+//	aggroserve -model slr -classes 2 -checkpoint /var/lib/aggro -restore
+//
+// On SIGINT/SIGTERM the server stops accepting work, drains every shard
+// queue, and (with -checkpoint) writes one core checkpoint per shard so a
+// restart with -restore resumes the incrementally learned state.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"redhanded/internal/core"
+	"redhanded/internal/norm"
+	"redhanded/internal/serve"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("aggroserve: ")
+	var (
+		addr       = flag.String("addr", ":8080", "HTTP listen address")
+		model      = flag.String("model", "ht", "streaming model: ht, arf, slr")
+		classes    = flag.Int("classes", 3, "class scheme: 2 or 3")
+		preprocess = flag.Bool("preprocess", true, "enable text preprocessing")
+		normMode   = flag.String("norm", "robust", "normalization: none, minmax, robust, zscore")
+		adaptive   = flag.Bool("adaptive-bow", true, "enable the adaptive bag-of-words")
+		threshold  = flag.Float64("alert-threshold", 0.5, "alert confidence threshold")
+		shards     = flag.Int("shards", 4, "pipeline shards (user affinity is hash(userID) % shards)")
+		queue      = flag.Int("queue", 2048, "per-shard queue depth before 429 backpressure")
+		retryAfter = flag.Duration("retry-after", time.Second, "Retry-After hint on 429 responses")
+		checkpoint = flag.String("checkpoint", "", "checkpoint directory written on graceful shutdown")
+		restore    = flag.Bool("restore", false, "restore shard state from -checkpoint before serving")
+		drainWait  = flag.Duration("drain-timeout", 30*time.Second, "max time to drain shard queues on shutdown")
+	)
+	flag.Parse()
+
+	opts := core.DefaultOptions()
+	opts.Preprocess = *preprocess
+	opts.AdaptiveBoW = *adaptive
+	opts.AlertThreshold = *threshold
+	switch *model {
+	case "ht":
+		opts.Model = core.ModelHT
+	case "arf":
+		opts.Model = core.ModelARF
+	case "slr":
+		opts.Model = core.ModelSLR
+	default:
+		log.Fatalf("unknown model %q", *model)
+	}
+	switch *classes {
+	case 2:
+		opts.Scheme = core.TwoClass
+	case 3:
+		opts.Scheme = core.ThreeClass
+	default:
+		log.Fatalf("classes must be 2 or 3")
+	}
+	switch *normMode {
+	case "none":
+		opts.Normalization = norm.None
+	case "minmax":
+		opts.Normalization = norm.MinMax
+	case "robust":
+		opts.Normalization = norm.MinMaxRobust
+	case "zscore":
+		opts.Normalization = norm.ZScore
+	default:
+		log.Fatalf("unknown normalization %q", *normMode)
+	}
+
+	srv := serve.NewServer(serve.Options{
+		Pipeline:   opts,
+		Shards:     *shards,
+		QueueDepth: *queue,
+		RetryAfter: *retryAfter,
+	})
+	if *restore {
+		if *checkpoint == "" {
+			log.Fatal("-restore requires -checkpoint")
+		}
+		if err := srv.Restore(*checkpoint); err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("restored %d shards from %s", srv.Shards(), *checkpoint)
+	}
+
+	// WriteTimeout stays 0: /v1/alerts is a long-lived SSE stream.
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           srv,
+		ReadHeaderTimeout: 10 * time.Second,
+		IdleTimeout:       2 * time.Minute,
+	}
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.ListenAndServe() }()
+	log.Printf("serving on %s: model=%s %s shards=%d queue=%d", *addr, opts.Model, opts.Scheme, *shards, *queue)
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, syscall.SIGINT, syscall.SIGTERM)
+	select {
+	case err := <-errc:
+		log.Fatal(err)
+	case sig := <-sigc:
+		log.Printf("received %s, shutting down", sig)
+	}
+
+	// Drain first: it stops intake, terminates the long-lived SSE streams,
+	// and waits for the shard queues to empty — so the HTTP shutdown that
+	// follows (which waits on in-flight requests) finishes promptly and
+	// cannot eat the drain budget.
+	drainCtx, cancelDrain := context.WithTimeout(context.Background(), *drainWait)
+	defer cancelDrain()
+	drainErr := srv.Drain(drainCtx)
+	if drainErr != nil {
+		log.Printf("drain: %v", drainErr)
+	}
+	httpCtx, cancelHTTP := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancelHTTP()
+	if err := httpSrv.Shutdown(httpCtx); err != nil {
+		log.Printf("http shutdown: %v", err)
+	}
+	switch {
+	case *checkpoint == "":
+	case drainErr != nil:
+		// Shards may still be training; a checkpoint now would serialize
+		// state mid-mutation and -restore would load it as authoritative.
+		log.Printf("skipping checkpoint: shards did not drain cleanly")
+	default:
+		if err := srv.Checkpoint(*checkpoint); err != nil {
+			// ARF does not support checkpointing; report, don't crash.
+			log.Printf("checkpoint: %v", err)
+		} else {
+			log.Printf("checkpointed %d shards to %s", srv.Shards(), *checkpoint)
+		}
+	}
+	var processed int64
+	for i := 0; i < srv.Shards(); i++ {
+		processed += srv.Pipeline(i).Processed()
+	}
+	fmt.Printf("processed %d tweets across %d shards in %s\n",
+		processed, srv.Shards(), srv.Uptime().Round(time.Millisecond))
+	if errors.Is(<-errc, http.ErrServerClosed) {
+		return
+	}
+}

@@ -1,0 +1,204 @@
+// Command loadgen replays synthetic datagen traffic against a running
+// aggroserve instance at a target rate and reports client-observed latency
+// percentiles and sustained throughput — the serving hot path's benchmark.
+//
+// Usage:
+//
+//	aggroserve -addr :8080 -shards 4 &
+//	loadgen -url http://localhost:8080 -rps 20000 -duration 10s
+//	loadgen -url http://localhost:8080 -mode classify -rps 2000
+//
+// In ingest mode tweets are shipped as NDJSON batches to /v1/ingest (the
+// firehose path); in classify mode each tweet is a synchronous
+// /v1/classify request. Tweets above the server's queue capacity come back
+// as 429s and are reported as rejected, so driving -rps past capacity
+// measures the backpressure behavior rather than overloading the server.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"math/rand/v2"
+	"net/http"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"redhanded/internal/serve"
+	"redhanded/internal/twitterdata"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("loadgen: ")
+	var (
+		url      = flag.String("url", "http://localhost:8080", "aggroserve base URL")
+		mode     = flag.String("mode", "ingest", "ingest (NDJSON batches) or classify (synchronous)")
+		rps      = flag.Float64("rps", 10000, "target tweets per second")
+		duration = flag.Duration("duration", 10*time.Second, "load duration")
+		batch    = flag.Int("batch", 200, "tweets per /v1/ingest request")
+		workers  = flag.Int("workers", 8, "concurrent HTTP connections")
+		pool     = flag.Int("pool", 20000, "distinct tweets in the replay pool")
+		labeled  = flag.Float64("labeled-share", 0.1, "fraction of pool tweets keeping their label (training traffic)")
+		seed     = flag.Uint64("seed", 42, "generation seed")
+	)
+	flag.Parse()
+
+	lines := buildPool(*pool, *labeled, *seed)
+	log.Printf("pool: %d tweets (%.0f%% labeled), target %.0f tweets/s for %s",
+		len(lines), *labeled*100, *rps, *duration)
+
+	client := &http.Client{Transport: &http.Transport{
+		MaxIdleConnsPerHost: *workers,
+		MaxConnsPerHost:     0,
+	}}
+
+	var (
+		next      atomic.Int64 // next request index, shared pacing clock
+		accepted  atomic.Int64
+		rejected  atomic.Int64
+		malformed atomic.Int64
+		failed    atomic.Int64 // non-200/429 responses (400s, 503s, ...)
+		errs      atomic.Int64
+	)
+	perReq := 1
+	if *mode == "ingest" {
+		perReq = *batch
+	}
+	interval := time.Duration(float64(perReq) / *rps * float64(time.Second))
+	start := time.Now()
+	deadline := start.Add(*duration)
+
+	latencies := make([][]time.Duration, *workers)
+	var wg sync.WaitGroup
+	for w := 0; w < *workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for {
+				n := next.Add(1) - 1
+				due := start.Add(time.Duration(n) * interval)
+				if due.After(deadline) {
+					return
+				}
+				if wait := time.Until(due); wait > 0 {
+					time.Sleep(wait)
+				}
+				var (
+					t0   = time.Now()
+					resp *http.Response
+					err  error
+				)
+				if *mode == "ingest" {
+					resp, err = postIngest(client, *url, lines, int(n)*perReq, perReq)
+				} else {
+					resp, err = postClassify(client, *url, lines[int(n)%len(lines)])
+				}
+				lat := time.Since(t0)
+				if err != nil {
+					errs.Add(1)
+					continue
+				}
+				latencies[w] = append(latencies[w], lat)
+				consume(resp, *mode, perReq, &accepted, &rejected, &malformed, &failed)
+			}
+		}(w)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	var all []time.Duration
+	for _, l := range latencies {
+		all = append(all, l...)
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	fmt.Printf("\nmode=%s requests=%d elapsed=%s\n", *mode, len(all), elapsed.Round(time.Millisecond))
+	fmt.Printf("tweets: accepted=%d rejected(429)=%d malformed=%d failed=%d transport-errors=%d\n",
+		accepted.Load(), rejected.Load(), malformed.Load(), failed.Load(), errs.Load())
+	fmt.Printf("sustained throughput: %.0f accepted tweets/s (target %.0f/s)\n",
+		float64(accepted.Load())/elapsed.Seconds(), *rps)
+	if len(all) > 0 {
+		fmt.Printf("request latency: p50=%s p95=%s p99=%s max=%s\n",
+			pct(all, 0.50), pct(all, 0.95), pct(all, 0.99), all[len(all)-1].Round(time.Microsecond))
+	}
+}
+
+// buildPool pre-marshals the replay pool: endless firehose-style tweets,
+// with a slice of them keeping their labels so the server keeps training.
+func buildPool(n int, labeledShare float64, seed uint64) [][]byte {
+	src := twitterdata.NewUnlabeledSource(seed, 10)
+	rng := rand.New(rand.NewPCG(seed, 0x10ad6e4))
+	cfg := twitterdata.DefaultAggressionConfig()
+	cfg.Seed = seed
+	scale := float64(n) * labeledShare / 86000
+	cfg.NormalCount = int(float64(cfg.NormalCount) * scale)
+	cfg.AbusiveCount = int(float64(cfg.AbusiveCount) * scale)
+	cfg.HatefulCount = int(float64(cfg.HatefulCount) * scale)
+	labeled := twitterdata.GenerateAggression(cfg)
+
+	lines := make([][]byte, 0, n)
+	li := 0
+	for i := 0; i < n; i++ {
+		var t twitterdata.Tweet
+		if li < len(labeled) && rng.Float64() < labeledShare {
+			t = labeled[li]
+			li++
+		} else {
+			t = src.Next()
+		}
+		blob, err := t.Marshal()
+		if err != nil {
+			log.Fatal(err)
+		}
+		lines = append(lines, blob)
+	}
+	return lines
+}
+
+func postIngest(client *http.Client, base string, lines [][]byte, off, n int) (*http.Response, error) {
+	var body bytes.Buffer
+	body.Grow(n * 400)
+	for i := 0; i < n; i++ {
+		body.Write(lines[(off+i)%len(lines)])
+		body.WriteByte('\n')
+	}
+	return client.Post(base+"/v1/ingest", "application/x-ndjson", &body)
+}
+
+func postClassify(client *http.Client, base string, line []byte) (*http.Response, error) {
+	return client.Post(base+"/v1/classify", "application/json", bytes.NewReader(line))
+}
+
+// consume tallies one response's accept counts and drains the body so the
+// connection is reused.
+func consume(resp *http.Response, mode string, perReq int, accepted, rejected, malformed, failed *atomic.Int64) {
+	defer resp.Body.Close()
+	switch {
+	case mode == "ingest":
+		var ir serve.IngestResponse
+		if json.NewDecoder(resp.Body).Decode(&ir) == nil {
+			accepted.Add(ir.Accepted)
+			rejected.Add(ir.Rejected)
+			malformed.Add(ir.Malformed)
+		} else {
+			failed.Add(int64(perReq))
+		}
+	case resp.StatusCode == http.StatusOK:
+		accepted.Add(int64(perReq))
+	case resp.StatusCode == http.StatusTooManyRequests:
+		rejected.Add(int64(perReq))
+	default:
+		failed.Add(int64(perReq))
+	}
+	io.Copy(io.Discard, resp.Body)
+}
+
+func pct(sorted []time.Duration, q float64) time.Duration {
+	i := int(q * float64(len(sorted)-1))
+	return sorted[i].Round(time.Microsecond)
+}

@@ -1,0 +1,177 @@
+// Serving: run the sharded HTTP serving subsystem in-process, post tweets
+// to it, and consume the live alert stream over Server-Sent Events — the
+// deployment shape of the paper's real-time story.
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	"redhanded"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	// A 4-shard server over the paper-default pipeline; tweets are routed
+	// to shards by hash(userID), so each user's state stays on one shard.
+	opts := redhanded.DefaultServerOptions()
+	opts.Shards = 4
+	opts.Pipeline.AlertThreshold = 0.4
+	srv := redhanded.NewServer(opts)
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	httpSrv := &http.Server{Handler: srv}
+	go httpSrv.Serve(ln)
+	base := "http://" + ln.Addr().String()
+	fmt.Printf("serving on %s with %d shards\n\n", base, srv.Shards())
+
+	// Subscribe to the SSE alert stream before traffic arrives.
+	alerts := make(chan string, 64)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	go streamAlerts(ctx, base, alerts)
+
+	// Stream a labeled slice of the synthetic dataset through /v1/ingest:
+	// the shards train incrementally and start raising alerts on the
+	// aggressive minority as their models converge.
+	cfg := redhanded.DefaultAggressionConfig()
+	cfg.NormalCount, cfg.AbusiveCount, cfg.HatefulCount = 4000, 2000, 400
+	tweets := redhanded.GenerateAggression(cfg)
+	const batch = 500
+	for off := 0; off < len(tweets); {
+		end := min(off+batch, len(tweets))
+		var body bytes.Buffer
+		for i := off; i < end; i++ {
+			blob, err := tweets[i].Marshal()
+			if err != nil {
+				log.Fatal(err)
+			}
+			body.Write(blob)
+			body.WriteByte('\n')
+		}
+		resp, err := http.Post(base+"/v1/ingest", "application/x-ndjson", &body)
+		if err != nil {
+			log.Fatal(err)
+		}
+		var ir struct {
+			Accepted  int `json:"accepted"`
+			Malformed int `json:"malformed"`
+		}
+		json.NewDecoder(resp.Body).Decode(&ir)
+		resp.Body.Close()
+		switch resp.StatusCode {
+		case http.StatusOK:
+			off = end
+		case http.StatusTooManyRequests:
+			// Backpressure: Accepted+Malformed is a prefix of the batch,
+			// so advance past it and resend the rejected suffix after the
+			// advertised Retry-After.
+			off += ir.Accepted + ir.Malformed
+			wait := time.Second
+			if n, err := strconv.Atoi(resp.Header.Get("Retry-After")); err == nil && n > 0 {
+				wait = time.Duration(n) * time.Second
+			}
+			time.Sleep(wait)
+		default:
+			log.Fatalf("ingest: unexpected status %s", resp.Status)
+		}
+	}
+
+	// One synchronous classification on the hot path.
+	blob, _ := tweets[len(tweets)-1].Marshal()
+	resp, err := http.Post(base+"/v1/classify", "application/json", bytes.NewReader(blob))
+	if err != nil {
+		log.Fatal(err)
+	}
+	var cls struct {
+		Predicted  string  `json:"predicted"`
+		Confidence float64 `json:"confidence"`
+		Shard      int     `json:"shard"`
+	}
+	json.NewDecoder(resp.Body).Decode(&cls)
+	resp.Body.Close()
+	fmt.Printf("synchronous classify: %q (conf %.2f) on shard %d\n\n", cls.Predicted, cls.Confidence, cls.Shard)
+
+	// Print the first few live alerts from the SSE stream.
+	fmt.Println("live alerts from GET /v1/alerts:")
+	seen := 0
+	timeout := time.After(5 * time.Second)
+	for seen < 5 {
+		select {
+		case a := <-alerts:
+			fmt.Printf("  %s\n", a)
+			seen++
+		case <-timeout:
+			fmt.Println("  (timed out waiting for more alerts)")
+			seen = 5
+		}
+	}
+
+	// Server-side view: per-shard prequential metrics.
+	var stats redhanded.ServerStats
+	resp2, err := http.Get(base + "/v1/stats")
+	if err != nil {
+		log.Fatal(err)
+	}
+	json.NewDecoder(resp2.Body).Decode(&stats)
+	resp2.Body.Close()
+	fmt.Printf("\nprocessed %d tweets, %d alerts raised, per shard:\n", stats.Processed, stats.AlertsRaised)
+	for _, sh := range stats.PerShard {
+		fmt.Printf("  shard %d: %5d tweets, accuracy %.3f, F1 %.3f\n",
+			sh.Shard, sh.Processed, sh.Report.Accuracy, sh.Report.F1)
+	}
+
+	// Close the SSE subscription before Shutdown: graceful shutdown waits
+	// for in-flight requests, and the alert stream is one until canceled.
+	cancel()
+	httpSrv.Shutdown(context.Background())
+	srv.Drain(context.Background())
+}
+
+// streamAlerts consumes the SSE endpoint, forwarding one line per alert.
+func streamAlerts(ctx context.Context, base string, out chan<- string) {
+	req, _ := http.NewRequestWithContext(ctx, "GET", base+"/v1/alerts", nil)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return
+	}
+	defer resp.Body.Close()
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		line := sc.Text()
+		if !strings.HasPrefix(line, "data: ") {
+			continue
+		}
+		var ev struct {
+			ScreenName string  `json:"screen_name"`
+			Label      string  `json:"label"`
+			Confidence float64 `json:"confidence"`
+			Text       string  `json:"text"`
+		}
+		if json.Unmarshal([]byte(strings.TrimPrefix(line, "data: ")), &ev) != nil {
+			continue
+		}
+		text := ev.Text
+		if len(text) > 40 {
+			text = text[:40] + "..."
+		}
+		select {
+		case out <- fmt.Sprintf("%-8s conf=%.2f @%s %q", ev.Label, ev.Confidence, ev.ScreenName, text):
+		case <-ctx.Done():
+			return
+		}
+	}
+}

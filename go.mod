@@ -1,0 +1,3 @@
+module redhanded
+
+go 1.24

@@ -3,8 +3,16 @@ package core
 import (
 	"sync"
 
+	"redhanded/internal/metrics"
 	"redhanded/internal/twitterdata"
 )
+
+// alertsRaisedTotal counts alerts across every pipeline in the process on
+// the default metrics registry, so a serving deployment sees alert volume
+// on /metrics without per-pipeline wiring.
+var alertsRaisedTotal = metrics.Default().Counter(
+	"redhanded_alerts_raised_total",
+	"Alerts raised by the alerting step across all pipelines.", nil)
 
 // Alert is raised in real time when a tweet is predicted aggressive with
 // sufficient confidence.
@@ -78,6 +86,7 @@ func (a *Alerter) Consider(tw *twitterdata.Tweet, predicted string, confidence f
 	}
 	a.mu.Lock()
 	a.raised++
+	alertsRaisedTotal.Inc()
 	a.history[alert.UserID]++
 	if a.SuspendAfter > 0 && a.history[alert.UserID] >= a.SuspendAfter {
 		a.suspended[alert.UserID] = true

@@ -91,17 +91,25 @@ func (p *Pipeline) Alerter() *Alerter { return p.alerter }
 func (p *Pipeline) Sampler() *BoostedSampler { return p.sampler }
 
 // Processed returns the number of tweets processed.
-func (p *Pipeline) Processed() int64 { return p.processed }
+func (p *Pipeline) Processed() int64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.processed
+}
 
 // BoWSizeCurve returns (instances, BoW size) points sampled at the
 // evaluator's cadence — the series of Fig. 10.
 func (p *Pipeline) BoWSizeCurve() []eval.Point {
+	p.mu.Lock()
+	defer p.mu.Unlock()
 	return append([]eval.Point(nil), p.bowSizes...)
 }
 
 // PredictedDistribution returns the share of each predicted class over the
 // unlabeled traffic processed so far.
 func (p *Pipeline) PredictedDistribution() []float64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
 	total := int64(0)
 	for _, c := range p.predCounts {
 		total += c
@@ -134,7 +142,15 @@ func (p *Pipeline) ExtractInstance(tw *twitterdata.Tweet) ml.Instance {
 // Process runs one tweet through the full pipeline: extract, normalize,
 // predict, then — for labeled tweets — evaluate prequentially and train;
 // for all tweets, alerting and sampling are applied to the prediction.
+//
+// Process serializes against the snapshot readers (Processed, Summary,
+// BoWSizeCurve, PredictedDistribution, Checkpoint) so the serving layer
+// can report live statistics while a shard goroutine runs the pipeline;
+// concurrent Process calls on one pipeline remain unsupported (engines
+// partition work across pipelines instead).
 func (p *Pipeline) Process(tw *twitterdata.Tweet) Result {
+	p.mu.Lock()
+	defer p.mu.Unlock()
 	in := p.ExtractInstance(tw)
 	votes := p.model.Predict(in.X)
 	pred := votes.ArgMax()
@@ -224,4 +240,8 @@ func (p *Pipeline) AbsorbBatch(tweets []twitterdata.Tweet, outcomes []Outcome) {
 }
 
 // Summary returns the cumulative evaluation metrics.
-func (p *Pipeline) Summary() eval.Report { return p.evaluator.Summary() }
+func (p *Pipeline) Summary() eval.Report {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.evaluator.Summary()
+}

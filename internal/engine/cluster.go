@@ -319,6 +319,7 @@ func RunCluster(p *core.Pipeline, src Source, cfg ClusterConfig) (Stats, error) 
 		}
 		lat.add(time.Since(batchStart))
 		stats.Processed += int64(len(batch))
+		tweetsProcessedTotal.Add(int64(len(batch)))
 		stats.Batches++
 		if len(batch) < cfg.BatchSize {
 			break

@@ -12,8 +12,15 @@ import (
 	"time"
 
 	"redhanded/internal/core"
+	"redhanded/internal/metrics"
 	"redhanded/internal/twitterdata"
 )
+
+// tweetsProcessedTotal counts tweets run through any engine in the process
+// on the default metrics registry (one atomic add per tweet or batch).
+var tweetsProcessedTotal = metrics.Default().Counter(
+	"redhanded_engine_tweets_processed_total",
+	"Tweets processed by the execution engines.", nil)
 
 // Source yields a stream of tweets. Next returns false when the stream is
 // exhausted.
@@ -228,6 +235,7 @@ func RunSequential(p *core.Pipeline, src Source) Stats {
 		}
 		p.Process(&t)
 		n++
+		tweetsProcessedTotal.Inc()
 	}
 	return Stats{Processed: n, Duration: time.Since(start)}
 }

@@ -118,6 +118,7 @@ func RunMicroBatch(p *core.Pipeline, src Source, cfg MicroBatchConfig) (Stats, e
 		}
 		lat.add(time.Since(batchStart))
 		stats.Processed += int64(len(batch))
+		tweetsProcessedTotal.Add(int64(len(batch)))
 		stats.Batches++
 		if len(batch) < cfg.BatchSize {
 			break

@@ -205,12 +205,12 @@ func (m *ConfusionMatrix) weightedMetric(f func(int) float64) float64 {
 // Report bundles the headline metrics (the rows of Table II, plus Cohen's
 // kappa for imbalance-aware reading).
 type Report struct {
-	Accuracy  float64
-	Precision float64
-	Recall    float64
-	F1        float64
-	Kappa     float64
-	Instances int64
+	Accuracy  float64 `json:"accuracy"`
+	Precision float64 `json:"precision"`
+	Recall    float64 `json:"recall"`
+	F1        float64 `json:"f1"`
+	Kappa     float64 `json:"kappa"`
+	Instances int64   `json:"instances"`
 }
 
 // Summary extracts a Report using weighted multi-class averages.

@@ -1,0 +1,177 @@
+package metrics
+
+import (
+	"math"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterGauge(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c_total", "help", nil)
+	c.Inc()
+	c.Add(4)
+	c.Add(-3) // ignored
+	if c.Value() != 5 {
+		t.Fatalf("counter = %d, want 5", c.Value())
+	}
+	g := r.Gauge("g", "help", nil)
+	g.Set(10)
+	g.Dec()
+	g.Add(-2)
+	if g.Value() != 7 {
+		t.Fatalf("gauge = %d, want 7", g.Value())
+	}
+}
+
+func TestIdempotentRegistration(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("x_total", "help", Labels{"shard": "0"})
+	b := r.Counter("x_total", "help", Labels{"shard": "0"})
+	if a != b {
+		t.Fatal("same (name, labels) must return the same counter")
+	}
+	other := r.Counter("x_total", "help", Labels{"shard": "1"})
+	if a == other {
+		t.Fatal("different labels must return a different series")
+	}
+}
+
+func TestTypeMismatchPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("m", "help", nil)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("registering m as gauge after counter should panic")
+		}
+	}()
+	r.Gauge("m", "help", nil)
+}
+
+func TestHistogramBucketsAndQuantile(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat_seconds", "help", []float64{0.01, 0.1, 1}, nil)
+	for i := 0; i < 100; i++ {
+		h.Observe(0.005) // all in first bucket
+	}
+	h.Observe(5) // overflow bucket
+	if h.Count() != 101 {
+		t.Fatalf("count = %d, want 101", h.Count())
+	}
+	if got := h.Sum(); math.Abs(got-5.5) > 1e-9 {
+		t.Fatalf("sum = %g, want 5.5", got)
+	}
+	if q := h.Quantile(0.5); q <= 0 || q > 0.01 {
+		t.Fatalf("p50 = %g, want in (0, 0.01]", q)
+	}
+	if q := h.Quantile(1.0); q != 1 {
+		t.Fatalf("p100 = %g, want overflow lower bound 1", q)
+	}
+}
+
+func TestExpositionFormat(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("ingest_total", "Tweets ingested.", nil).Add(7)
+	r.Gauge("depth", "Queue depth.", Labels{"shard": "2"}).Set(3)
+	r.GaugeFunc("live", "Sampled.", nil, func() float64 { return 1.5 })
+	h := r.Histogram("lat_seconds", "Latency.", []float64{0.5}, Labels{"shard": "0"})
+	h.Observe(0.1)
+	h.Observe(2)
+
+	var b strings.Builder
+	if err := r.WriteText(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"# HELP ingest_total Tweets ingested.",
+		"# TYPE ingest_total counter",
+		"ingest_total 7",
+		"# TYPE depth gauge",
+		`depth{shard="2"} 3`,
+		"live 1.5",
+		"# TYPE lat_seconds histogram",
+		`lat_seconds_bucket{shard="0",le="0.5"} 1`,
+		`lat_seconds_bucket{shard="0",le="+Inf"} 2`,
+		`lat_seconds_sum{shard="0"} 2.1`,
+		`lat_seconds_count{shard="0"} 2`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestUnregister(t *testing.T) {
+	r := NewRegistry()
+	r.Gauge("g", "help", Labels{"shard": "0"}).Set(1)
+	r.Gauge("g", "help", Labels{"shard": "1"}).Set(2)
+	if !r.Unregister("g", Labels{"shard": "0"}) {
+		t.Fatal("existing series should unregister")
+	}
+	if r.Unregister("g", Labels{"shard": "0"}) {
+		t.Fatal("second unregister should report missing")
+	}
+	var b strings.Builder
+	if err := r.WriteText(&b); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(b.String(), `shard="0"`) || !strings.Contains(b.String(), `shard="1"`) {
+		t.Fatalf("exposition after unregister:\n%s", b.String())
+	}
+	// Removing the last series removes the family entirely.
+	r.Unregister("g", Labels{"shard": "1"})
+	b.Reset()
+	if err := r.WriteText(&b); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(b.String(), "# TYPE g") {
+		t.Fatalf("family should be gone:\n%s", b.String())
+	}
+}
+
+func TestGaugeFuncMayTouchRegistry(t *testing.T) {
+	r := NewRegistry()
+	r.GaugeFunc("self", "reads the registry", nil, func() float64 {
+		return float64(r.Counter("side_total", "help", nil).Value())
+	})
+	done := make(chan error, 1)
+	go func() {
+		var b strings.Builder
+		done <- r.WriteText(&b)
+	}()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("WriteText deadlocked on a registry-touching GaugeFunc")
+	}
+}
+
+func TestConcurrentObserve(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat", "help", nil, nil)
+	c := r.Counter("n_total", "help", nil)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				h.Observe(0.001)
+				c.Inc()
+			}
+		}()
+	}
+	wg.Wait()
+	if h.Count() != 8000 || c.Value() != 8000 {
+		t.Fatalf("count = %d / %d, want 8000", h.Count(), c.Value())
+	}
+	if math.Abs(h.Sum()-8.0) > 1e-6 {
+		t.Fatalf("sum = %g, want 8.0", h.Sum())
+	}
+}

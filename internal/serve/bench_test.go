@@ -1,0 +1,102 @@
+package serve
+
+import (
+	"bytes"
+	"fmt"
+	"net/http/httptest"
+	"testing"
+
+	"redhanded/internal/metrics"
+	"redhanded/internal/twitterdata"
+)
+
+// benchPool pre-marshals a mixed replay pool so the benchmark measures the
+// serving path, not JSON generation.
+func benchPool(n int) [][]byte {
+	src := twitterdata.NewUnlabeledSource(1, 10)
+	lines := make([][]byte, n)
+	for i := range lines {
+		t := src.Next()
+		blob, err := t.Marshal()
+		if err != nil {
+			panic(err)
+		}
+		lines[i] = blob
+	}
+	return lines
+}
+
+func newBenchServer(b *testing.B, shards int) *Server {
+	b.Helper()
+	opts := testOptions()
+	opts.Shards = shards
+	opts.QueueDepth = 1 << 16
+	opts.Registry = metrics.NewRegistry()
+	return NewServer(opts)
+}
+
+// BenchmarkIngestNDJSON drives the async firehose path with 100-tweet
+// batches through ServeHTTP directly (no sockets); the reported
+// tweets/sec metric includes shard processing, which the benchmark waits
+// out so queue growth cannot flatter the number.
+func BenchmarkIngestNDJSON(b *testing.B) {
+	for _, shards := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			s := newBenchServer(b, shards)
+			lines := benchPool(4096)
+			const batch = 100
+			bodies := make([][]byte, 64)
+			for i := range bodies {
+				var buf bytes.Buffer
+				for j := 0; j < batch; j++ {
+					buf.Write(lines[(i*batch+j)%len(lines)])
+					buf.WriteByte('\n')
+				}
+				bodies[i] = buf.Bytes()
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				req := httptest.NewRequest("POST", "/v1/ingest", bytes.NewReader(bodies[i%len(bodies)]))
+				rec := httptest.NewRecorder()
+				s.ServeHTTP(rec, req)
+				if rec.Code != 200 && rec.Code != 429 {
+					b.Fatalf("status %d: %s", rec.Code, rec.Body.String())
+				}
+			}
+			// Include the queued work in the measured window. Rejected
+			// tweets (queue overflow) never process, so wait on accepted.
+			want := s.accepted.Value()
+			for {
+				var total int64
+				for i := 0; i < s.Shards(); i++ {
+					total += s.Pipeline(i).Processed()
+				}
+				if total >= want {
+					break
+				}
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(batch*b.N)/b.Elapsed().Seconds(), "tweets/s")
+		})
+	}
+}
+
+// BenchmarkClassify measures the synchronous single-tweet path.
+func BenchmarkClassify(b *testing.B) {
+	s := newBenchServer(b, 4)
+	lines := benchPool(4096)
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		i := 0
+		for pb.Next() {
+			req := httptest.NewRequest("POST", "/v1/classify", bytes.NewReader(lines[i%len(lines)]))
+			rec := httptest.NewRecorder()
+			s.ServeHTTP(rec, req)
+			if rec.Code != 200 && rec.Code != 429 {
+				b.Fatalf("status %d: %s", rec.Code, rec.Body.String())
+			}
+			i++
+		}
+	})
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "tweets/s")
+}

@@ -1,0 +1,104 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// Sharded checkpointing: each shard's pipeline carries independently
+// learned state (model, normalizer statistics, BoW vocabulary, evaluation
+// counters), so a server checkpoint is one core checkpoint file per shard
+// plus a manifest pinning the shard count. Because ShardFor is a pure
+// function of (userID, shard count), restoring into a server with the same
+// shard count routes every user back to the shard that learned from them.
+
+// manifest pins the shape a checkpoint directory was written with.
+type manifest struct {
+	Shards  int    `json:"shards"`
+	Model   string `json:"model"`
+	Classes int    `json:"classes"`
+}
+
+const manifestName = "manifest.json"
+
+func shardFile(i int) string { return fmt.Sprintf("shard-%04d.ckpt", i) }
+
+// Checkpoint writes every shard's learned state into dir (created if
+// needed). Call it after Drain so no shard is mid-tweet.
+//
+// Every file is written to a temporary name and renamed into place, with
+// the manifest renamed last, so a crash mid-checkpoint never truncates the
+// previous checkpoint's files (the narrow rename window can at worst mix
+// shard generations, not corrupt them).
+func (s *Server) Checkpoint(dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("serve: checkpoint: %w", err)
+	}
+	for _, sh := range s.shards {
+		path := filepath.Join(dir, shardFile(sh.id))
+		f, err := os.Create(path + ".tmp")
+		if err != nil {
+			return fmt.Errorf("serve: checkpoint shard %d: %w", sh.id, err)
+		}
+		err = sh.p.Checkpoint(f)
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err == nil {
+			err = os.Rename(path+".tmp", path)
+		}
+		if err != nil {
+			os.Remove(path + ".tmp")
+			return fmt.Errorf("serve: checkpoint shard %d: %w", sh.id, err)
+		}
+	}
+	m := manifest{
+		Shards:  len(s.shards),
+		Model:   s.opts.Pipeline.Model.String(),
+		Classes: s.opts.Pipeline.Scheme.NumClasses(),
+	}
+	blob, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		return fmt.Errorf("serve: checkpoint manifest: %w", err)
+	}
+	mpath := filepath.Join(dir, manifestName)
+	if err := os.WriteFile(mpath+".tmp", blob, 0o644); err != nil {
+		return fmt.Errorf("serve: checkpoint manifest: %w", err)
+	}
+	if err := os.Rename(mpath+".tmp", mpath); err != nil {
+		return fmt.Errorf("serve: checkpoint manifest: %w", err)
+	}
+	return nil
+}
+
+// Restore loads a checkpoint directory written by Checkpoint into this
+// server's shards. The server must have been built with the same shard
+// count and compatible pipeline options; call it before serving traffic.
+func (s *Server) Restore(dir string) error {
+	blob, err := os.ReadFile(filepath.Join(dir, manifestName))
+	if err != nil {
+		return fmt.Errorf("serve: restore: %w", err)
+	}
+	var m manifest
+	if err := json.Unmarshal(blob, &m); err != nil {
+		return fmt.Errorf("serve: restore manifest: %w", err)
+	}
+	if m.Shards != len(s.shards) {
+		return fmt.Errorf("serve: checkpoint has %d shards, server has %d (user affinity would break)",
+			m.Shards, len(s.shards))
+	}
+	for _, sh := range s.shards {
+		f, err := os.Open(filepath.Join(dir, shardFile(sh.id)))
+		if err != nil {
+			return fmt.Errorf("serve: restore shard %d: %w", sh.id, err)
+		}
+		err = sh.p.Restore(f)
+		f.Close()
+		if err != nil {
+			return fmt.Errorf("serve: restore shard %d: %w", sh.id, err)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,240 @@
+package serve
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"math"
+	"net/http"
+	"strconv"
+	"time"
+
+	"redhanded/internal/core"
+	"redhanded/internal/eval"
+	"redhanded/internal/metrics"
+	"redhanded/internal/twitterdata"
+)
+
+// ClassifyResponse is the synchronous result of POST /v1/classify.
+type ClassifyResponse struct {
+	TweetID    string  `json:"tweet_id"`
+	Shard      int     `json:"shard"`
+	Predicted  string  `json:"predicted"`
+	Confidence float64 `json:"confidence"`
+	Alerted    bool    `json:"alerted"`
+	Tested     bool    `json:"tested"`
+}
+
+// IngestResponse reports what happened to an NDJSON batch.
+type IngestResponse struct {
+	Accepted  int64 `json:"accepted"`
+	Rejected  int64 `json:"rejected"`
+	Malformed int64 `json:"malformed"`
+}
+
+// ShardStats is one shard's entry in GET /v1/stats.
+type ShardStats struct {
+	Shard        int         `json:"shard"`
+	Processed    int64       `json:"processed"`
+	QueueDepth   int         `json:"queue_depth"`
+	QueueCap     int         `json:"queue_cap"`
+	AlertsRaised int64       `json:"alerts_raised"`
+	Report       eval.Report `json:"report"`
+}
+
+// Stats is the GET /v1/stats payload.
+type Stats struct {
+	UptimeSeconds float64      `json:"uptime_seconds"`
+	Shards        int          `json:"shards"`
+	Processed     int64        `json:"processed"`
+	Accepted      int64        `json:"accepted"`
+	Rejected      int64        `json:"rejected"`
+	AlertsRaised  int64        `json:"alerts_raised"`
+	Subscribers   int          `json:"alert_subscribers"`
+	PerShard      []ShardStats `json:"per_shard"`
+}
+
+func (s *Server) routes() *http.ServeMux {
+	mux := http.NewServeMux()
+	handle := func(pattern, name string, h http.HandlerFunc) {
+		c := s.opts.Registry.Counter("redhanded_http_requests_total",
+			"HTTP requests by endpoint.", metrics.Labels{"path": name})
+		mux.HandleFunc(pattern, func(w http.ResponseWriter, r *http.Request) {
+			c.Inc()
+			h(w, r)
+		})
+	}
+	handle("POST /v1/classify", "/v1/classify", s.handleClassify)
+	handle("POST /v1/ingest", "/v1/ingest", s.handleIngest)
+	handle("GET /v1/alerts", "/v1/alerts", s.handleAlerts)
+	handle("GET /v1/stats", "/v1/stats", s.handleStats)
+	handle("GET /healthz", "/healthz", s.handleHealthz)
+	mux.Handle("GET /metrics", s.metricsHandler())
+	return mux
+}
+
+func (s *Server) writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func (s *Server) writeBackpressure(w http.ResponseWriter, v any) {
+	// Round up: "Retry-After: 0" would invite an immediate hammer.
+	secs := int(math.Ceil(s.opts.RetryAfter.Seconds()))
+	if secs < 1 {
+		secs = 1
+	}
+	w.Header().Set("Retry-After", strconv.Itoa(secs))
+	s.writeJSON(w, http.StatusTooManyRequests, v)
+}
+
+// handleClassify runs one tweet through its shard synchronously.
+func (s *Server) handleClassify(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	var tw twitterdata.Tweet
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20)).Decode(&tw); err != nil {
+		s.writeJSON(w, http.StatusBadRequest, map[string]string{"error": fmt.Sprintf("decode tweet: %v", err)})
+		return
+	}
+	reply := make(chan core.Result, 1)
+	sh, ok, err := s.offer(job{tweet: tw, reply: reply})
+	if err != nil {
+		s.writeJSON(w, http.StatusServiceUnavailable, map[string]string{"error": err.Error()})
+		return
+	}
+	if !ok {
+		s.rejected.Inc()
+		s.writeBackpressure(w, map[string]string{"error": "shard queue full"})
+		return
+	}
+	s.accepted.Inc()
+	select {
+	case res := <-reply:
+		s.writeJSON(w, http.StatusOK, ClassifyResponse{
+			TweetID:    tw.IDStr,
+			Shard:      sh.id,
+			Predicted:  sh.p.Classes().Name(res.Predicted),
+			Confidence: res.Confidence,
+			Alerted:    res.Alerted,
+			Tested:     res.Tested,
+		})
+	case <-r.Context().Done():
+		// The client went away; the shard still processes the tweet and
+		// drops the buffered reply.
+	}
+	s.latency.Observe(time.Since(start).Seconds())
+}
+
+// handleIngest enqueues an NDJSON batch asynchronously. Ingestion stops at
+// the first rejected line: every later line is counted as rejected without
+// being enqueued, so Accepted+Malformed is always a prefix of the batch
+// and a 429'd client retries exactly the lines from that prefix onward
+// without double-training the models.
+func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
+	var resp IngestResponse
+	sc := bufio.NewScanner(http.MaxBytesReader(w, r.Body, s.opts.MaxBatchBytes))
+	sc.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
+	for sc.Scan() {
+		line := sc.Bytes()
+		if resp.Rejected > 0 {
+			resp.Rejected++
+			continue
+		}
+		if len(line) == 0 {
+			// Counted so Accepted+Malformed stays an exact prefix length
+			// and 429 retries resume at the right line.
+			resp.Malformed++
+			continue
+		}
+		tw, err := twitterdata.Unmarshal(line)
+		if err != nil {
+			resp.Malformed++
+			continue
+		}
+		_, ok, err := s.offer(job{tweet: tw})
+		if err != nil {
+			s.recordIngest(resp)
+			s.writeJSON(w, http.StatusServiceUnavailable, resp)
+			return
+		}
+		if ok {
+			resp.Accepted++
+		} else {
+			resp.Rejected++
+		}
+	}
+	// Record before any error return: tweets already enqueued are real
+	// work and the metrics must reflect them.
+	s.recordIngest(resp)
+	if err := sc.Err(); err != nil {
+		s.writeJSON(w, http.StatusBadRequest, map[string]any{
+			"error":     fmt.Sprintf("read body: %v", err),
+			"accepted":  resp.Accepted,
+			"rejected":  resp.Rejected,
+			"malformed": resp.Malformed,
+		})
+		return
+	}
+	if resp.Rejected > 0 {
+		s.writeBackpressure(w, resp)
+		return
+	}
+	s.writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) recordIngest(r IngestResponse) {
+	s.accepted.Add(r.Accepted)
+	s.rejected.Add(r.Rejected)
+	s.malformed.Add(r.Malformed)
+}
+
+// handleStats reports per-shard prequential metrics and queue state.
+func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
+	st := Stats{
+		UptimeSeconds: s.Uptime().Seconds(),
+		Shards:        len(s.shards),
+		Accepted:      s.accepted.Value(),
+		Rejected:      s.rejected.Value(),
+		Subscribers:   s.hub.Subscribers(),
+	}
+	for _, sh := range s.shards {
+		raised := sh.p.Alerter().Raised()
+		processed := sh.p.Processed()
+		st.Processed += processed
+		st.AlertsRaised += raised
+		st.PerShard = append(st.PerShard, ShardStats{
+			Shard:        sh.id,
+			Processed:    processed,
+			QueueDepth:   len(sh.queue),
+			QueueCap:     cap(sh.queue),
+			AlertsRaised: raised,
+			Report:       sh.p.Summary(),
+		})
+	}
+	s.writeJSON(w, http.StatusOK, st)
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	status := "ok"
+	code := http.StatusOK
+	if s.closed.Load() {
+		status = "draining"
+		code = http.StatusServiceUnavailable
+	}
+	s.writeJSON(w, code, map[string]any{"status": status, "shards": len(s.shards)})
+}
+
+// metricsHandler serves the server's registry, plus the process default
+// registry when they differ (the library's built-in engine and alerting
+// instrumentation lands on the default registry).
+func (s *Server) metricsHandler() http.Handler {
+	reg := s.opts.Registry
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = reg.WriteText(w)
+		if d := metrics.Default(); d != reg {
+			_ = d.WriteText(w)
+		}
+	})
+}

@@ -1,0 +1,287 @@
+// Package serve is the real-time serving subsystem: a production-style
+// HTTP front end (stdlib net/http only) over the detection pipeline of
+// internal/core. The server runs N pipeline shards — one goroutine and one
+// core.Pipeline each — and routes every tweet to hash(userID) % N, so the
+// per-user state in the pipeline (alert history, session windows) keeps
+// shard affinity. Each shard is fed through a bounded queue; when a queue
+// is full the server sheds load with HTTP 429 and a Retry-After header
+// instead of buffering without bound.
+//
+// Endpoints:
+//
+//	POST /v1/classify  one tweet, synchronous prediction
+//	POST /v1/ingest    NDJSON batch, asynchronous, returns accept counts
+//	GET  /v1/alerts    live alert stream (Server-Sent Events)
+//	GET  /v1/stats     per-shard prequential metrics and queue state
+//	GET  /healthz      liveness probe
+//	GET  /metrics      Prometheus text-format metrics
+package serve
+
+import (
+	"context"
+	"fmt"
+	"hash/fnv"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"redhanded/internal/core"
+	"redhanded/internal/metrics"
+	"redhanded/internal/twitterdata"
+)
+
+// Options configures a Server.
+type Options struct {
+	// Pipeline configures every shard's detection pipeline.
+	Pipeline core.Options
+	// Shards is the number of pipeline shards (default 4). Tweets are
+	// routed by hash(userID) % Shards, so the count must stay stable
+	// across checkpoint/restore cycles for user state to line up.
+	Shards int
+	// QueueDepth bounds each shard's ingestion queue (default 1024).
+	QueueDepth int
+	// RetryAfter is advertised on 429 responses (default 1s).
+	RetryAfter time.Duration
+	// AlertBuffer is the per-subscriber alert buffer; slow SSE consumers
+	// drop alerts beyond it rather than stalling the pipeline (default 256).
+	AlertBuffer int
+	// MaxBatchBytes caps one /v1/ingest request body (default 32 MiB).
+	MaxBatchBytes int64
+	// Registry receives the server's metrics (default metrics.Default()).
+	Registry *metrics.Registry
+}
+
+// DefaultServerOptions returns the paper-default pipeline behind 4 shards.
+func DefaultServerOptions() Options {
+	return Options{Pipeline: core.DefaultOptions()}
+}
+
+func (o Options) withDefaults() Options {
+	if o.Shards <= 0 {
+		o.Shards = 4
+	}
+	if o.QueueDepth <= 0 {
+		o.QueueDepth = 1024
+	}
+	if o.RetryAfter <= 0 {
+		o.RetryAfter = time.Second
+	}
+	if o.AlertBuffer <= 0 {
+		o.AlertBuffer = 256
+	}
+	if o.MaxBatchBytes <= 0 {
+		o.MaxBatchBytes = 32 << 20
+	}
+	if o.Registry == nil {
+		o.Registry = metrics.Default()
+	}
+	return o
+}
+
+// job is one queued unit of work. Synchronous classify requests carry a
+// reply channel (buffered, so the shard loop never blocks on it).
+type job struct {
+	tweet twitterdata.Tweet
+	reply chan core.Result
+}
+
+// shard is one pipeline partition: a bounded queue drained by a single
+// goroutine that owns the (non-thread-safe) core.Pipeline.
+type shard struct {
+	id        int
+	p         *core.Pipeline
+	queue     chan job
+	process   *metrics.Histogram
+	processed *metrics.Counter
+}
+
+func (s *shard) run(wg *sync.WaitGroup) {
+	defer wg.Done()
+	for j := range s.queue {
+		start := time.Now()
+		res := s.p.Process(&j.tweet)
+		s.process.Observe(time.Since(start).Seconds())
+		s.processed.Inc()
+		if j.reply != nil {
+			j.reply <- res
+		}
+	}
+}
+
+// Server fronts the sharded pipelines over HTTP. It implements
+// http.Handler; pass it to http.Server or httptest directly.
+type Server struct {
+	opts   Options
+	shards []*shard
+	hub    *alertHub
+	mux    *http.ServeMux
+	start  time.Time
+	// draining is closed by Drain so long-lived handlers (the SSE alert
+	// streams) terminate and graceful HTTP shutdown can complete.
+	draining chan struct{}
+
+	// enqueueMu guards producers against Drain closing the queues: Offer
+	// holds the read side, Drain the write side.
+	enqueueMu sync.RWMutex
+	closed    atomic.Bool
+	wg        sync.WaitGroup
+
+	accepted  *metrics.Counter
+	rejected  *metrics.Counter
+	malformed *metrics.Counter
+	latency   *metrics.Histogram
+}
+
+// NewServer builds the sharded server and starts its shard goroutines.
+func NewServer(opts Options) *Server {
+	return newServer(opts, true)
+}
+
+// newServer optionally skips starting the shard loops (tests use a stalled
+// server to exercise backpressure deterministically).
+func newServer(opts Options, start bool) *Server {
+	opts = opts.withDefaults()
+	reg := opts.Registry
+	s := &Server{
+		opts:      opts,
+		hub:       newAlertHub(opts.AlertBuffer, reg),
+		start:     time.Now(),
+		draining:  make(chan struct{}),
+		accepted:  reg.Counter("redhanded_ingest_accepted_total", "Tweets accepted into a shard queue.", nil),
+		rejected:  reg.Counter("redhanded_ingest_rejected_total", "Tweets rejected with 429 because a shard queue was full.", nil),
+		malformed: reg.Counter("redhanded_ingest_malformed_total", "NDJSON lines that failed to decode.", nil),
+		latency:   reg.Histogram("redhanded_classify_latency_seconds", "End-to-end /v1/classify request latency.", nil, nil),
+	}
+	for i := 0; i < opts.Shards; i++ {
+		labels := metrics.Labels{"shard": fmt.Sprint(i)}
+		sh := &shard{
+			id:    i,
+			p:     core.NewPipeline(opts.Pipeline),
+			queue: make(chan job, opts.QueueDepth),
+			process: reg.Histogram("redhanded_shard_process_seconds",
+				"Pipeline processing time per tweet.", nil, labels),
+			processed: reg.Counter("redhanded_shard_processed_total",
+				"Tweets processed by the shard loop since server start.", labels),
+		}
+		sh.p.Alerter().Subscribe(s.hub)
+		q := sh.queue
+		// The closure captures only the channel; a replacement server with
+		// the same shard count takes the series over via re-registration.
+		reg.GaugeFunc("redhanded_shard_queue_depth", "Live shard queue depth.",
+			labels, func() float64 { return float64(len(q)) })
+		s.shards = append(s.shards, sh)
+	}
+	s.mux = s.routes()
+	if start {
+		for _, sh := range s.shards {
+			s.wg.Add(1)
+			go sh.run(&s.wg)
+		}
+	}
+	return s
+}
+
+// ShardFor returns the shard index a user's tweets are routed to. The
+// mapping is a pure function of (userID, shards), so it is stable across
+// restarts and identical on every node running the same shard count.
+func ShardFor(userID string, shards int) int {
+	h := fnv.New32a()
+	h.Write([]byte(userID))
+	return int(h.Sum32() % uint32(shards))
+}
+
+func (s *Server) shardOf(tw *twitterdata.Tweet) *shard {
+	key := tw.User.IDStr
+	if key == "" {
+		key = tw.IDStr
+	}
+	return s.shards[ShardFor(key, len(s.shards))]
+}
+
+// errServerClosed distinguishes drain-time rejection from backpressure.
+var errServerClosed = fmt.Errorf("serve: server is draining")
+
+// offer enqueues a job on the tweet's shard without blocking, returning
+// the shard it routed to. A false return with a nil error means the queue
+// is full (backpressure).
+func (s *Server) offer(j job) (sh *shard, ok bool, err error) {
+	s.enqueueMu.RLock()
+	defer s.enqueueMu.RUnlock()
+	if s.closed.Load() {
+		return nil, false, errServerClosed
+	}
+	sh = s.shardOf(&j.tweet)
+	select {
+	case sh.queue <- j:
+		return sh, true, nil
+	default:
+		return sh, false, nil
+	}
+}
+
+// Shards returns the shard count.
+func (s *Server) Shards() int { return len(s.shards) }
+
+// Pipeline exposes shard i's pipeline (read-only introspection; the shard
+// goroutine owns mutation).
+func (s *Server) Pipeline(i int) *core.Pipeline { return s.shards[i].p }
+
+// QueueDepths returns the live depth of every shard queue.
+func (s *Server) QueueDepths() []int {
+	out := make([]int, len(s.shards))
+	for i, sh := range s.shards {
+		out[i] = len(sh.queue)
+	}
+	return out
+}
+
+// Drain stops accepting work, closes the shard queues, and waits (up to
+// ctx) for the shards to finish what is already queued. After Drain the
+// ingestion endpoints answer 503; read-only endpoints keep working so the
+// final state remains observable during shutdown.
+func (s *Server) Drain(ctx context.Context) error {
+	s.enqueueMu.Lock()
+	if !s.closed.Swap(true) {
+		close(s.draining)
+		for _, sh := range s.shards {
+			close(sh.queue)
+		}
+	}
+	s.enqueueMu.Unlock()
+
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return fmt.Errorf("serve: drain: %w", ctx.Err())
+	}
+}
+
+// UnregisterMetrics removes the per-shard series this server registered
+// (queue depth, processing histogram, processed counter) from its
+// registry. Call it when discarding a drained server that is not replaced
+// by one with the same shard count — re-registration takes matching
+// series over, but a smaller replacement would otherwise leave the extra
+// shards' series reporting a dead server forever.
+func (s *Server) UnregisterMetrics() {
+	for _, sh := range s.shards {
+		labels := metrics.Labels{"shard": fmt.Sprint(sh.id)}
+		s.opts.Registry.Unregister("redhanded_shard_queue_depth", labels)
+		s.opts.Registry.Unregister("redhanded_shard_process_seconds", labels)
+		s.opts.Registry.Unregister("redhanded_shard_processed_total", labels)
+	}
+}
+
+// Uptime returns time since the server was built.
+func (s *Server) Uptime() time.Duration { return time.Since(s.start) }
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}

@@ -1,0 +1,143 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sync"
+	"time"
+
+	"redhanded/internal/core"
+	"redhanded/internal/metrics"
+)
+
+// alertEvent is the SSE payload for one alert.
+type alertEvent struct {
+	Seq        int64   `json:"seq"`
+	TweetID    string  `json:"tweet_id"`
+	UserID     string  `json:"user_id"`
+	ScreenName string  `json:"screen_name"`
+	Label      string  `json:"label"`
+	Confidence float64 `json:"confidence"`
+	Text       string  `json:"text"`
+}
+
+// alertHub is a fan-out core.AlertSink: every shard pipeline's Alerter
+// publishes into it, and each SSE connection subscribes to a buffered
+// channel. Delivery is best-effort — a subscriber that cannot keep up
+// loses alerts (counted) instead of stalling the classify hot path.
+type alertHub struct {
+	mu       sync.Mutex
+	subs     map[chan alertEvent]struct{}
+	buffer   int
+	seq      int64
+	streamed *metrics.Counter
+	dropped  *metrics.Counter
+	subGauge *metrics.Gauge
+}
+
+func newAlertHub(buffer int, reg *metrics.Registry) *alertHub {
+	return &alertHub{
+		subs:     make(map[chan alertEvent]struct{}),
+		buffer:   buffer,
+		streamed: reg.Counter("redhanded_alerts_streamed_total", "Alerts delivered to SSE subscribers.", nil),
+		dropped:  reg.Counter("redhanded_alerts_dropped_total", "Alerts dropped because a subscriber buffer was full.", nil),
+		subGauge: reg.Gauge("redhanded_sse_subscribers", "Live SSE alert subscribers.", nil),
+	}
+}
+
+// HandleAlert implements core.AlertSink. It runs on a shard goroutine, so
+// it must never block.
+func (h *alertHub) HandleAlert(a core.Alert) {
+	h.mu.Lock()
+	h.seq++
+	ev := alertEvent{
+		Seq:        h.seq,
+		TweetID:    a.TweetID,
+		UserID:     a.UserID,
+		ScreenName: a.ScreenName,
+		Label:      a.Label,
+		Confidence: a.Confidence,
+		Text:       a.Text,
+	}
+	for ch := range h.subs {
+		select {
+		case ch <- ev:
+			h.streamed.Inc()
+		default:
+			h.dropped.Inc()
+		}
+	}
+	h.mu.Unlock()
+}
+
+func (h *alertHub) subscribe() chan alertEvent {
+	ch := make(chan alertEvent, h.buffer)
+	h.mu.Lock()
+	h.subs[ch] = struct{}{}
+	h.mu.Unlock()
+	h.subGauge.Inc()
+	return ch
+}
+
+func (h *alertHub) unsubscribe(ch chan alertEvent) {
+	h.mu.Lock()
+	delete(h.subs, ch)
+	h.mu.Unlock()
+	h.subGauge.Dec()
+}
+
+// Subscribers returns the live subscriber count.
+func (h *alertHub) Subscribers() int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return len(h.subs)
+}
+
+// sseHeartbeat keeps idle connections alive through proxies.
+const sseHeartbeat = 15 * time.Second
+
+// handleAlerts streams alerts as Server-Sent Events until the client
+// disconnects.
+func (s *Server) handleAlerts(w http.ResponseWriter, r *http.Request) {
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		http.Error(w, "streaming unsupported", http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.Header().Set("Connection", "keep-alive")
+	w.WriteHeader(http.StatusOK)
+	fmt.Fprint(w, ": connected\n\n")
+	fl.Flush()
+
+	ch := s.hub.subscribe()
+	defer s.hub.unsubscribe(ch)
+	ticker := time.NewTicker(sseHeartbeat)
+	defer ticker.Stop()
+	for {
+		select {
+		case ev := <-ch:
+			data, err := json.Marshal(ev)
+			if err != nil {
+				continue
+			}
+			if _, err := fmt.Fprintf(w, "id: %d\nevent: alert\ndata: %s\n\n", ev.Seq, data); err != nil {
+				return
+			}
+			fl.Flush()
+		case <-ticker.C:
+			if _, err := fmt.Fprint(w, ": heartbeat\n\n"); err != nil {
+				return
+			}
+			fl.Flush()
+		case <-s.draining:
+			// Drain ends the stream so graceful HTTP shutdown (which
+			// waits for in-flight requests) is not held open forever.
+			return
+		case <-r.Context().Done():
+			return
+		}
+	}
+}

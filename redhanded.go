@@ -21,14 +21,24 @@
 //		}
 //	}
 //
-// See the examples directory for complete programs and DESIGN.md for the
-// architecture.
+// Complete programs live in the examples directory:
+//
+//   - examples/quickstart: train and evaluate on the synthetic dataset
+//   - examples/moderation: alert handling and account suspension
+//   - examples/firehose: sustained-throughput stream processing
+//   - examples/driftwatch: concept-drift detection over the stream
+//   - examples/relatedbehaviors: sarcasm and offensive-language datasets
+//   - examples/serving: the HTTP serving subsystem with live SSE alerts
+//
+// See DESIGN.md for the architecture.
 package redhanded
 
 import (
 	"redhanded/internal/core"
 	"redhanded/internal/engine"
 	"redhanded/internal/eval"
+	"redhanded/internal/metrics"
+	"redhanded/internal/serve"
 	"redhanded/internal/twitterdata"
 )
 
@@ -181,3 +191,31 @@ func GenerateSarcasm(cfg SarcasmConfig) []Tweet { return twitterdata.GenerateSar
 
 // GenerateOffensive produces the racism/sexism dataset of §V-F.
 func GenerateOffensive(cfg OffensiveConfig) []Tweet { return twitterdata.GenerateOffensive(cfg) }
+
+// Real-time serving subsystem: a sharded HTTP front end over the pipeline
+// with bounded-queue backpressure, SSE alert streaming, and
+// Prometheus-format metrics (see internal/serve and cmd/aggroserve).
+type (
+	// Server is the sharded HTTP ingestion server. It implements
+	// http.Handler; pass it to http.Server or httptest directly.
+	Server = serve.Server
+	// ServerOptions configures a Server.
+	ServerOptions = serve.Options
+	// ServerStats is the GET /v1/stats payload.
+	ServerStats = serve.Stats
+	// MetricsRegistry collects counters, gauges, and histograms with
+	// Prometheus text-format exposition.
+	MetricsRegistry = metrics.Registry
+)
+
+// NewServer builds the sharded serving front end and starts its shard
+// goroutines. Tweets are routed to shards by hash(userID) % shards so
+// per-user state keeps affinity.
+func NewServer(opts ServerOptions) *Server { return serve.NewServer(opts) }
+
+// DefaultServerOptions returns the paper-default pipeline behind 4 shards.
+func DefaultServerOptions() ServerOptions { return serve.DefaultServerOptions() }
+
+// DefaultMetrics returns the process-wide metrics registry that the
+// engines and the alerting step instrument.
+func DefaultMetrics() *MetricsRegistry { return metrics.Default() }
