@@ -8,6 +8,7 @@ import (
 	"io"
 	"testing"
 
+	"redhanded"
 	"redhanded/internal/experiments"
 )
 
@@ -30,6 +31,23 @@ func benchExperiment(b *testing.B, id string) {
 		if err := experiments.Run(id, cfg, io.Discard); err != nil {
 			b.Fatalf("%s: %v", id, err)
 		}
+	}
+}
+
+// BenchmarkFeaturePathProcess measures the full per-tweet serving hot
+// path — extract (single-pass fast path), normalize, predict, train/alert
+// — end to end through the sequential pipeline.
+func BenchmarkFeaturePathProcess(b *testing.B) {
+	cfg := redhanded.DefaultAggressionConfig()
+	cfg.NormalCount, cfg.AbusiveCount, cfg.HatefulCount = 1300, 500, 200
+	tweets := redhanded.GenerateAggression(cfg)
+	opts := redhanded.DefaultOptions()
+	opts.SampleStep = 0
+	p := redhanded.NewPipeline(opts)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.Process(&tweets[i%len(tweets)])
 	}
 }
 

@@ -1,0 +1,167 @@
+// Command benchreport runs the feature-extraction fast-path benchmarks
+// programmatically and emits a machine-readable BENCH_featurepath.json, so
+// successive PRs can track the perf trajectory of the text→feature hot
+// path without parsing `go test -bench` output.
+//
+// Usage:
+//
+//	go run ./cmd/benchreport [-out BENCH_featurepath.json]
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"redhanded/internal/feature"
+	"redhanded/internal/text"
+	"redhanded/internal/twitterdata"
+)
+
+// Entry is one benchmark's result.
+type Entry struct {
+	Name        string  `json:"name"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	TweetsPerS  float64 `json:"tweets_per_sec"`
+}
+
+// Report is the BENCH_featurepath.json payload.
+type Report struct {
+	GeneratedUnix int64   `json:"generated_unix"`
+	GoVersion     string  `json:"go_version"`
+	GOOS          string  `json:"goos"`
+	GOARCH        string  `json:"goarch"`
+	NumCPU        int     `json:"num_cpu"`
+	Benchmarks    []Entry `json:"benchmarks"`
+	// Headline ratios: fast path vs the multi-pass legacy reference.
+	ExtractSpeedup     float64 `json:"extract_speedup"`
+	ExtractAllocsFast  int64   `json:"extract_allocs_fast"`
+	ExtractAllocsSlow  int64   `json:"extract_allocs_legacy"`
+	ScanSpeedup        float64 `json:"scan_speedup"`
+	MeetsTargetSpeedup bool    `json:"meets_target_speedup"` // >= 2x
+	MeetsTargetAllocs  bool    `json:"meets_target_allocs"`  // >= 5x fewer
+}
+
+func benchTweets(n int) []twitterdata.Tweet {
+	g := twitterdata.NewGenerator(1, 10)
+	out := make([]twitterdata.Tweet, n)
+	for i := range out {
+		out[i] = g.Tweet(i%3, i%10)
+	}
+	return out
+}
+
+func entry(name string, r testing.BenchmarkResult) Entry {
+	ns := float64(r.T.Nanoseconds()) / float64(r.N)
+	e := Entry{
+		Name:        name,
+		NsPerOp:     ns,
+		BytesPerOp:  r.AllocedBytesPerOp(),
+		AllocsPerOp: r.AllocsPerOp(),
+	}
+	if ns > 0 {
+		e.TweetsPerS = 1e9 / ns
+	}
+	return e
+}
+
+func main() {
+	out := flag.String("out", "BENCH_featurepath.json", "output file ('-' for stdout)")
+	flag.Parse()
+
+	tweets := benchTweets(2000)
+	ext := feature.NewExtractor(feature.DefaultConfig())
+
+	fast := testing.Benchmark(func(b *testing.B) {
+		dst := make([]float64, feature.NumFeatures)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			ext.ExtractInto(dst, &tweets[i%len(tweets)])
+		}
+	})
+	legacy := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			ext.ExtractLegacy(&tweets[i%len(tweets)])
+		}
+	})
+	scanFast := testing.Benchmark(func(b *testing.B) {
+		var sc text.Scratch
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			sc.Scan(tweets[i%len(tweets)].Text)
+		}
+	})
+	scanLegacy := testing.Benchmark(func(b *testing.B) {
+		opts := text.DefaultCleanOptions()
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			s := tweets[i%len(tweets)].Text
+			_ = text.Tokenize(text.Clean(s, opts))
+			text.CountTokenKind(s, text.IsHashtagToken)
+			text.CountTokenKind(s, text.IsURLToken)
+			text.CountUpperWords(s)
+		}
+	})
+
+	rep := Report{
+		GeneratedUnix: time.Now().Unix(),
+		GoVersion:     runtime.Version(),
+		GOOS:          runtime.GOOS,
+		GOARCH:        runtime.GOARCH,
+		NumCPU:        runtime.NumCPU(),
+		Benchmarks: []Entry{
+			entry("FeaturePathFast", fast),
+			entry("FeaturePathLegacy", legacy),
+			entry("FeaturePathScan", scanFast),
+			entry("FeaturePathScanLegacy", scanLegacy),
+		},
+		ExtractAllocsFast: fast.AllocsPerOp(),
+		ExtractAllocsSlow: legacy.AllocsPerOp(),
+	}
+	if f := float64(fast.T.Nanoseconds()) / float64(fast.N); f > 0 {
+		rep.ExtractSpeedup = (float64(legacy.T.Nanoseconds()) / float64(legacy.N)) / f
+	}
+	if f := float64(scanFast.T.Nanoseconds()) / float64(scanFast.N); f > 0 {
+		rep.ScanSpeedup = (float64(scanLegacy.T.Nanoseconds()) / float64(scanLegacy.N)) / f
+	}
+	rep.MeetsTargetSpeedup = rep.ExtractSpeedup >= 2
+	rep.MeetsTargetAllocs = rep.ExtractAllocsSlow >= 5*maxInt64(rep.ExtractAllocsFast, 1)
+
+	blob, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchreport:", err)
+		os.Exit(1)
+	}
+	blob = append(blob, '\n')
+	if *out == "-" {
+		os.Stdout.Write(blob)
+	} else {
+		if err := os.WriteFile(*out, blob, 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "benchreport:", err)
+			os.Exit(1)
+		}
+	}
+	fmt.Printf("extract: %.0f tweets/s fast (%d allocs/op) vs %.0f tweets/s legacy (%d allocs/op) — %.2fx\n",
+		1e9/(float64(fast.T.Nanoseconds())/float64(fast.N)), fast.AllocsPerOp(),
+		1e9/(float64(legacy.T.Nanoseconds())/float64(legacy.N)), legacy.AllocsPerOp(),
+		rep.ExtractSpeedup)
+	if !rep.MeetsTargetSpeedup || !rep.MeetsTargetAllocs {
+		fmt.Fprintln(os.Stderr, "benchreport: WARNING: below the 2x speedup / 5x alloc-reduction target")
+		os.Exit(2)
+	}
+}
+
+func maxInt64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}

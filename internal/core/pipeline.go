@@ -129,9 +129,14 @@ func (p *Pipeline) PredictedDistribution() []float64 {
 // class index attached when the tweet is labeled. The normalizer statistics
 // are updated with the raw vector before scaling.
 func (p *Pipeline) ExtractInstance(tw *twitterdata.Tweet) ml.Instance {
-	raw := p.extractor.Extract(tw)
-	p.normalizer.Observe(raw)
-	x := p.normalizer.Normalize(raw, nil)
+	// Extraction runs through the pooled fast path; only the normalized
+	// vector escapes (into the instance), so the raw vector is returned to
+	// the pool before this function exits.
+	raw := feature.GetVec()
+	p.extractor.ExtractInto(raw[:], tw)
+	p.normalizer.Observe(raw[:])
+	x := p.normalizer.Normalize(raw[:], nil)
+	feature.PutVec(raw)
 	label := ml.Unlabeled
 	if tw.IsLabeled() {
 		label = p.opts.Scheme.LabelIndex(tw.Label)

@@ -162,8 +162,9 @@ func (e *Executor) handleBatch(req *batchRequest, extractor *feature.Extractor) 
 		parts = len(req.Tweets)
 	}
 
-	// Phase 1 (parallel): extract raw features, accumulate local stats.
-	raws := make([][]float64, len(req.Tweets))
+	// Phase 1 (parallel): extract raw features into pooled vectors,
+	// accumulate local stats. The vectors are released after phase 2.
+	raws := make([]*feature.Vec, len(req.Tweets))
 	labels := make([]int, len(req.Tweets))
 	statsDeltas := make([]*norm.FeatureStats, parts)
 	var wg sync.WaitGroup
@@ -185,8 +186,9 @@ func (e *Executor) handleBatch(req *batchRequest, extractor *feature.Extractor) 
 		delta := norm.NewFeatureStats(feature.NumFeatures)
 		for idx := part; idx < len(req.Tweets); idx += parts {
 			tw := &req.Tweets[idx]
-			raws[idx] = extractor.Extract(tw)
-			delta.Observe(raws[idx])
+			raws[idx] = feature.GetVec()
+			extractor.ExtractInto(raws[idx][:], tw)
+			delta.Observe(raws[idx][:])
 			labels[idx] = ml.Unlabeled
 			if tw.IsLabeled() {
 				labels[idx] = scheme.LabelIndex(tw.Label)
@@ -209,7 +211,7 @@ func (e *Executor) handleBatch(req *batchRequest, extractor *feature.Extractor) 
 	runTasks(func(part int) {
 		res := partitionResult{part: part, acc: model.NewAccumulator()}
 		for idx := part; idx < len(req.Tweets); idx += parts {
-			x := snapshot.Normalize(raws[idx], nil)
+			x := snapshot.Normalize(raws[idx][:], nil)
 			votes := model.Predict(x)
 			label := labels[idx]
 			if label >= 0 {
@@ -224,6 +226,10 @@ func (e *Executor) handleBatch(req *batchRequest, extractor *feature.Extractor) 
 		}
 		results[part] = res
 	})
+
+	for _, v := range raws {
+		feature.PutVec(v)
+	}
 
 	for _, res := range results {
 		blob, err := res.acc.(stream.StatefulAccumulator).State()

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"redhanded/internal/core"
+	"redhanded/internal/feature"
 	"redhanded/internal/ml"
 	"redhanded/internal/norm"
 	"redhanded/internal/stream"
@@ -160,8 +161,9 @@ func runOneBatch(p *core.Pipeline, batch []twitterdata.Tweet, cfg MicroBatchConf
 		parts = len(batch)
 	}
 
-	// Phase 1 (parallel): extract raw features, accumulate statistics.
-	raws := make([][]float64, len(batch))
+	// Phase 1 (parallel): extract raw features into pooled vectors,
+	// accumulate statistics. The vectors are released after phase 2.
+	raws := make([]*feature.Vec, len(batch))
 	labels := make([]int, len(batch))
 	statsDeltas := make([]*norm.FeatureStats, parts)
 	var wg sync.WaitGroup
@@ -172,8 +174,9 @@ func runOneBatch(p *core.Pipeline, batch []twitterdata.Tweet, cfg MicroBatchConf
 			delta := norm.NewFeatureStats(p.Normalizer().Stats.Dim())
 			for idx := part; idx < len(batch); idx += parts {
 				tw := &batch[idx]
-				raws[idx] = extractor.Extract(tw)
-				delta.Observe(raws[idx])
+				raws[idx] = feature.GetVec()
+				extractor.ExtractInto(raws[idx][:], tw)
+				delta.Observe(raws[idx][:])
 				labels[idx] = ml.Unlabeled
 				if tw.IsLabeled() {
 					labels[idx] = scheme.LabelIndex(tw.Label)
@@ -197,7 +200,7 @@ func runOneBatch(p *core.Pipeline, batch []twitterdata.Tweet, cfg MicroBatchConf
 		tasks <- taskMsg{done: &wg, fn: func() {
 			res := partitionResult{part: part, acc: model.NewAccumulator()}
 			for idx := part; idx < len(batch); idx += parts {
-				x := snapshot.Normalize(raws[idx], nil)
+				x := snapshot.Normalize(raws[idx][:], nil)
 				votes := model.Predict(x)
 				label := labels[idx]
 				if label >= 0 {
@@ -214,6 +217,10 @@ func runOneBatch(p *core.Pipeline, batch []twitterdata.Tweet, cfg MicroBatchConf
 		}}
 	}
 	wg.Wait()
+
+	for _, v := range raws {
+		feature.PutVec(v)
+	}
 
 	// Driver-side merge in deterministic partition order.
 	accs := make([]ml.Accumulator, 0, parts)

@@ -125,6 +125,9 @@ func TestStreamVsBatchShape(t *testing.T) {
 }
 
 func TestScalabilityOrdering(t *testing.T) {
+	if testing.Short() {
+		t.Skip("wall-clock throughput ordering is noisy on contended CI runners")
+	}
 	cfg := tinyConfig()
 	cfg.TweetCounts = []int64{4000}
 	// The ordering assertion compares two wall-clock throughput

@@ -4,6 +4,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"redhanded/internal/text/lexicon"
 	"redhanded/internal/text/stem"
@@ -146,6 +147,110 @@ type AdaptiveBoW struct {
 	sinceUpdate int
 	additions   int
 	removals    int
+
+	// snap is the lock-free membership view used by the extraction fast
+	// path: an immutable open-addressed hash table rebuilt whenever the
+	// vocabulary changes, so per-tweet scoring does neither map hashing
+	// with string conversion nor mutex hops.
+	snap atomic.Pointer[bowSnapshot]
+}
+
+// bowSnapshot is an immutable open-addressed (linear probing) string set.
+// Vocabulary mutations build a fresh table; readers only ever load the
+// pointer once per tweet and probe. Empty slots hold ""; the empty string
+// is never a vocabulary word (seed words and learned words are non-empty).
+type bowSnapshot struct {
+	mask uint32
+	keys []string
+	// stem mirrors the BoW's canonicalization config at snapshot time, so
+	// fast-path readers never touch the (lock-guarded) cfg.
+	stem bool
+}
+
+// fnv1a and fnv1aString are the FNV-1a 32-bit hash over the token bytes;
+// insert (newBowSnapshot) and lookup (contains/containsString) must share
+// these so the probe sequences line up.
+func fnv1a(w []byte) uint32 {
+	h := uint32(2166136261)
+	for _, c := range w {
+		h ^= uint32(c)
+		h *= 16777619
+	}
+	return h
+}
+
+func fnv1aString(w string) uint32 {
+	h := uint32(2166136261)
+	for i := 0; i < len(w); i++ {
+		h ^= uint32(w[i])
+		h *= 16777619
+	}
+	return h
+}
+
+func newBowSnapshot(words map[string]bool, stemmed bool) *bowSnapshot {
+	size := uint32(1)
+	for size < uint32(len(words))*2+1 {
+		size <<= 1
+	}
+	s := &bowSnapshot{mask: size - 1, keys: make([]string, size), stem: stemmed}
+	for w := range words {
+		if w == "" {
+			continue
+		}
+		for i := fnv1aString(w) & s.mask; ; i = (i + 1) & s.mask {
+			if s.keys[i] == "" {
+				s.keys[i] = w
+				break
+			}
+		}
+	}
+	return s
+}
+
+// contains reports membership of an already-canonicalized (lowercased and,
+// if configured, stemmed) token.
+func (s *bowSnapshot) contains(w []byte) bool {
+	if s == nil || len(w) == 0 {
+		return false
+	}
+	for i := fnv1a(w) & s.mask; ; i = (i + 1) & s.mask {
+		k := s.keys[i]
+		if k == "" {
+			return false
+		}
+		if k == string(w) {
+			return true
+		}
+	}
+}
+
+// containsString is contains for the (allocating) stemmed-token path.
+func (s *bowSnapshot) containsString(w string) bool {
+	if s == nil || w == "" {
+		return false
+	}
+	for i := fnv1aString(w) & s.mask; ; i = (i + 1) & s.mask {
+		k := s.keys[i]
+		if k == "" {
+			return false
+		}
+		if k == w {
+			return true
+		}
+	}
+}
+
+// rebuildSnapshot refreshes the lock-free view. Callers hold the write
+// lock (or are constructing the BoW).
+func (b *AdaptiveBoW) rebuildSnapshot() {
+	b.snap.Store(newBowSnapshot(b.words, b.cfg.Stem))
+}
+
+// lookupSnapshot returns the current lock-free membership view for
+// fast-path scoring within the feature package.
+func (b *AdaptiveBoW) lookupSnapshot() *bowSnapshot {
+	return b.snap.Load()
 }
 
 // NewAdaptiveBoW creates the feature seeded with the swear-word lexicon.
@@ -162,6 +267,7 @@ func NewAdaptiveBoW(cfg BoWConfig) *AdaptiveBoW {
 		b.words[w] = true
 		b.seed[w] = true
 	}
+	b.rebuildSnapshot()
 	return b
 }
 
@@ -217,6 +323,7 @@ func (b *AdaptiveBoW) SetWords(words []string) {
 	for _, w := range words {
 		b.words[w] = true
 	}
+	b.rebuildSnapshot()
 }
 
 // Contains reports membership of the lower-cased token.
@@ -295,6 +402,7 @@ func (b *AdaptiveBoW) enhance() {
 	b.normal.decay(b.cfg.Decay)
 	b.aggressive.prune(b.cfg.MaxVocab)
 	b.normal.prune(b.cfg.MaxVocab)
+	b.rebuildSnapshot()
 }
 
 func maxf(a, b float64) float64 {

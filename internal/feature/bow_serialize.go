@@ -74,5 +74,6 @@ func (b *AdaptiveBoW) UnmarshalBinary(data []byte) error {
 	b.sinceUpdate = st.SinceUpdate
 	b.additions = st.Additions
 	b.removals = st.Removals
+	b.rebuildSnapshot()
 	return nil
 }

@@ -58,10 +58,30 @@ func NewExtractor(cfg Config) *Extractor {
 // training step).
 func (e *Extractor) BoW() *AdaptiveBoW { return e.bow }
 
-// Extract computes the feature vector for one tweet.
+// Extract computes the feature vector for one tweet, allocating the
+// result. Hot paths use ExtractInto with a pooled vector (see pool.go);
+// both run the same single-pass fast path.
 func (e *Extractor) Extract(tw *twitterdata.Tweet) []float64 {
-	x := make([]float64, NumFeatures)
+	return e.ExtractInto(make([]float64, NumFeatures), tw)
+}
 
+// ExtractLegacy computes the feature vector via the multi-pass reference
+// implementation. It exists for the equivalence tests and the benchmark
+// report (cmd/benchreport), which record the fast path's speedup against
+// it; production callers use Extract/ExtractInto.
+func (e *Extractor) ExtractLegacy(tw *twitterdata.Tweet) []float64 {
+	x := make([]float64, NumFeatures)
+	e.extractLegacyInto(x, tw)
+	return x
+}
+
+// extractLegacyInto is the original multi-pass implementation: Clean +
+// Tokenize + per-feature passes, each allocating intermediate strings and
+// slices. It stays byte-for-byte intact for two reasons: it serves the
+// Preprocess=OFF configuration (whose raw-text tokenization the fast path
+// does not model), and it is the reference the golden and fuzz equivalence
+// tests compare the fast path against.
+func (e *Extractor) extractLegacyInto(x []float64, tw *twitterdata.Tweet) {
 	// Profile and network features come from the user payload.
 	x[AccountAge] = tw.AccountAgeDays()
 	x[CntPosts] = float64(tw.User.StatusesCount)
@@ -96,7 +116,6 @@ func (e *Extractor) Extract(tw *twitterdata.Tweet) []float64 {
 
 	x[CntSwearWords] = float64(lexicon.CountSwears(tokens))
 	x[BoWScore] = e.bow.Score(tokens)
-	return x
 }
 
 // wordsPerSentence computes the mean sentence length. With preprocessing

@@ -1,0 +1,148 @@
+package feature
+
+import (
+	"bytes"
+	"sync"
+
+	"redhanded/internal/text"
+	"redhanded/internal/text/lexicon"
+	"redhanded/internal/text/pos"
+	"redhanded/internal/text/sentiment"
+	"redhanded/internal/text/stem"
+	"redhanded/internal/twitterdata"
+)
+
+// The single-pass extraction fast path. One text.Scratch scan replaces the
+// legacy pipeline's Clean + Tokenize + per-feature passes; all token-level
+// features (POS counts, sentiment, swear count, BoW score) are then
+// computed in a single loop over the scanned words, using byte-slice views
+// into the scratch arenas — no per-tweet strings, slices, or maps.
+//
+// Equivalence with extractLegacyInto is enforced by TestGoldenEquivalence
+// (the full generator corpus) and FuzzExtractEquivalence (arbitrary text).
+
+// extractScratch bundles the reusable per-extraction state. Extract is
+// safe for concurrent use because scratches are pooled, never shared.
+type extractScratch struct {
+	ts   text.Scratch
+	step sentiment.Stepper
+	apos []byte // apostrophe-stripped sentiment word
+}
+
+var extractPool = sync.Pool{New: func() any { return new(extractScratch) }}
+
+// ExtractInto computes the feature vector for one tweet into dst
+// (allocating only when dst is mis-sized) and returns it. With
+// preprocessing enabled — the production configuration — it runs the
+// single-pass fast path; the Preprocess=OFF ablation falls back to the
+// legacy multi-pass implementation, whose raw-text tokenization the
+// scanner intentionally does not model.
+func (e *Extractor) ExtractInto(dst []float64, tw *twitterdata.Tweet) []float64 {
+	if len(dst) != NumFeatures {
+		dst = make([]float64, NumFeatures)
+	}
+	if !e.cfg.Preprocess {
+		e.extractLegacyInto(dst, tw)
+		return dst
+	}
+	sc := extractPool.Get().(*extractScratch)
+	e.extractFast(dst, tw, sc)
+	extractPool.Put(sc)
+	return dst
+}
+
+func (e *Extractor) extractFast(x []float64, tw *twitterdata.Tweet, sc *extractScratch) {
+	ts := &sc.ts
+	ts.Scan(tw.Text)
+
+	// Profile and network features come from the user payload.
+	x[AccountAge] = tw.AccountAgeDays()
+	x[CntPosts] = float64(tw.User.StatusesCount)
+	x[CntLists] = float64(tw.User.ListedCount)
+	x[CntFollowers] = float64(tw.User.FollowersCount)
+	x[CntFriends] = float64(tw.User.FriendsCount)
+
+	// Basic text features were counted on the raw text during the scan.
+	st := &ts.Stats
+	x[NumHashtags] = float64(st.Hashtags)
+	x[NumURLs] = float64(st.URLs)
+	x[NumUpperCases] = float64(st.UpperWords)
+
+	nw := ts.Words()
+	if nw == 0 {
+		x[MeanWordLength] = 0
+	} else {
+		x[MeanWordLength] = float64(st.LetterSum) / float64(nw)
+	}
+	if st.Sentences == 0 {
+		x[WordsPerSentence] = 0
+	} else {
+		x[WordsPerSentence] = float64(nw) / float64(st.Sentences)
+	}
+
+	// Token-level features in one loop: POS tally, sentiment stepping,
+	// swear hits, BoW membership.
+	var adjectives, adverbs, verbs int
+	swears := 0
+	bowScore := 0.0
+	snap := e.bow.lookupSnapshot()
+	sc.step.Reset()
+	var prevLower []byte
+	prevTag := pos.Other
+	for i := 0; i < nw; i++ {
+		lower := ts.Lower(i)
+		clean := ts.Clean(i)
+		letters, uppers, elongated := ts.WordInfo(i)
+
+		tag := e.tagger.TagLowerWord(lower, prevLower, prevTag)
+		switch tag {
+		case pos.Adjective:
+			adjectives++
+		case pos.Adverb:
+			adverbs++
+		case pos.Verb:
+			verbs++
+		}
+
+		// Sentiment wants the apostrophe-free normalized word; reuse the
+		// lowered bytes directly when there is nothing to strip.
+		word := lower
+		if bytes.IndexByte(lower, '\'') >= 0 {
+			sc.apos = sc.apos[:0]
+			for _, c := range lower {
+				if c != '\'' {
+					sc.apos = append(sc.apos, c)
+				}
+			}
+			word = sc.apos
+		}
+		sc.step.Token(clean, word, letters >= 2 && uppers == letters, elongated)
+
+		if lexicon.IsSwearLower(lower) {
+			swears++
+		}
+
+		if snap != nil && snap.stem {
+			// Stemming allocates; it is off in every default config.
+			if snap.containsString(stem.Stem(string(lower))) {
+				bowScore++
+			}
+		} else if snap.contains(lower) {
+			bowScore++
+		}
+
+		prevLower, prevTag = lower, tag
+	}
+
+	x[CntAdjectives] = float64(adjectives)
+	x[CntAdverbs] = float64(adverbs)
+	x[CntVerbs] = float64(verbs)
+
+	// Preprocessed text has no '!' left, so no exclamation emphasis.
+	score := sc.step.Finish(0)
+	x[SentimentScorePos] = float64(score.Positive)
+	x[SentimentScoreNeg] = float64(score.Negative)
+
+	x[CntSwearWords] = float64(swears)
+	x[BoWScore] = bowScore
+}

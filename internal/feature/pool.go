@@ -1,0 +1,32 @@
+package feature
+
+import "sync"
+
+// Vec is a fixed-size raw feature vector drawn from a process-wide pool.
+// The pool exists for the extraction hot paths: the serving pipeline and
+// the parallel engine workers extract into pooled vectors, observe them
+// into the normalizer statistics, normalize into the (escaping) instance
+// slice, and return the raw vector — so steady-state extraction allocates
+// nothing per tweet.
+//
+// Ownership rules: a Vec obtained from GetVec belongs to the caller until
+// PutVec; after PutVec the caller must not retain any slice of it (v[:]
+// included). Values that outlive the request — ml.Instance.X, checkpoint
+// state — must be copies, never pooled backing arrays.
+type Vec [NumFeatures]float64
+
+var vecPool = sync.Pool{New: func() any { return new(Vec) }}
+
+// GetVec returns a zeroed feature vector from the pool.
+func GetVec() *Vec {
+	v := vecPool.Get().(*Vec)
+	*v = Vec{}
+	return v
+}
+
+// PutVec returns v to the pool. Passing nil is a no-op.
+func PutVec(v *Vec) {
+	if v != nil {
+		vecPool.Put(v)
+	}
+}

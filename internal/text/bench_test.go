@@ -33,3 +33,27 @@ func BenchmarkCountUpperWords(b *testing.B) {
 		CountUpperWords(benchTweet)
 	}
 }
+
+// BenchmarkFeaturePathScan measures the single-pass scanner against the
+// sum of the legacy passes it replaces (Clean + Tokenize + counts).
+func BenchmarkFeaturePathScan(b *testing.B) {
+	var sc Scratch
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		sc.Scan(benchTweet)
+	}
+}
+
+// BenchmarkFeaturePathScanLegacy is the equivalent legacy work: the same
+// token stream and counts produced by the multi-pass implementation.
+func BenchmarkFeaturePathScanLegacy(b *testing.B) {
+	opts := DefaultCleanOptions()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		toks := Tokenize(Clean(benchTweet, opts))
+		_ = toks
+		CountTokenKind(benchTweet, IsHashtagToken)
+		CountTokenKind(benchTweet, IsURLToken)
+		CountUpperWords(benchTweet)
+	}
+}

@@ -1,0 +1,346 @@
+package text
+
+import (
+	"unicode"
+	"unicode/utf8"
+)
+
+// This file is the single-pass, (near-)zero-allocation fast path over the
+// preprocessing substrate. A Scratch owns reusable byte arenas and a token
+// table; Scan walks the raw tweet text once, splitting fields exactly like
+// strings.Fields, classifying each field (URL / mention / hashtag /
+// abbreviation / word), writing the cleaned and lowercased forms of every
+// surviving word into the arenas, and accumulating the whole-tweet counts
+// the feature extractor needs (hashtags, URLs, shouted words, sentence
+// boundaries of the entity-stripped text, letter totals).
+//
+// The semantics are pinned to the legacy pipeline with DefaultCleanOptions:
+//
+//	words   == Tokenize(Clean(s, DefaultCleanOptions()))
+//	Lower(i) == strings.ToLower(words[i])
+//	Hashtags == CountTokenKind(s, IsHashtagToken)
+//	URLs     == CountTokenKind(s, IsURLToken)
+//	UpperWords == CountUpperWords(s)
+//	Sentences  == len(SplitSentences(Clean(s, sentence options)))
+//
+// where "sentence options" strips entities but keeps punctuation (the
+// extractor's sentOpts). FuzzTokenizeFast and the feature-package golden
+// test enforce these equalities against the legacy implementations.
+
+// ScanStats are the whole-tweet counts gathered during one Scan pass.
+type ScanStats struct {
+	Hashtags   int // '#'-prefixed tokens (len > 1)
+	Mentions   int // '@'-prefixed tokens (len > 1)
+	URLs       int // http://, https://, www., t.co/ tokens
+	UpperWords int // shouted words per CountUpperWords semantics
+	// Sentences counts sentences of the entity-stripped text: chunks
+	// between '.', '!', '?' that contain at least one letter.
+	Sentences int
+	// LetterSum is the total letter-rune count over the word tokens
+	// (the numerator of MeanWordLength).
+	LetterSum int
+}
+
+// word is one cleaned token: spans into the Scratch arenas plus per-token
+// statistics gathered during the scan.
+type word struct {
+	cleanOff, cleanEnd int32 // span in Scratch.clean (case preserved)
+	lowerOff, lowerEnd int32 // span in Scratch.lower
+	letters, uppers    int32 // letter runes / uppercase letter runes
+	elongated          bool  // a rune repeated >= 3 times in a row
+}
+
+// Scratch is the reusable state of the single-pass scanner. The zero value
+// is ready to use; Scan resets it. A Scratch must not be shared between
+// goroutines — pool one per worker (the feature extractor keeps a
+// sync.Pool of them).
+type Scratch struct {
+	Stats ScanStats
+
+	clean []byte // arena of cleaned, case-preserved token bytes
+	lower []byte // arena of cleaned, lowercased token bytes
+	words []word
+
+	sentHasLetter bool
+}
+
+// maxRetainedArena and maxRetainedWords bound the buffer capacities a
+// Scratch keeps between scans, so one pathological multi-kilobyte tweet
+// does not pin its arenas or token table in the pool forever.
+const (
+	maxRetainedArena = 64 << 10
+	maxRetainedWords = 4 << 10
+)
+
+// Reset clears the scratch for reuse, dropping oversized buffers.
+func (s *Scratch) Reset() {
+	s.Stats = ScanStats{}
+	s.sentHasLetter = false
+	if cap(s.clean) > maxRetainedArena {
+		s.clean = nil
+	}
+	if cap(s.lower) > maxRetainedArena {
+		s.lower = nil
+	}
+	if cap(s.words) > maxRetainedWords {
+		s.words = nil
+	}
+	s.clean = s.clean[:0]
+	s.lower = s.lower[:0]
+	s.words = s.words[:0]
+}
+
+// Words returns the number of word tokens produced by the last Scan.
+func (s *Scratch) Words() int { return len(s.words) }
+
+// Clean returns word i's cleaned, case-preserved bytes. The slice aliases
+// the scratch arena: it is valid until the next Scan or Reset and must not
+// be mutated.
+func (s *Scratch) Clean(i int) []byte {
+	w := &s.words[i]
+	return s.clean[w.cleanOff:w.cleanEnd]
+}
+
+// Lower returns word i's cleaned, lowercased bytes (same aliasing rules as
+// Clean).
+func (s *Scratch) Lower(i int) []byte {
+	w := &s.words[i]
+	return s.lower[w.lowerOff:w.lowerEnd]
+}
+
+// WordInfo returns word i's letter count, uppercase-letter count, and
+// whether it carries an elongation ("sooo").
+func (s *Scratch) WordInfo(i int) (letters, uppers int, elongated bool) {
+	w := &s.words[i]
+	return int(w.letters), int(w.uppers), w.elongated
+}
+
+// Scan processes one tweet text. Any previous scan state is discarded.
+func (s *Scratch) Scan(src string) {
+	s.Reset()
+	i, n := 0, len(src)
+	for i < n {
+		r, sz := utf8.DecodeRuneInString(src[i:])
+		if unicode.IsSpace(r) {
+			i += sz
+			continue
+		}
+		start := i
+		i += sz
+		for i < n {
+			r, sz = utf8.DecodeRuneInString(src[i:])
+			if unicode.IsSpace(r) {
+				break
+			}
+			i += sz
+		}
+		s.field(src[start:i])
+	}
+	// Final sentence flush (SplitSentences flushes the trailing chunk).
+	if s.sentHasLetter {
+		s.Stats.Sentences++
+		s.sentHasLetter = false
+	}
+}
+
+// field processes one whitespace-delimited token of the raw text.
+func (s *Scratch) field(f string) {
+	// Entity classification mirrors IsMentionToken / IsHashtagToken /
+	// IsURLToken; the three are mutually exclusive by first byte.
+	if len(f) > 1 && f[0] == '@' {
+		s.Stats.Mentions++
+		return
+	}
+	if len(f) > 1 && f[0] == '#' {
+		s.Stats.Hashtags++
+		return
+	}
+	if isURLField(f) {
+		s.Stats.URLs++
+		return
+	}
+
+	// Single rune pass: trimPunct bounds, letter statistics, and the
+	// cleaned + lowered bytes (letters and apostrophes survive cleaning).
+	cOff, lOff := len(s.clean), len(s.lower)
+	var letters, uppers int32
+	firstAl, lastAlEnd := -1, -1 // outermost letter-or-digit byte offsets
+	for i := 0; i < len(f); {
+		r, sz := utf8.DecodeRuneInString(f[i:])
+		isLetter := unicode.IsLetter(r)
+		if isLetter || unicode.IsDigit(r) {
+			if firstAl < 0 {
+				firstAl = i
+			}
+			lastAlEnd = i + sz
+		}
+		if isLetter {
+			letters++
+			if unicode.IsUpper(r) {
+				uppers++
+			}
+			s.clean = append(s.clean, f[i:i+sz]...)
+			s.lower = utf8.AppendRune(s.lower, unicode.ToLower(r))
+		} else if r == '\'' {
+			s.clean = append(s.clean, '\'')
+			s.lower = append(s.lower, '\'')
+		}
+		i += sz
+	}
+	trimmed := ""
+	if firstAl >= 0 {
+		trimmed = f[firstAl:lastAlEnd]
+	}
+
+	// Shouted-word count (CountUpperWords): trimmed token present, not
+	// "RT", at least two letters, every letter uppercase. All letters are
+	// alphanumeric, so field-wide letter counts equal trimmed-range counts.
+	if trimmed != "" && !isFoldRT(trimmed) && letters >= 2 && uppers == letters {
+		s.Stats.UpperWords++
+	}
+
+	// Abbreviation tokens (RT, DM, ...) are removed by both the word
+	// cleaning and the sentence-boundary cleaning, so they contribute
+	// neither a word nor sentence events.
+	if trimmed != "" && isAbbrevField(trimmed) {
+		s.clean = s.clean[:cOff]
+		s.lower = s.lower[:lOff]
+		return
+	}
+
+	// Sentence events of the entity-stripped text: '.', '!', '?' flush a
+	// sentence; letters mark the current sentence non-empty.
+	for i := 0; i < len(f); {
+		c := f[i]
+		if c < utf8.RuneSelf {
+			switch {
+			case c == '.' || c == '!' || c == '?':
+				if s.sentHasLetter {
+					s.Stats.Sentences++
+				}
+				s.sentHasLetter = false
+			case 'a' <= c|0x20 && c|0x20 <= 'z':
+				s.sentHasLetter = true
+			}
+			i++
+			continue
+		}
+		r, sz := utf8.DecodeRuneInString(f[i:])
+		if unicode.IsLetter(r) {
+			s.sentHasLetter = true
+		}
+		i += sz
+	}
+
+	// Finalize the word token: trim apostrophes at both ends (cleanToken's
+	// strings.Trim(.., "'")). Apostrophes are single bytes in both arenas
+	// and occupy the same rune positions, so the trim counts transfer.
+	cb := s.clean[cOff:]
+	la := 0
+	for la < len(cb) && cb[la] == '\'' {
+		la++
+	}
+	tb := len(cb)
+	for tb > la && cb[tb-1] == '\'' {
+		tb--
+	}
+	if la == tb { // nothing left: the field cleans away entirely
+		s.clean = s.clean[:cOff]
+		s.lower = s.lower[:lOff]
+		return
+	}
+	lb := s.lower[lOff:]
+	lEnd := len(lb)
+	ta := len(cb) - tb // trailing apostrophe count
+	s.words = append(s.words, word{
+		cleanOff:  int32(cOff + la),
+		cleanEnd:  int32(cOff + tb),
+		lowerOff:  int32(lOff + la),
+		lowerEnd:  int32(lOff + lEnd - ta),
+		letters:   letters,
+		uppers:    uppers,
+		elongated: hasElongationBytes(s.clean[cOff+la : cOff+tb]),
+	})
+	s.Stats.LetterSum += int(letters)
+}
+
+// isURLField mirrors IsURLToken without lowercasing the whole token: the
+// prefixes are ASCII, and no non-ASCII rune lowercases into them.
+func isURLField(f string) bool {
+	return hasFoldPrefix(f, "http://") ||
+		hasFoldPrefix(f, "https://") ||
+		hasFoldPrefix(f, "www.") ||
+		hasFoldPrefix(f, "t.co/")
+}
+
+// hasFoldPrefix reports whether s starts with the lowercase-ASCII prefix p,
+// ignoring ASCII case.
+func hasFoldPrefix(s, p string) bool {
+	if len(s) < len(p) {
+		return false
+	}
+	for i := 0; i < len(p); i++ {
+		c := s[i]
+		if 'A' <= c && c <= 'Z' {
+			c |= 0x20
+		}
+		if c != p[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// isFoldRT reports strings.EqualFold(t, "rt"). The fold orbits of 'r' and
+// 't' contain only their ASCII case pair, so a byte compare is exact.
+func isFoldRT(t string) bool {
+	return len(t) == 2 && t[0]|0x20 == 'r' && t[1]|0x20 == 't'
+}
+
+// isAbbrevField reports whether the trimmed token lowercases into the
+// tweet-abbreviation set. The set is pure lowercase ASCII and no non-ASCII
+// rune lowercases onto its letters, so an ASCII fold compare is exact.
+func isAbbrevField(t string) bool {
+	switch len(t) {
+	case 2:
+		a, b := t[0]|0x20, t[1]|0x20
+		switch {
+		case a == 'r' && b == 't', // rt
+			a == 'm' && b == 't', // mt
+			a == 'h' && b == 't', // ht
+			a == 'c' && b == 'c', // cc
+			a == 'd' && b == 'm', // dm
+			a == 'o' && b == 'h', // oh
+			a == 'f' && b == 'b', // fb
+			a == 'f' && b == 'f': // ff
+			return true
+		}
+	case 3:
+		a, b, c := t[0]|0x20, t[1]|0x20, t[2]|0x20
+		if a == 'p' && b == 'r' && c == 't' { // prt
+			return true
+		}
+		if a == 't' && b == 'm' && c == 'b' { // tmb
+			return true
+		}
+	}
+	return false
+}
+
+// hasElongationBytes is HasElongation over a byte slice.
+func hasElongationBytes(b []byte) bool {
+	run, prev := 0, rune(-1)
+	for i := 0; i < len(b); {
+		r, sz := utf8.DecodeRune(b[i:])
+		if r == prev {
+			run++
+			if run >= 3 {
+				return true
+			}
+		} else {
+			prev, run = r, 1
+		}
+		i += sz
+	}
+	return false
+}

@@ -1,0 +1,66 @@
+package text
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestScanBasics(t *testing.T) {
+	var sc Scratch
+	sc.Scan("RT @user: STOP THAT now!! see http://t.co/x #fail. It's sooo bad.")
+	if got, want := sc.Stats.Hashtags, 1; got != want {
+		t.Errorf("hashtags = %d, want %d", got, want)
+	}
+	if got, want := sc.Stats.URLs, 1; got != want {
+		t.Errorf("urls = %d, want %d", got, want)
+	}
+	if got, want := sc.Stats.Mentions, 1; got != want {
+		t.Errorf("mentions = %d, want %d", got, want)
+	}
+	if got, want := sc.Stats.UpperWords, 2; got != want {
+		t.Errorf("upper words = %d, want %d (STOP THAT)", got, want)
+	}
+	words := make([]string, sc.Words())
+	for i := range words {
+		words[i] = string(sc.Clean(i))
+	}
+	want := []string{"STOP", "THAT", "now", "see", "It's", "sooo", "bad"}
+	if strings.Join(words, " ") != strings.Join(want, " ") {
+		t.Errorf("words = %q, want %q", words, want)
+	}
+	if _, _, elongated := sc.WordInfo(5); !elongated {
+		t.Errorf("expected %q to be elongated", words[5])
+	}
+}
+
+func TestScanSentencesSkipEntityDots(t *testing.T) {
+	var sc Scratch
+	// URL dots must not fabricate sentence boundaries; abbreviation and
+	// entity tokens are stripped before sentence splitting.
+	sc.Scan("first part http://a.b.c/d.e second part. and a third!")
+	if got, want := sc.Stats.Sentences, 2; got != want {
+		t.Errorf("sentences = %d, want %d", got, want)
+	}
+}
+
+func TestScanReuseIsClean(t *testing.T) {
+	var sc Scratch
+	sc.Scan("aaa bbb ccc. ddd!")
+	sc.Scan("x")
+	if sc.Words() != 1 || string(sc.Clean(0)) != "x" || sc.Stats.Sentences != 1 {
+		t.Errorf("reused scratch leaked state: words=%d stats=%+v", sc.Words(), sc.Stats)
+	}
+}
+
+// TestScanZeroAlloc pins the tentpole property: a warmed scratch processes
+// a tweet without allocating.
+func TestScanZeroAlloc(t *testing.T) {
+	var sc Scratch
+	sc.Scan(benchTweet) // warm the arenas
+	allocs := testing.AllocsPerRun(100, func() {
+		sc.Scan(benchTweet)
+	})
+	if allocs != 0 {
+		t.Errorf("Scan allocates %.1f times per tweet, want 0", allocs)
+	}
+}

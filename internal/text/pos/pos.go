@@ -118,6 +118,58 @@ func (tg *Tagger) Count(tokens []string) Counts {
 	return c
 }
 
+// TagLowerWord is the allocation-free fast path: it tags one word that the
+// caller has already cleaned (letter ends, no digits) and lowercased, given
+// its left context — the previous word in the same lowered form (nil at the
+// start of the text) and the tag assigned to it. It mirrors the tagOne
+// decision procedure exactly; the feature package's golden and fuzz tests
+// pin the two paths together. Map lookups use the map[string(bytes)] form,
+// which Go compiles without allocating.
+func (tg *Tagger) TagLowerWord(w, prev []byte, prevTag Tag) Tag {
+	if len(w) == 0 {
+		return Other
+	}
+	switch {
+	case determiners[string(w)]:
+		return Determiner
+	case pronouns[string(w)]:
+		return Pronoun
+	case prepositions[string(w)]:
+		return Preposition
+	case conjunctions[string(w)]:
+		return Conjunction
+	case interjections[string(w)]:
+		return Interjection
+	case auxVerbs[string(w)]:
+		return Verb
+	case commonAdverbs[string(w)]:
+		return Adverb
+	case commonAdjectives[string(w)]:
+		return Adjective
+	case commonVerbs[string(w)]:
+		return Verb
+	}
+	if prev != nil && len(prev) == 2 && prev[0] == 't' && prev[1] == 'o' &&
+		!suffixAdjectiveB(w) && !suffixNounB(w) {
+		return Verb
+	}
+	switch {
+	case hasSuffixB(w, "ly") && len(w) > 3:
+		return Adverb
+	case suffixAdjectiveB(w):
+		return Adjective
+	case suffixVerbB(w):
+		if prevTag == Determiner && prev != nil {
+			return Noun
+		}
+		return Verb
+	case suffixNounB(w):
+		return Noun
+	default:
+		return Noun
+	}
+}
+
 func (tg *Tagger) tagOne(w string, i int, tokens []string, tags []Tag) Tag {
 	if w == "" {
 		return Other
@@ -190,6 +242,46 @@ func suffixVerb(w string) bool {
 func suffixNoun(w string) bool {
 	for _, s := range [...]string{"tion", "sion", "ness", "ment", "ity", "ship", "hood", "ism", "ist", "er", "or", "ology"} {
 		if strings.HasSuffix(w, s) && len(w) > len(s)+1 {
+			return true
+		}
+	}
+	return false
+}
+
+// adjSuffixes, verbSuffixes, and nounSuffixes are the suffix tables shared
+// by the byte-slice helpers below; the string helpers keep their original
+// literals so the legacy path stays byte-for-byte intact.
+var (
+	adjSuffixes  = []string{"ful", "ous", "ive", "able", "ible", "ish", "less", "ic", "al", "ant", "ent", "est"}
+	verbSuffixes = []string{"ing", "ed", "ize", "ise", "ify", "ate"}
+	nounSuffixes = []string{"tion", "sion", "ness", "ment", "ity", "ship", "hood", "ism", "ist", "er", "or", "ology"}
+)
+
+func hasSuffixB(w []byte, s string) bool {
+	return len(w) >= len(s) && string(w[len(w)-len(s):]) == s
+}
+
+func suffixAdjectiveB(w []byte) bool {
+	for _, s := range adjSuffixes {
+		if hasSuffixB(w, s) && len(w) > len(s)+1 {
+			return true
+		}
+	}
+	return false
+}
+
+func suffixVerbB(w []byte) bool {
+	for _, s := range verbSuffixes {
+		if hasSuffixB(w, s) && len(w) > len(s)+1 {
+			return true
+		}
+	}
+	return false
+}
+
+func suffixNounB(w []byte) bool {
+	for _, s := range nounSuffixes {
+		if hasSuffixB(w, s) && len(w) > len(s)+1 {
 			return true
 		}
 	}

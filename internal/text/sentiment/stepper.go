@@ -1,0 +1,123 @@
+package sentiment
+
+import "unicode/utf8"
+
+// Stepper is the allocation-free fast path of the analyzer: instead of
+// re-tokenizing a text, the caller feeds it one token at a time and the
+// stepper carries the booster/negator state between tokens. It mirrors
+// Analyze exactly — the feature package's golden and fuzz tests pin the two
+// paths together.
+//
+// The caller contract matches what Analyze derives itself from each
+// whitespace field of a cleaned text:
+//
+//	raw   — the token exactly as it appears in the text (case preserved),
+//	        used for the emoticon lookup
+//	word  — normalizeToken(raw): lowercased with apostrophes removed
+//	shout — isShout(raw): at least two letters, all uppercase
+//	long  — hasElongation(raw): a rune repeated three or more times
+//
+// A Stepper is not safe for concurrent use; it holds a reusable
+// de-elongation buffer. Reset it before each text.
+type Stepper struct {
+	maxPos, maxNeg int
+	boost          int
+	negate         bool
+	sq             []byte // squeeze scratch for de-elongated lookups
+}
+
+// Reset prepares the stepper for a new text.
+func (st *Stepper) Reset() {
+	st.maxPos, st.maxNeg = 1, -1
+	st.boost, st.negate = 0, false
+}
+
+// Token folds one token into the running score.
+func (st *Stepper) Token(raw, word []byte, shout, long bool) {
+	if v, ok := emoticons[string(raw)]; ok {
+		if v > st.maxPos {
+			st.maxPos = v
+		}
+		if v < st.maxNeg {
+			st.maxNeg = v
+		}
+		st.boost, st.negate = 0, false
+		return
+	}
+	if len(word) == 0 {
+		return // Analyze skips empty words without touching state
+	}
+	if negators[string(word)] {
+		st.negate = true
+		return
+	}
+	if b, ok := boosters[string(word)]; ok {
+		st.boost += b
+		return
+	}
+	strength, ok := lexicon[string(word)]
+	if !ok {
+		if long {
+			st.sq = squeezeBytes(st.sq[:0], word)
+			strength, ok = lexicon[string(st.sq)]
+		}
+		if !ok {
+			st.boost, st.negate = 0, false
+			return
+		}
+	}
+	mag := abs(strength) + st.boost
+	if long {
+		mag++
+	}
+	if shout {
+		mag++
+	}
+	mag = clamp(mag, 1, 5)
+	sg := sign(strength)
+	if st.negate {
+		sg = -sg
+		mag = clamp(mag-1, 1, 5)
+	}
+	v := sg * mag
+	if v > 0 && v > st.maxPos {
+		st.maxPos = v
+	}
+	if v < 0 && v < st.maxNeg {
+		st.maxNeg = v
+	}
+	st.boost, st.negate = 0, false
+}
+
+// Finish applies the exclamation-mark emphasis (the count of '!' in the
+// text) and returns the score. A preprocessed text has no '!' left, so the
+// extractor's fast path passes 0.
+func (st *Stepper) Finish(exclaims int) Score {
+	maxPos, maxNeg := st.maxPos, st.maxNeg
+	if exclaims > 0 {
+		bump := 1
+		if exclaims >= 3 {
+			bump = 2
+		}
+		if -maxNeg >= maxPos && maxNeg < -1 {
+			maxNeg = clamp(maxNeg-bump, -5, -1)
+		} else if maxPos > 1 {
+			maxPos = clamp(maxPos+bump, 1, 5)
+		}
+	}
+	return Score{Positive: maxPos, Negative: maxNeg}
+}
+
+// squeezeBytes is squeeze over bytes, appending into dst.
+func squeezeBytes(dst, w []byte) []byte {
+	var prev rune = -1
+	for i := 0; i < len(w); {
+		r, sz := utf8.DecodeRune(w[i:])
+		if r != prev {
+			dst = append(dst, w[i:i+sz]...)
+		}
+		prev = r
+		i += sz
+	}
+	return dst
+}
