@@ -1,11 +1,16 @@
-// Command benchreport runs the feature-extraction fast-path benchmarks
-// programmatically and emits a machine-readable BENCH_featurepath.json, so
-// successive PRs can track the perf trajectory of the text→feature hot
-// path without parsing `go test -bench` output.
+// Command benchreport runs the repo's headline benchmarks programmatically
+// and emits machine-readable reports, so successive PRs can track the perf
+// trajectory without parsing `go test -bench` output.
 //
 // Usage:
 //
 //	go run ./cmd/benchreport [-out BENCH_featurepath.json]
+//	go run ./cmd/benchreport -cluster [-out BENCH_cluster.json]
+//
+// The default mode benchmarks the text→feature fast path; -cluster spins
+// up an in-process 3-executor cluster and measures the steady-state
+// broadcast bytes per batch before (full re-broadcast) and after (delta)
+// the v2 wire protocol, plus throughput.
 package main
 
 import (
@@ -71,9 +76,31 @@ func entry(name string, r testing.BenchmarkResult) Entry {
 	return e
 }
 
+// errBelowTarget marks a report whose headline ratio missed its target;
+// main exits 2 so CI can flag the regression while still uploading the
+// report artifact.
+var errBelowTarget = fmt.Errorf("benchreport: below target")
+
 func main() {
-	out := flag.String("out", "BENCH_featurepath.json", "output file ('-' for stdout)")
+	out := flag.String("out", "", "output file ('-' for stdout; defaults per mode)")
+	cluster := flag.Bool("cluster", false, "benchmark the cluster engine's delta broadcasts instead of the feature path")
 	flag.Parse()
+	if *out == "" {
+		*out = "BENCH_featurepath.json"
+		if *cluster {
+			*out = "BENCH_cluster.json"
+		}
+	}
+	if *cluster {
+		if err := clusterBench(*out); err != nil {
+			if err == errBelowTarget {
+				os.Exit(2)
+			}
+			fmt.Fprintln(os.Stderr, "benchreport:", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	tweets := benchTweets(2000)
 	ext := feature.NewExtractor(feature.DefaultConfig())

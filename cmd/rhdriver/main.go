@@ -16,6 +16,7 @@ import (
 	"log"
 	"os"
 	"strings"
+	"time"
 
 	"redhanded/internal/core"
 	"redhanded/internal/engine"
@@ -33,6 +34,11 @@ func main() {
 		batch     = flag.Int("batch", 3000, "micro-batch size")
 		tasks     = flag.Int("tasks", 8, "parallel tasks per executor")
 		rate      = flag.Float64("rate", 0, "simulated arrival rate in tweets/sec (0 = as fast as possible)")
+		attempts  = flag.Int("reconnect-attempts", 5, "reconnect attempts before abandoning a dead executor")
+		backoff   = flag.Duration("reconnect-backoff", 50*time.Millisecond, "initial reconnect backoff (doubles per attempt)")
+		downWait  = flag.Duration("alldown-wait", 5*time.Second, "how long to wait for a reconnect when every executor is down")
+		noDelta   = flag.Bool("no-delta", false, "re-broadcast the full model/vocab every batch (v1 wire behavior)")
+		noPipe    = flag.Bool("no-pipeline", false, "disable next-batch data presend")
 	)
 	flag.Parse()
 	if *executors == "" {
@@ -71,6 +77,11 @@ func main() {
 		Executors:        strings.Split(*executors, ","),
 		BatchSize:        *batch,
 		TasksPerExecutor: *tasks,
+		MaxConnAttempts:  *attempts,
+		ReconnectBackoff: *backoff,
+		AllDownWait:      *downWait,
+		DisableDelta:     *noDelta,
+		DisablePipeline:  *noPipe,
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -80,6 +91,11 @@ func main() {
 	fmt.Printf("processed %d tweets in %.2fs (%.0f tweets/s) over %d batches\n",
 		stats.Processed, stats.Duration.Seconds(), stats.Throughput(), stats.Batches)
 	fmt.Printf("batch latency: mean %s, max %s\n", stats.MeanBatchLatency, stats.MaxBatchLatency)
+	fmt.Printf("broadcast: %.1f KB total (%.2f KB/batch), data: %.1f KB\n",
+		float64(stats.BroadcastBytes)/1024, float64(stats.BroadcastBytes)/1024/float64(max(stats.Batches, 1)),
+		float64(stats.DataBytes)/1024)
+	fmt.Printf("resilience: %d failovers, %d resyncs, %d reconnects\n",
+		stats.Failovers, stats.Resyncs, stats.Reconnects)
 	fmt.Printf("alerts raised: %d\n", p.Alerter().Raised())
 	if rep.Instances > 0 {
 		fmt.Printf("prequential: accuracy=%.4f precision=%.4f recall=%.4f F1=%.4f\n",

@@ -4,7 +4,13 @@
 //	rhexecutor -addr 127.0.0.1:7701 -workers 8 &
 //	rhexecutor -addr 127.0.0.1:7702 -workers 8 &
 //	rhexecutor -addr 127.0.0.1:7703 -workers 8 &
-//	# drive them from Go code via engine.RunCluster, or see examples/firehose.
+//	# drive them from Go code via engine.RunCluster, or see examples/cluster.
+//
+// On SIGINT/SIGTERM the executor drains: shares already being processed
+// finish and their responses reach the driver before the process exits, so
+// a rolling restart never loses a batch (the driver fails the next share
+// over to the surviving nodes and reconnects here once the replacement is
+// up).
 package main
 
 import (
@@ -12,6 +18,7 @@ import (
 	"log"
 	"os"
 	"os/signal"
+	"syscall"
 
 	"redhanded/internal/engine"
 )
@@ -32,8 +39,11 @@ func main() {
 	log.Printf("executor listening on %s with %d workers", ex.Addr(), *workers)
 
 	sig := make(chan os.Signal, 1)
-	signal.Notify(sig, os.Interrupt)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	<-sig
-	log.Printf("shutting down after %d batches", ex.Handled())
-	ex.Close()
+	log.Printf("draining after %d shares (%d live sessions)", ex.Handled(), ex.ActiveConns())
+	if err := ex.Close(); err != nil {
+		log.Fatalf("accept loop had failed: %v", err)
+	}
+	log.Printf("drained cleanly after %d shares", ex.Handled())
 }

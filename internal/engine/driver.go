@@ -1,0 +1,1012 @@
+package engine
+
+import (
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"net"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"redhanded/internal/core"
+	"redhanded/internal/metrics"
+	"redhanded/internal/ml"
+	"redhanded/internal/norm"
+	"redhanded/internal/stream"
+	"redhanded/internal/twitterdata"
+)
+
+// The cluster driver distributes micro-batch shares across executor nodes
+// over TCP, mirroring the paper's 3-node SparkCluster deployment, with the
+// resilience the happy-path v1 engine lacked:
+//
+//   - failover: per-node health tracking with reconnect-and-backoff; when a
+//     node dies mid-batch its share is reassigned to survivors, so a batch
+//     completes as long as one executor lives;
+//   - delta broadcasts: the model ships only when its hash changed and the
+//     BoW vocabulary ships as an append-only diff with a version handshake,
+//     so an unchanged model/vocab costs a few bytes per batch;
+//   - pipelining: batch k+1's source read and tweet encode overlap batch
+//     k's round trip, while broadcasts stay strictly ordered behind the
+//     merge so test-then-train semantics hold.
+
+// Cluster hot-path instrumentation on the default metrics registry.
+var (
+	clusterBroadcastBytes = metrics.Default().Counter(
+		"redhanded_cluster_broadcast_bytes_total",
+		"Bytes of model/stats/vocab broadcast frames sent to executors.", nil)
+	clusterDataBytes = metrics.Default().Counter(
+		"redhanded_cluster_data_bytes_total",
+		"Bytes of tweet data frames sent to executors.", nil)
+	clusterFailovers = metrics.Default().Counter(
+		"redhanded_cluster_failovers_total",
+		"Batch shares reassigned because an executor failed mid-batch.", nil)
+	clusterResyncs = metrics.Default().Counter(
+		"redhanded_cluster_resyncs_total",
+		"Full re-broadcasts triggered by an executor's NeedResync answer.", nil)
+	clusterReconnects = metrics.Default().Counter(
+		"redhanded_cluster_reconnects_total",
+		"Successful executor reconnects after a mid-run failure.", nil)
+	clusterShareRTT = metrics.Default().Histogram(
+		"redhanded_cluster_share_rtt_seconds",
+		"Round-trip latency of one batch share (send through response).", nil, nil)
+)
+
+// ClusterConfig configures the distributed engine.
+type ClusterConfig struct {
+	// Executors lists the executor TCP addresses (the paper uses 3 nodes).
+	Executors []string
+	// BatchSize is the micro-batch length across the whole cluster.
+	BatchSize int
+	// TasksPerExecutor is the parallel partition count per node (8 cores
+	// per node in the paper's testbed).
+	TasksPerExecutor int
+	// DisableDelta forces the full model/vocab re-broadcast every batch
+	// (the v1 wire behavior); cmd/benchreport uses it for the before/after
+	// broadcast-bytes measurement.
+	DisableDelta bool
+	// DisablePipeline turns off the batch k+1 data presend (debugging aid;
+	// results are identical either way).
+	DisablePipeline bool
+	// MaxConnAttempts bounds consecutive failed (re)connect attempts per
+	// executor before the run abandons it (default 5).
+	MaxConnAttempts int
+	// ReconnectBackoff is the initial reconnect delay, doubling per attempt
+	// up to 1s (default 50ms).
+	ReconnectBackoff time.Duration
+	// AllDownWait is how long a batch waits for any executor to come back
+	// when every node is down, before failing the run (default 5s).
+	AllDownWait time.Duration
+	// ShareTimeout bounds one share's round trip. A wedged-but-connected
+	// executor (stopped process, half-open connection) never produces a
+	// transport error, so the timeout is what converts it into a failover
+	// (default 2m — generous, since a share normally completes in
+	// milliseconds).
+	ShareTimeout time.Duration
+}
+
+func (c ClusterConfig) withDefaults() ClusterConfig {
+	if c.BatchSize <= 0 {
+		c.BatchSize = 6000
+	}
+	if c.TasksPerExecutor <= 0 {
+		c.TasksPerExecutor = 8
+	}
+	if c.MaxConnAttempts <= 0 {
+		c.MaxConnAttempts = 5
+	}
+	if c.ReconnectBackoff <= 0 {
+		c.ReconnectBackoff = 50 * time.Millisecond
+	}
+	if c.AllDownWait <= 0 {
+		c.AllDownWait = 5 * time.Second
+	}
+	if c.ShareTimeout <= 0 {
+		c.ShareTimeout = 2 * time.Minute
+	}
+	return c
+}
+
+// execNode is the driver's view of one executor: connection, health, and
+// the broadcast versions the node is known to hold. Version bookkeeping is
+// reset on every (re)connect, which is what forces the full resync for a
+// fresh session.
+type execNode struct {
+	id   int
+	addr string
+
+	mu        sync.Mutex
+	conn      *countingConn
+	enc       *gob.Encoder
+	dec       *gob.Decoder
+	gen       int // connection generation; stale recvLoops no-op
+	up        bool
+	abandoned bool
+	reviving  bool
+
+	// Broadcast state held by the node's current session.
+	modelHash    uint64
+	vocabVersion uint64
+	vocabLen     int
+	bcSeq        int64
+
+	presends map[respKey]bool
+	pending  map[respKey]chan shareReply
+}
+
+type shareReply struct {
+	resp batchResponse
+	err  error
+}
+
+func (n *execNode) isUp() bool {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.up
+}
+
+// register adds a pending reply slot for one share exchange.
+func (n *execNode) register(key respKey) (chan shareReply, int, error) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if !n.up {
+		return nil, 0, fmt.Errorf("engine: executor %s is down", n.addr)
+	}
+	ch := make(chan shareReply, 1)
+	n.pending[key] = ch
+	return ch, n.gen, nil
+}
+
+func (n *execNode) unregister(key respKey) {
+	n.mu.Lock()
+	if n.pending != nil {
+		delete(n.pending, key)
+	}
+	n.mu.Unlock()
+}
+
+// vocabState tracks the driver-side vocabulary as an append-only log plus
+// the version counter of the diff protocol. The adaptive BoW mostly grows
+// (Fig. 10); when it does evict words, the log is rebuilt and the epoch
+// advances, so nodes synced before the rebuild fall back to a full
+// broadcast while nodes synced after keep receiving diffs.
+type vocabState struct {
+	version uint64
+	epoch   uint64
+	log     []string
+	known   map[string]bool
+}
+
+// refresh folds the BoW's current word set into the log. Added words are
+// appended in sorted order so the wire payload is deterministic.
+func (v *vocabState) refresh(words []string) {
+	if v.known == nil {
+		v.known = make(map[string]bool)
+	}
+	var added []string
+	set := make(map[string]bool, len(words))
+	for _, w := range words {
+		set[w] = true
+		if !v.known[w] {
+			added = append(added, w)
+		}
+	}
+	removed := len(set) != len(v.known)+len(added)
+	if !removed && len(added) == 0 {
+		return
+	}
+	v.version++
+	if removed {
+		v.epoch = v.version
+		v.log = make([]string, 0, len(set))
+		for w := range set {
+			v.log = append(v.log, w)
+		}
+		sort.Strings(v.log)
+	} else {
+		sort.Strings(added)
+		v.log = append(v.log, added...)
+	}
+	v.known = set
+}
+
+// broadcast is one batch's shared broadcast payload, computed once and
+// specialized per node into a delta by broadcastFor.
+type broadcast struct {
+	seq        int64
+	modelBlob  []byte
+	modelHash  uint64
+	statsBlob  []byte
+	vocabVer   uint64
+	vocabEpoch uint64
+	vocabLog   []string
+	preprocess bool
+	normMode   int
+	scheme     int
+}
+
+// shareResult is one share's response plus the node that produced it (for
+// merge-time failover when the payload turns out to be undecodable).
+type shareResult struct {
+	resp batchResponse
+	node *execNode
+	gen  int
+}
+
+// clusterRun is the state of one RunCluster invocation.
+type clusterRun struct {
+	p     *core.Pipeline
+	model stream.RemoteTrainable
+	kind  string
+	cfg   ClusterConfig
+	nodes []*execNode
+	vocab vocabState
+	stop  chan struct{}
+
+	broadcastBytes atomic.Int64
+	dataBytes      atomic.Int64
+	failovers      atomic.Int64
+	resyncs        atomic.Int64
+	reconnects     atomic.Int64
+}
+
+// RunCluster executes the pipeline across the executor nodes. The
+// pipeline's model must implement stream.RemoteTrainable (HT or SLR). The
+// run survives executor failures as long as at least one node stays
+// reachable; each failed share is reassigned to a survivor and produces
+// results identical to the ones the dead node would have returned.
+func RunCluster(p *core.Pipeline, src Source, cfg ClusterConfig) (Stats, error) {
+	cfg = cfg.withDefaults()
+	if len(cfg.Executors) == 0 {
+		return Stats{}, fmt.Errorf("engine: cluster needs at least one executor")
+	}
+	model, ok := p.Model().(stream.RemoteTrainable)
+	if !ok {
+		return Stats{}, fmt.Errorf("engine: model %T does not support remote training", p.Model())
+	}
+	kind, err := stream.ModelKindOf(model)
+	if err != nil {
+		return Stats{}, err
+	}
+
+	r := &clusterRun{p: p, model: model, kind: kind, cfg: cfg, stop: make(chan struct{})}
+	for i, addr := range cfg.Executors {
+		r.nodes = append(r.nodes, &execNode{id: i, addr: addr, bcSeq: -1})
+	}
+	defer r.shutdown()
+
+	// Initial connect, in parallel. A node that fails its first dial goes
+	// through the normal revive path; the run starts as long as any node
+	// answered, and fails fast when none did.
+	var connWG sync.WaitGroup
+	errs := make([]error, len(r.nodes))
+	for i, n := range r.nodes {
+		connWG.Add(1)
+		go func(i int, n *execNode) {
+			defer connWG.Done()
+			errs[i] = r.connect(n)
+		}(i, n)
+	}
+	connWG.Wait()
+	anyUp := false
+	for _, n := range r.nodes {
+		if n.isUp() {
+			anyUp = true
+		}
+	}
+	if !anyUp {
+		for _, err := range errs {
+			if err != nil {
+				return Stats{}, fmt.Errorf("engine: no executor reachable: %w", err)
+			}
+		}
+	}
+	for i, n := range r.nodes {
+		if errs[i] != nil {
+			go r.revive(n)
+		}
+	}
+
+	start := time.Now()
+	var stats Stats
+	var lat latencyTracker
+
+	// Prefetch: the source is read one batch ahead of the batch in flight.
+	batches := make(chan []twitterdata.Tweet, 1)
+	go func() {
+		defer close(batches)
+		for {
+			b := make([]twitterdata.Tweet, 0, cfg.BatchSize)
+			for len(b) < cfg.BatchSize {
+				t, ok := src.Next()
+				if !ok {
+					break
+				}
+				b = append(b, t)
+			}
+			if len(b) == 0 {
+				return
+			}
+			select {
+			case batches <- b:
+			case <-r.stop:
+				return
+			}
+			if len(b) < cfg.BatchSize {
+				return
+			}
+		}
+	}()
+	done := false
+	next := func(block bool) []twitterdata.Tweet {
+		if done {
+			return nil
+		}
+		if block {
+			b, ok := <-batches
+			if !ok {
+				done = true
+			}
+			return b
+		}
+		select {
+		case b, ok := <-batches:
+			if !ok {
+				done = true
+			}
+			return b
+		default:
+			return nil
+		}
+	}
+
+	finish := func(err error) (Stats, error) {
+		stats.Duration = time.Since(start)
+		lat.fill(&stats)
+		stats.BroadcastBytes = r.broadcastBytes.Load()
+		stats.DataBytes = r.dataBytes.Load()
+		stats.Failovers = r.failovers.Load()
+		stats.Resyncs = r.resyncs.Load()
+		stats.Reconnects = r.reconnects.Load()
+		return stats, err
+	}
+
+	var seq int64
+	cur := next(true)
+	for cur != nil {
+		seq++
+		// Grab batch k+1 if the source already has it, so its tweets can be
+		// pre-sent while batch k's round trip is in flight.
+		var ahead []twitterdata.Tweet
+		if !cfg.DisablePipeline {
+			ahead = next(false)
+		}
+		batchStart := time.Now()
+		if err := r.runBatch(seq, cur, ahead); err != nil {
+			return finish(err)
+		}
+		lat.add(time.Since(batchStart))
+		stats.Processed += int64(len(cur))
+		tweetsProcessedTotal.Add(int64(len(cur)))
+		stats.Batches++
+		if ahead == nil {
+			ahead = next(true)
+		}
+		cur = ahead
+	}
+	return finish(nil)
+}
+
+// runBatch executes one micro-batch: broadcast, dispatch shares across the
+// healthy nodes (failing over as nodes die), pre-send the next batch's
+// tweets, then validate and merge the results in share order.
+func (r *clusterRun) runBatch(seq int64, batch, ahead []twitterdata.Tweet) error {
+	bc, err := r.makeBroadcast(seq)
+	if err != nil {
+		return err
+	}
+	healthy, err := r.waitHealthy()
+	if err != nil {
+		return err
+	}
+	shares := splitSpans(len(batch), len(healthy))
+
+	results := make([]shareResult, len(shares))
+	errs := make([]error, len(shares))
+	var wg sync.WaitGroup
+	for i, sp := range shares {
+		if sp.lo >= sp.hi {
+			continue
+		}
+		wg.Add(1)
+		go func(i int, sp span, pref *execNode) {
+			defer wg.Done()
+			results[i], errs[i] = r.processShare(seq, bc, sp, batch, pref)
+		}(i, sp, healthy[i%len(healthy)])
+	}
+	var presendWG sync.WaitGroup
+	if len(ahead) > 0 {
+		presendWG.Add(1)
+		go func() {
+			defer presendWG.Done()
+			r.presend(seq+1, ahead)
+		}()
+	}
+	wg.Wait()
+	presendWG.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+
+	// Validate every response before mutating driver state, so a corrupt
+	// payload can be treated as a node failure and its share re-run on a
+	// survivor without having half-applied the batch.
+	type decodedShare struct {
+		lo         int
+		stats      *norm.FeatureStats
+		accs       []ml.Accumulator
+		classified []classifiedRec
+	}
+	decoded := make([]decodedShare, len(shares))
+	for i, sp := range shares {
+		if sp.lo >= sp.hi {
+			continue
+		}
+		for redo := 0; ; redo++ {
+			res := results[i]
+			d := decodedShare{lo: sp.lo, classified: res.resp.Classified}
+			d.stats = norm.NewFeatureStats(r.p.Normalizer().Stats.Dim())
+			derr := d.stats.UnmarshalBinary(res.resp.StatsBlob)
+			if derr == nil {
+				for _, blob := range res.resp.DeltaBlobs {
+					acc, aerr := r.model.AccumulatorFromState(blob)
+					if aerr != nil {
+						derr = aerr
+						break
+					}
+					d.accs = append(d.accs, acc)
+				}
+			}
+			if derr == nil {
+				decoded[i] = d
+				break
+			}
+			// Corrupt response: fail the node and re-run the share. The
+			// retry is bounded so a faulty-but-reachable node that keeps
+			// reconnecting and re-corrupting cannot hang the run.
+			if redo >= 2*len(r.nodes)+2 {
+				return fmt.Errorf("engine: share [%d,%d) of batch %d kept returning corrupt deltas: %w", sp.lo, sp.hi, seq, derr)
+			}
+			r.markDown(res.node, res.gen, fmt.Errorf("engine: executor %s returned corrupt delta: %w", res.node.addr, derr))
+			r.failovers.Add(1)
+			clusterFailovers.Inc()
+			rerun, rerr := r.processShare(seq, bc, sp, batch, nil)
+			if rerr != nil {
+				return rerr
+			}
+			results[i] = rerun
+		}
+	}
+
+	// Merge deltas and statistics in share order — deterministic no matter
+	// which node served which share.
+	var accs []ml.Accumulator
+	outcomes := make([]core.Outcome, len(batch))
+	for i, sp := range shares {
+		if sp.lo >= sp.hi {
+			continue
+		}
+		d := decoded[i]
+		r.p.Normalizer().Stats.Merge(d.stats)
+		accs = append(accs, d.accs...)
+		for _, c := range d.classified {
+			outcomes[d.lo+c.Idx] = core.Outcome{Label: c.Label, Pred: c.Pred, Conf: c.Conf}
+		}
+	}
+	r.model.ApplyAccumulators(accs)
+	r.p.AbsorbBatch(batch, outcomes)
+	return nil
+}
+
+// makeBroadcast serializes the batch's global state once and refreshes the
+// vocabulary log.
+func (r *clusterRun) makeBroadcast(seq int64) (*broadcast, error) {
+	modelBlob, err := r.model.MarshalBinary()
+	if err != nil {
+		return nil, fmt.Errorf("engine: broadcast model: %w", err)
+	}
+	statsBlob, err := r.p.Normalizer().Stats.MarshalBinary()
+	if err != nil {
+		return nil, fmt.Errorf("engine: broadcast stats: %w", err)
+	}
+	r.vocab.refresh(r.p.Extractor().BoW().Words())
+	return &broadcast{
+		seq:        seq,
+		modelBlob:  modelBlob,
+		modelHash:  fnv64a(modelBlob),
+		statsBlob:  statsBlob,
+		vocabVer:   r.vocab.version,
+		vocabEpoch: r.vocab.epoch,
+		vocabLog:   r.vocab.log,
+		preprocess: r.p.Options().Preprocess,
+		normMode:   int(r.p.Normalizer().Mode),
+		scheme:     int(r.p.Options().Scheme),
+	}, nil
+}
+
+// broadcastFor specializes the batch broadcast into the delta this node
+// needs, given the versions its session holds. Callers hold n.mu.
+func (r *clusterRun) broadcastFor(n *execNode, bc *broadcast) wireMsg {
+	msg := wireMsg{
+		Kind:         msgBroadcast,
+		Seq:          bc.seq,
+		ModelHash:    bc.modelHash,
+		StatsBlob:    bc.statsBlob,
+		VocabVersion: bc.vocabVer,
+		Preprocess:   bc.preprocess,
+		NormMode:     bc.normMode,
+		Scheme:       bc.scheme,
+	}
+	full := r.cfg.DisableDelta
+	if full || n.modelHash != bc.modelHash {
+		msg.ModelBlob = bc.modelBlob
+	}
+	switch {
+	case !full && n.vocabVersion == bc.vocabVer:
+		msg.VocabBase = bc.vocabVer // up to date: no words on the wire
+	case !full && n.vocabVersion > 0 && n.vocabVersion >= bc.vocabEpoch && n.vocabLen <= len(bc.vocabLog):
+		msg.VocabBase = n.vocabVersion
+		msg.VocabWords = bc.vocabLog[n.vocabLen:]
+	default:
+		msg.VocabBase = 0 // full replacement
+		msg.VocabWords = bc.vocabLog
+	}
+	return msg
+}
+
+// processShare runs one share to completion, failing over across nodes as
+// they die. It returns an error only when no executor can serve the share.
+func (r *clusterRun) processShare(seq int64, bc *broadcast, sp span, batch []twitterdata.Tweet, pref *execNode) (shareResult, error) {
+	tried := make(map[*execNode]bool)
+	node := pref
+	// The AllDownWait grace clock starts when the share first finds no
+	// healthy node, not at share start — a long failover dance among live
+	// nodes must not eat the window a final all-down event is owed.
+	var allDownSince time.Time
+	var lastErr error
+	moved := false
+	for hops := 0; hops <= 4*len(r.nodes)+4; hops++ {
+		if node == nil || !node.isUp() || tried[node] {
+			// Pick a healthy node, waiting (without burning hops) while
+			// every node is down but a reconnect is still possible.
+			for {
+				node = r.pickNode(tried)
+				if node != nil {
+					break
+				}
+				if allDownSince.IsZero() {
+					allDownSince = time.Now()
+				}
+				if r.allAbandoned() || time.Since(allDownSince) > r.cfg.AllDownWait {
+					if lastErr == nil {
+						lastErr = errors.New("all executors are down")
+					}
+					return shareResult{}, fmt.Errorf("engine: share [%d,%d) of batch %d unservable: %w", sp.lo, sp.hi, seq, lastErr)
+				}
+				// Every candidate failed this pass; allow revived nodes
+				// back in and wait for a reconnect.
+				for k := range tried {
+					delete(tried, k)
+				}
+				time.Sleep(15 * time.Millisecond)
+			}
+			allDownSince = time.Time{}
+			if moved {
+				r.failovers.Add(1)
+				clusterFailovers.Inc()
+			}
+		}
+		res, err := r.exchange(node, seq, bc, sp, batch)
+		if err == nil {
+			return res, nil
+		}
+		lastErr = err
+		tried[node] = true
+		node = nil
+		moved = true
+	}
+	return shareResult{}, fmt.Errorf("engine: share [%d,%d) of batch %d failed on every executor: %w", sp.lo, sp.hi, seq, lastErr)
+}
+
+// exchange performs one share round trip against one node, handling the
+// NeedResync handshake by resending the full broadcast once.
+func (r *clusterRun) exchange(n *execNode, seq int64, bc *broadcast, sp span, batch []twitterdata.Tweet) (shareResult, error) {
+	key := respKey{seq: seq, lo: sp.lo, hi: sp.hi}
+	for resync := 0; ; resync++ {
+		ch, gen, err := n.register(key)
+		if err != nil {
+			return shareResult{}, err
+		}
+		start := time.Now()
+		if err := r.sendShare(n, gen, seq, bc, sp, batch, resync > 0); err != nil {
+			n.unregister(key)
+			r.markDown(n, gen, err)
+			return shareResult{}, err
+		}
+		var rep shareReply
+		timeout := time.NewTimer(r.cfg.ShareTimeout)
+		select {
+		case rep = <-ch:
+			timeout.Stop()
+		case <-timeout.C:
+			// A wedged-but-connected executor never errors the transport;
+			// time it out so the share can fail over to a live node.
+			err := fmt.Errorf("engine: executor %s did not answer share [%d,%d) within %v", n.addr, sp.lo, sp.hi, r.cfg.ShareTimeout)
+			n.unregister(key)
+			r.markDown(n, gen, err)
+			return shareResult{}, err
+		}
+		if rep.err != nil {
+			return shareResult{}, rep.err
+		}
+		clusterShareRTT.Observe(time.Since(start).Seconds())
+		if rep.resp.Err != "" {
+			err := fmt.Errorf("engine: executor %s: %s", n.addr, rep.resp.Err)
+			r.markDown(n, gen, err)
+			return shareResult{}, err
+		}
+		if rep.resp.NeedResync {
+			if resync >= 2 {
+				err := fmt.Errorf("engine: executor %s cannot resync", n.addr)
+				r.markDown(n, gen, err)
+				return shareResult{}, err
+			}
+			r.resyncs.Add(1)
+			clusterResyncs.Inc()
+			n.mu.Lock()
+			n.modelHash, n.vocabVersion, n.vocabLen, n.bcSeq = 0, 0, 0, -1
+			n.mu.Unlock()
+			continue
+		}
+		return shareResult{resp: rep.resp, node: n, gen: gen}, nil
+	}
+}
+
+// sendShare ships the broadcast (once per node per batch) and the share's
+// data frame. forceData resends the tweets even if a presend delivered
+// them (the executor consumed the previous copy when it answered
+// NeedResync).
+func (r *clusterRun) sendShare(n *execNode, gen int, seq int64, bc *broadcast, sp span, batch []twitterdata.Tweet, forceData bool) error {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if !n.up || n.gen != gen {
+		return fmt.Errorf("engine: executor %s went down", n.addr)
+	}
+	if n.bcSeq != seq {
+		// Entering a new batch: presend records for finished batches are
+		// dead weight — prune them so the map stays bounded on long runs.
+		for key := range n.presends {
+			if key.seq < seq {
+				delete(n.presends, key)
+			}
+		}
+		msg := r.broadcastFor(n, bc)
+		pre := n.conn.out.Load()
+		if err := r.encodeWithDeadline(n, &msg); err != nil {
+			return fmt.Errorf("engine: broadcast to executor %s: %w", n.addr, err)
+		}
+		sent := n.conn.out.Load() - pre
+		r.broadcastBytes.Add(sent)
+		clusterBroadcastBytes.Add(sent)
+		n.bcSeq = seq
+		n.modelHash = bc.modelHash
+		n.vocabVersion = bc.vocabVer
+		n.vocabLen = len(bc.vocabLog)
+	}
+	if forceData || !n.presends[respKey{seq: seq, lo: sp.lo, hi: sp.hi}] {
+		data := wireMsg{Kind: msgData, Seq: seq, Lo: sp.lo, Hi: sp.hi,
+			Tasks: r.cfg.TasksPerExecutor, Tweets: batch[sp.lo:sp.hi]}
+		pre := n.conn.out.Load()
+		if err := r.encodeWithDeadline(n, &data); err != nil {
+			return fmt.Errorf("engine: send share to executor %s: %w", n.addr, err)
+		}
+		sent := n.conn.out.Load() - pre
+		r.dataBytes.Add(sent)
+		clusterDataBytes.Add(sent)
+	}
+	return nil
+}
+
+// encodeWithDeadline sends one frame with a write deadline. Sends happen
+// under the node mutex, which markDown also needs before it can close the
+// connection — so an unbounded write to a peer that stopped reading would
+// deadlock the node forever. The deadline converts it into a send error
+// the caller turns into a failover. Callers hold n.mu.
+func (r *clusterRun) encodeWithDeadline(n *execNode, msg *wireMsg) error {
+	_ = n.conn.SetWriteDeadline(time.Now().Add(r.cfg.ShareTimeout))
+	err := n.enc.Encode(msg)
+	_ = n.conn.SetWriteDeadline(time.Time{})
+	return err
+}
+
+// presend ships batch seq's tweet shares to the currently-healthy nodes
+// while the previous batch is still in flight. The executor parks them
+// until the broadcast arrives; if the node assignment shifts before then
+// (failover), the stale copies are superseded by their share bounds.
+func (r *clusterRun) presend(seq int64, batch []twitterdata.Tweet) {
+	healthy := r.healthyNodes()
+	if len(healthy) == 0 {
+		return
+	}
+	shares := splitSpans(len(batch), len(healthy))
+	var wg sync.WaitGroup
+	for i, sp := range shares {
+		if sp.lo >= sp.hi {
+			continue
+		}
+		wg.Add(1)
+		go func(sp span, n *execNode) {
+			defer wg.Done()
+			n.mu.Lock()
+			if !n.up {
+				n.mu.Unlock()
+				return
+			}
+			gen := n.gen
+			data := wireMsg{Kind: msgData, Seq: seq, Lo: sp.lo, Hi: sp.hi,
+				Tasks: r.cfg.TasksPerExecutor, Tweets: batch[sp.lo:sp.hi]}
+			pre := n.conn.out.Load()
+			err := r.encodeWithDeadline(n, &data)
+			if err == nil {
+				sent := n.conn.out.Load() - pre
+				r.dataBytes.Add(sent)
+				clusterDataBytes.Add(sent)
+				n.presends[respKey{seq: seq, lo: sp.lo, hi: sp.hi}] = true
+			}
+			n.mu.Unlock()
+			if err != nil {
+				r.markDown(n, gen, fmt.Errorf("engine: presend to executor %s: %w", n.addr, err))
+			}
+		}(sp, healthy[i%len(healthy)])
+	}
+	wg.Wait()
+}
+
+// connect dials a node, runs the hello handshake, and starts its receive
+// loop. The node's broadcast bookkeeping is reset so the next batch sends
+// the full state.
+func (r *clusterRun) connect(n *execNode) error {
+	raw, err := net.DialTimeout("tcp", n.addr, 3*time.Second)
+	if err != nil {
+		return fmt.Errorf("engine: dial executor %s: %w", n.addr, err)
+	}
+	conn := &countingConn{Conn: raw}
+	enc := gob.NewEncoder(conn)
+	dec := gob.NewDecoder(conn)
+	_ = raw.SetDeadline(time.Now().Add(5 * time.Second))
+	hello := wireMsg{Kind: msgHello, Seq: -1, Proto: clusterProtoVersion, ModelKind: r.kind}
+	if err := enc.Encode(&hello); err != nil {
+		conn.Close()
+		return fmt.Errorf("engine: hello to executor %s: %w", n.addr, err)
+	}
+	var ack batchResponse
+	if err := dec.Decode(&ack); err != nil {
+		conn.Close()
+		return fmt.Errorf("engine: hello ack from executor %s: %w", n.addr, err)
+	}
+	if ack.Err != "" {
+		conn.Close()
+		n.mu.Lock()
+		n.abandoned = true // version/kind mismatch never heals by retrying
+		n.mu.Unlock()
+		return fmt.Errorf("engine: executor %s rejected session: %s", n.addr, ack.Err)
+	}
+	_ = raw.SetDeadline(time.Time{})
+
+	n.mu.Lock()
+	// A reconnect that completes as the run ends must not install a
+	// connection shutdown() has already passed over; shutdown closes stop
+	// before touching any node, so checking it under the node lock makes
+	// the two mutually exclusive.
+	select {
+	case <-r.stop:
+		n.mu.Unlock()
+		conn.Close()
+		return fmt.Errorf("engine: run ended during reconnect to %s", n.addr)
+	default:
+	}
+	n.conn, n.enc, n.dec = conn, enc, dec
+	n.gen++
+	gen := n.gen
+	n.up = true
+	n.modelHash, n.vocabVersion, n.vocabLen, n.bcSeq = 0, 0, 0, -1
+	n.presends = make(map[respKey]bool)
+	n.pending = make(map[respKey]chan shareReply)
+	n.mu.Unlock()
+	go r.recvLoop(n, gen, dec)
+	return nil
+}
+
+// recvLoop decodes responses for one connection generation and routes them
+// to the waiting share exchanges. Responses for shares nobody is waiting on
+// (stale presends processed after a reassignment) are dropped.
+func (r *clusterRun) recvLoop(n *execNode, gen int, dec *gob.Decoder) {
+	for {
+		var resp batchResponse
+		if err := dec.Decode(&resp); err != nil {
+			r.markDown(n, gen, fmt.Errorf("engine: receive from executor %s: %w", n.addr, err))
+			return
+		}
+		key := respKey{seq: resp.Seq, lo: resp.Lo, hi: resp.Hi}
+		n.mu.Lock()
+		if n.gen != gen {
+			n.mu.Unlock()
+			return
+		}
+		ch := n.pending[key]
+		if ch != nil {
+			delete(n.pending, key)
+		}
+		n.mu.Unlock()
+		if ch != nil {
+			ch <- shareReply{resp: resp}
+		}
+	}
+}
+
+// markDown transitions a node to unhealthy exactly once per connection
+// generation: it closes the connection, fails the pending exchanges so
+// their shares fail over, and starts the reconnect loop.
+func (r *clusterRun) markDown(n *execNode, gen int, err error) {
+	n.mu.Lock()
+	if !n.up || n.gen != gen {
+		n.mu.Unlock()
+		return
+	}
+	n.up = false
+	conn := n.conn
+	pend := n.pending
+	n.pending = nil
+	n.presends = nil
+	n.mu.Unlock()
+	conn.Close()
+	for _, ch := range pend {
+		ch <- shareReply{err: err}
+	}
+	select {
+	case <-r.stop:
+		return
+	default:
+	}
+	go r.revive(n)
+}
+
+// revive reconnects a downed node with exponential backoff, abandoning it
+// after MaxConnAttempts consecutive failures.
+func (r *clusterRun) revive(n *execNode) {
+	n.mu.Lock()
+	if n.reviving || n.abandoned || n.up {
+		n.mu.Unlock()
+		return
+	}
+	n.reviving = true
+	n.mu.Unlock()
+	defer func() {
+		n.mu.Lock()
+		n.reviving = false
+		// A markDown between our connect succeeding and this flag clearing
+		// saw reviving=true and declined to spawn; if the node went down
+		// again in that window, pick the baton back up ourselves so it is
+		// neither retried-by-nobody nor abandoned-by-nobody.
+		respawn := !n.up && !n.abandoned
+		n.mu.Unlock()
+		if !respawn {
+			return
+		}
+		select {
+		case <-r.stop:
+		default:
+			go r.revive(n)
+		}
+	}()
+	backoff := r.cfg.ReconnectBackoff
+	for attempt := 1; attempt <= r.cfg.MaxConnAttempts; attempt++ {
+		select {
+		case <-r.stop:
+			return
+		case <-time.After(backoff):
+		}
+		if backoff < time.Second {
+			backoff *= 2
+		}
+		err := r.connect(n)
+		if err == nil {
+			r.reconnects.Add(1)
+			clusterReconnects.Inc()
+			return
+		}
+		if n.abandonedNow() { // hello rejection: retrying cannot help
+			return
+		}
+	}
+	n.mu.Lock()
+	n.abandoned = true
+	n.mu.Unlock()
+}
+
+func (n *execNode) abandonedNow() bool {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.abandoned
+}
+
+func (r *clusterRun) healthyNodes() []*execNode {
+	var out []*execNode
+	for _, n := range r.nodes {
+		if n.isUp() {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+func (r *clusterRun) pickNode(tried map[*execNode]bool) *execNode {
+	for _, n := range r.nodes {
+		if !tried[n] && n.isUp() {
+			return n
+		}
+	}
+	return nil
+}
+
+func (r *clusterRun) allAbandoned() bool {
+	for _, n := range r.nodes {
+		if !n.abandonedNow() {
+			return false
+		}
+	}
+	return true
+}
+
+// waitHealthy blocks until at least one node is up, failing after
+// AllDownWait (or immediately once every node is abandoned).
+func (r *clusterRun) waitHealthy() ([]*execNode, error) {
+	deadline := time.Now().Add(r.cfg.AllDownWait)
+	for {
+		if h := r.healthyNodes(); len(h) > 0 {
+			return h, nil
+		}
+		if r.allAbandoned() {
+			return nil, fmt.Errorf("engine: every executor is gone (abandoned after %d attempts each)", r.cfg.MaxConnAttempts)
+		}
+		if time.Now().After(deadline) {
+			return nil, fmt.Errorf("engine: every executor is down and none reconnected within %v", r.cfg.AllDownWait)
+		}
+		time.Sleep(15 * time.Millisecond)
+	}
+}
+
+// shutdown ends the run: reconnect loops stop, up nodes get the polite
+// shutdown frame, and every connection is closed.
+func (r *clusterRun) shutdown() {
+	close(r.stop)
+	bye := wireMsg{Kind: msgShutdown}
+	for _, n := range r.nodes {
+		n.mu.Lock()
+		if n.conn != nil {
+			if n.up {
+				// Best-effort politeness; a peer that stopped reading must
+				// not block the run from ending.
+				_ = n.conn.SetWriteDeadline(time.Now().Add(time.Second))
+				_ = n.enc.Encode(&bye)
+			}
+			n.conn.Close()
+		}
+		n.up = false
+		n.mu.Unlock()
+	}
+}

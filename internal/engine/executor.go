@@ -1,0 +1,506 @@
+package engine
+
+import (
+	"encoding/gob"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"redhanded/internal/core"
+	"redhanded/internal/feature"
+	"redhanded/internal/ml"
+	"redhanded/internal/norm"
+	"redhanded/internal/stream"
+)
+
+// Executor is one cluster node: it listens on a TCP address and serves
+// batch shares with a local worker pool. The paper's cluster nodes have 8
+// cores each. Each connection is an independent session holding the last
+// broadcast state (decoded model keyed by hash, normalizer statistics,
+// vocabulary version), so an unchanged model or vocabulary costs the driver
+// a few bytes instead of a full re-broadcast.
+type Executor struct {
+	ln      net.Listener
+	workers int
+
+	mu       sync.Mutex
+	closed   bool
+	handled  int64
+	serveErr error
+	conns    map[net.Conn]bool
+
+	// inflight tracks shares being processed (including their response
+	// flush) so Close can drain them instead of hard-closing connections
+	// under the drivers; loops tracks the accept and connection goroutines.
+	inflight sync.WaitGroup
+	loops    sync.WaitGroup
+
+	vocabSize atomic.Int64
+
+	// corruptDeltas is a fault-injection hook used by the driver's
+	// failover tests: when set, returned delta blobs are flipped so the
+	// driver's merge-time validation path is exercised.
+	corruptDeltas atomic.Bool
+	// shareHook, when set (under mu), runs at the start of every share —
+	// fault tests use it to crash the executor at a precise point.
+	shareHook func()
+}
+
+// kill abruptly severs the executor — listener and connections close with
+// no drain, the test stand-in for a crashed process (SIGKILL, OOM, node
+// loss). In-flight shares lose their connections mid-response, which is
+// exactly what the driver's failover path must absorb.
+func (e *Executor) kill() {
+	e.mu.Lock()
+	e.closed = true
+	conns := make([]net.Conn, 0, len(e.conns))
+	for c := range e.conns {
+		conns = append(conns, c)
+	}
+	e.mu.Unlock()
+	e.ln.Close()
+	for _, c := range conns {
+		c.Close()
+	}
+}
+
+// drainTimeout bounds how long Close waits for in-flight shares to flush
+// their responses before closing connections under them.
+const drainTimeout = 10 * time.Second
+
+// StartExecutor launches an executor listening on addr (use "127.0.0.1:0"
+// for an ephemeral port).
+func StartExecutor(addr string, workers int) (*Executor, error) {
+	if workers < 1 {
+		workers = 1
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("engine: executor listen: %w", err)
+	}
+	e := &Executor{ln: ln, workers: workers, conns: make(map[net.Conn]bool)}
+	e.loops.Add(1)
+	go e.serve()
+	return e, nil
+}
+
+// Addr returns the executor's listen address.
+func (e *Executor) Addr() string { return e.ln.Addr().String() }
+
+// Handled returns how many batch shares this executor served.
+func (e *Executor) Handled() int64 {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.handled
+}
+
+// Err returns the accept-loop failure, if any. A listener torn down by
+// anything other than Close surfaces here, so operators and tests can see
+// why an executor stopped serving.
+func (e *Executor) Err() error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.serveErr
+}
+
+// LastVocabSize reports the BoW vocabulary size observed by the most
+// recently served share — the executor-side view of the broadcast
+// handshake (a reconnected executor shows the full resynced vocabulary).
+func (e *Executor) LastVocabSize() int { return int(e.vocabSize.Load()) }
+
+// ActiveConns returns the number of live driver connections.
+func (e *Executor) ActiveConns() int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return len(e.conns)
+}
+
+// Close stops the executor gracefully: it stops accepting, waits for
+// in-flight shares to finish and flush their responses, then closes the
+// remaining connections. It returns the accept-loop error, if any.
+func (e *Executor) Close() error {
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		e.loops.Wait()
+		return e.Err()
+	}
+	e.closed = true
+	e.mu.Unlock()
+	e.ln.Close()
+	// Drain: shares already being processed complete and their responses
+	// reach the driver before the connections go away. The wait is bounded
+	// so a driver that stopped reading (hung process, dead network path
+	// with a full TCP window) cannot block shutdown forever — past the
+	// deadline the connections are closed under the stuck flush.
+	drained := make(chan struct{})
+	go func() {
+		e.inflight.Wait()
+		close(drained)
+	}()
+	select {
+	case <-drained:
+	case <-time.After(drainTimeout):
+	}
+	e.mu.Lock()
+	for c := range e.conns {
+		c.Close()
+	}
+	e.mu.Unlock()
+	e.loops.Wait()
+	return e.Err()
+}
+
+func (e *Executor) serve() {
+	defer e.loops.Done()
+	for {
+		conn, err := e.ln.Accept()
+		if err != nil {
+			e.mu.Lock()
+			if !e.closed {
+				e.serveErr = err
+			}
+			e.mu.Unlock()
+			return
+		}
+		e.mu.Lock()
+		if e.closed {
+			e.mu.Unlock()
+			conn.Close()
+			continue
+		}
+		e.conns[conn] = true
+		e.loops.Add(1)
+		e.mu.Unlock()
+		go e.serveConn(conn)
+	}
+}
+
+// execSession is the per-connection protocol state: the negotiated model
+// kind, the cached decoded model and its hash, the current normalizer
+// statistics, the persistent extractor whose BoW tracks the broadcast
+// vocabulary version, and data frames parked for batches whose broadcast
+// has not arrived yet (the driver pre-sends batch k+1's tweets while batch
+// k is still in flight).
+type execSession struct {
+	e   *Executor
+	enc *gob.Encoder
+	dec *gob.Decoder
+
+	modelKind string
+	model     stream.RemoteTrainable
+	modelHash uint64
+
+	stats    *norm.FeatureStats
+	normMode int
+	scheme   int
+
+	extractor    *feature.Extractor
+	preprocess   bool
+	vocabVersion uint64
+
+	seq        int64
+	bcOK       bool
+	needResync bool
+	bcErr      string
+	parked     []wireMsg
+}
+
+func (e *Executor) serveConn(conn net.Conn) {
+	defer func() {
+		conn.Close()
+		e.mu.Lock()
+		delete(e.conns, conn)
+		e.mu.Unlock()
+		e.loops.Done()
+	}()
+	s := &execSession{e: e, enc: gob.NewEncoder(conn), dec: gob.NewDecoder(conn)}
+	for {
+		var msg wireMsg
+		if err := s.dec.Decode(&msg); err != nil {
+			return // connection closed or corrupted; the driver fails over
+		}
+		switch msg.Kind {
+		case msgHello:
+			if !s.hello(&msg) {
+				return
+			}
+		case msgShutdown:
+			return // polite end-of-run
+		case msgBroadcast:
+			s.applyBroadcast(&msg)
+			if !s.drainParked() {
+				return
+			}
+		case msgData:
+			if !s.handleData(&msg) {
+				return
+			}
+		default:
+			return // protocol violation
+		}
+	}
+}
+
+// hello negotiates the protocol version and model kind for the session.
+func (s *execSession) hello(msg *wireMsg) bool {
+	resp := batchResponse{Seq: msg.Seq, Proto: clusterProtoVersion}
+	switch {
+	case msg.Proto != clusterProtoVersion:
+		resp.Err = fmt.Sprintf("engine: driver speaks cluster protocol v%d, executor v%d", msg.Proto, clusterProtoVersion)
+	case !stream.KnownKind(msg.ModelKind):
+		resp.Err = fmt.Sprintf("engine: executor cannot host model kind %q", msg.ModelKind)
+	default:
+		s.modelKind = msg.ModelKind
+	}
+	if err := s.enc.Encode(&resp); err != nil {
+		return false
+	}
+	return resp.Err == ""
+}
+
+// applyBroadcast installs one batch's broadcast state. Model and vocabulary
+// arrive as deltas against what this session already holds; a reference to
+// state the session does not hold flags NeedResync, which the driver
+// answers with a full re-broadcast.
+func (s *execSession) applyBroadcast(msg *wireMsg) {
+	s.seq = msg.Seq
+	s.bcOK, s.needResync, s.bcErr = false, false, ""
+	s.normMode, s.scheme = msg.NormMode, msg.Scheme
+
+	if len(msg.ModelBlob) > 0 {
+		m, err := stream.DecodeModel(s.modelKind, msg.ModelBlob)
+		if err != nil {
+			s.bcErr = err.Error()
+			return
+		}
+		s.model, s.modelHash = m, msg.ModelHash
+	} else if s.model == nil || s.modelHash != msg.ModelHash {
+		s.needResync = true
+		return
+	}
+
+	stats := norm.NewFeatureStats(feature.NumFeatures)
+	if err := stats.UnmarshalBinary(msg.StatsBlob); err != nil {
+		s.bcErr = err.Error()
+		return
+	}
+	s.stats = stats
+
+	if s.extractor == nil || s.preprocess != msg.Preprocess {
+		bowCfg := feature.DefaultBoWConfig()
+		bowCfg.Frozen = true // adaptation happens at the driver only
+		s.extractor = feature.NewExtractor(feature.Config{Preprocess: msg.Preprocess, BoW: bowCfg})
+		s.preprocess = msg.Preprocess
+		s.vocabVersion = 0
+	}
+	switch {
+	case msg.VocabBase == 0:
+		s.extractor.BoW().SetWords(msg.VocabWords)
+		s.vocabVersion = msg.VocabVersion
+	case msg.VocabBase == s.vocabVersion:
+		s.extractor.BoW().AppendWords(msg.VocabWords)
+		s.vocabVersion = msg.VocabVersion
+	default:
+		s.needResync = true
+		return
+	}
+	s.bcOK = true
+}
+
+// handleData processes, parks, or drops one data frame depending on how
+// its sequence number relates to the current broadcast.
+func (s *execSession) handleData(msg *wireMsg) bool {
+	switch {
+	case msg.Seq == s.seq:
+		return s.processData(msg)
+	case msg.Seq > s.seq:
+		// Pre-sent share for a future batch; dedupe by share bounds so a
+		// re-sent share replaces its stale twin.
+		for i := range s.parked {
+			if s.parked[i].Seq == msg.Seq && s.parked[i].Lo == msg.Lo && s.parked[i].Hi == msg.Hi {
+				s.parked[i] = *msg
+				return true
+			}
+		}
+		s.parked = append(s.parked, *msg)
+		return true
+	default:
+		return true // stale share from an abandoned batch; driver moved on
+	}
+}
+
+// drainParked processes parked data frames whose batch broadcast just
+// arrived and drops ones the driver has abandoned.
+func (s *execSession) drainParked() bool {
+	keep := s.parked[:0]
+	for i := range s.parked {
+		msg := s.parked[i]
+		switch {
+		case msg.Seq == s.seq:
+			if !s.processData(&msg) {
+				return false
+			}
+		case msg.Seq > s.seq:
+			keep = append(keep, msg)
+		}
+	}
+	s.parked = keep
+	return true
+}
+
+// processData runs one share against the current broadcast state and sends
+// the response. The inflight window spans through the response encode so
+// Close's drain guarantees the driver sees the result.
+func (s *execSession) processData(msg *wireMsg) bool {
+	resp := batchResponse{Seq: msg.Seq, Lo: msg.Lo, Hi: msg.Hi}
+	busy := false
+	switch {
+	case s.needResync:
+		resp.NeedResync = true
+	case !s.bcOK:
+		resp.Err = s.bcErr
+		if resp.Err == "" {
+			resp.Err = "engine: data frame before any broadcast"
+		}
+	default:
+		e := s.e
+		e.mu.Lock()
+		if e.closed {
+			e.mu.Unlock()
+			return false
+		}
+		e.inflight.Add(1)
+		e.handled++
+		hook := e.shareHook
+		e.mu.Unlock()
+		busy = true
+		if hook != nil {
+			hook()
+		}
+		resp = s.runShare(msg)
+		if e.corruptDeltas.Load() {
+			for _, blob := range resp.DeltaBlobs {
+				for i := range blob {
+					blob[i] ^= 0xff
+				}
+			}
+		}
+	}
+	err := s.enc.Encode(&resp)
+	if busy {
+		s.e.inflight.Done()
+	}
+	return err == nil
+}
+
+// runShare executes one share: parallel feature extraction plus local
+// statistics accumulation, then normalization against the broadcast global
+// statistics merged with the share's own delta, prediction with the
+// broadcast model, and training-delta accumulation. The outcome depends
+// only on the broadcast state and the share's tweets — never on which node
+// runs it — which is what makes failover reassignment exact.
+func (s *execSession) runShare(msg *wireMsg) batchResponse {
+	resp := batchResponse{Seq: msg.Seq, Lo: msg.Lo, Hi: msg.Hi}
+	model := s.model
+	scheme := core.ClassScheme(s.scheme)
+	stats := s.stats.Clone()
+	s.e.vocabSize.Store(int64(s.extractor.BoW().Size()))
+
+	tweets := msg.Tweets
+	parts := msg.Tasks
+	if parts < 1 {
+		parts = 1
+	}
+	if parts > len(tweets) {
+		parts = len(tweets)
+	}
+
+	// Phase 1 (parallel): extract raw features into pooled vectors,
+	// accumulate local stats. The vectors are released after phase 2.
+	raws := make([]*feature.Vec, len(tweets))
+	labels := make([]int, len(tweets))
+	statsDeltas := make([]*norm.FeatureStats, parts)
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, s.e.workers)
+	runTasks := func(fn func(part int)) {
+		for part := 0; part < parts; part++ {
+			part := part
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				sem <- struct{}{}
+				defer func() { <-sem }()
+				fn(part)
+			}()
+		}
+		wg.Wait()
+	}
+	runTasks(func(part int) {
+		delta := norm.NewFeatureStats(feature.NumFeatures)
+		for idx := part; idx < len(tweets); idx += parts {
+			tw := &tweets[idx]
+			raws[idx] = feature.GetVec()
+			s.extractor.ExtractInto(raws[idx][:], tw)
+			delta.Observe(raws[idx][:])
+			labels[idx] = ml.Unlabeled
+			if tw.IsLabeled() {
+				labels[idx] = scheme.LabelIndex(tw.Label)
+			}
+		}
+		statsDeltas[part] = delta
+	})
+
+	// The executor normalizes against the broadcast global statistics plus
+	// its own share's delta; the authoritative merge happens at the driver.
+	localDelta := norm.NewFeatureStats(feature.NumFeatures)
+	for _, d := range statsDeltas {
+		localDelta.Merge(d)
+	}
+	stats.Merge(localDelta)
+	snapshot := &norm.Normalizer{Mode: norm.Mode(s.normMode), Stats: stats}
+
+	// Phase 2 (parallel): normalize, predict, accumulate training deltas.
+	results := make([]partitionResult, parts)
+	runTasks(func(part int) {
+		res := partitionResult{part: part, acc: model.NewAccumulator()}
+		for idx := part; idx < len(tweets); idx += parts {
+			x := snapshot.Normalize(raws[idx][:], nil)
+			votes := model.Predict(x)
+			label := labels[idx]
+			if label >= 0 {
+				res.acc.Observe(ml.Instance{
+					X: x, Label: label, Weight: 1,
+					ID: tweets[idx].IDStr, Day: tweets[idx].Day,
+				})
+			}
+			res.classified = append(res.classified, classifiedRec{
+				Idx: idx, Label: label, Pred: votes.ArgMax(), Conf: votes.Confidence(),
+			})
+		}
+		results[part] = res
+	})
+
+	for _, v := range raws {
+		feature.PutVec(v)
+	}
+
+	for _, res := range results {
+		blob, err := res.acc.(stream.StatefulAccumulator).State()
+		if err != nil {
+			resp.Err = err.Error()
+			return resp
+		}
+		resp.DeltaBlobs = append(resp.DeltaBlobs, blob)
+		resp.Classified = append(resp.Classified, res.classified...)
+	}
+	statsBlob, err := localDelta.MarshalBinary()
+	if err != nil {
+		resp.Err = err.Error()
+		return resp
+	}
+	resp.StatsBlob = statsBlob
+	return resp
+}

@@ -1,0 +1,148 @@
+package engine
+
+import (
+	"net"
+	"sync/atomic"
+
+	"redhanded/internal/twitterdata"
+)
+
+// The cluster wire protocol (v2). Each driver→executor connection carries a
+// gob stream of wireMsg frames; the executor answers data frames (and the
+// hello) with batchResponse frames. Compared to the v1 protocol — one
+// monolithic request per batch re-broadcasting the full model, normalizer
+// statistics, and BoW vocabulary every time — v2 splits a batch into:
+//
+//	hello      one per connection: protocol + model-kind negotiation
+//	broadcast  one per (node, batch): stats always; model blob only when its
+//	           hash changed; vocabulary as an append-only diff against the
+//	           version the node acknowledged (the adaptive BoW mostly grows,
+//	           Fig. 10, so the steady-state diff is empty)
+//	data       one per share: the tweets plus the share's [lo,hi) bounds
+//	shutdown   polite end-of-run so executors drop the session cleanly
+//
+// Splitting broadcast from data is what enables pipelining: the driver
+// encodes and ships batch k+1's tweets while batch k's round trip is still
+// in flight, and sends k+1's broadcast only after k's deltas are merged —
+// preserving the test-then-train ordering the driver-side merge requires.
+// The version handshake (ModelHash, VocabBase→VocabVersion) lets a
+// reconnecting executor resync from scratch: the driver resets its per-node
+// bookkeeping on every (re)connect, and an executor that receives a delta
+// it has no base for answers NeedResync instead of guessing.
+
+// clusterProtoVersion is negotiated in the hello exchange; mismatched
+// driver/executor builds fail fast instead of mis-decoding frames.
+const clusterProtoVersion = 2
+
+// Message kinds carried in wireMsg.Kind.
+const (
+	msgHello uint8 = iota + 1
+	msgBroadcast
+	msgData
+	msgShutdown
+)
+
+// wireMsg is every driver→executor frame. gob omits zero-valued fields, so
+// a data frame costs nothing for the broadcast fields and vice versa.
+type wireMsg struct {
+	Kind uint8
+	Seq  int64
+
+	// Hello fields.
+	Proto     int
+	ModelKind string
+
+	// Broadcast fields.
+	ModelHash    uint64 // fnv-64a of the serialized global model
+	ModelBlob    []byte // omitted when the executor already holds ModelHash
+	StatsBlob    []byte // normalizer statistics (always full; they change every batch)
+	VocabBase    uint64 // vocab version the words extend (0 = full replacement)
+	VocabVersion uint64 // vocab version after applying this message
+	VocabWords   []string
+	Preprocess   bool
+	NormMode     int
+	Scheme       int
+
+	// Data fields. Lo/Hi are the share's offsets within the driver's batch;
+	// they key the response back to the share even after failover reassigns
+	// it, and distinguish fresh shares from stale pre-sent ones whose
+	// boundaries changed when the healthy-node set did.
+	Lo, Hi int
+	Tasks  int
+	Tweets []twitterdata.Tweet
+}
+
+// batchResponse is the executor→driver frame: the hello ack (Seq < 0) or
+// one share's results.
+type batchResponse struct {
+	Seq    int64
+	Lo, Hi int
+
+	// Hello-ack fields.
+	Proto int
+
+	// NeedResync reports that the executor cannot apply the broadcast it
+	// was sent (unknown model hash or vocabulary base); the driver answers
+	// by resending the full state.
+	NeedResync bool
+
+	// Share results.
+	DeltaBlobs [][]byte
+	StatsBlob  []byte
+	Classified []classifiedRec
+	Err        string
+}
+
+// respKey addresses one share exchange on a connection.
+type respKey struct {
+	seq    int64
+	lo, hi int
+}
+
+// span is one contiguous share of a batch.
+type span struct{ lo, hi int }
+
+// splitSpans divides n items contiguously across k shares (the last shares
+// may be empty when k does not divide n).
+func splitSpans(n, k int) []span {
+	if k < 1 {
+		k = 1
+	}
+	per := (n + k - 1) / k
+	out := make([]span, k)
+	for i := 0; i < k; i++ {
+		lo, hi := i*per, i*per+per
+		if lo > n {
+			lo = n
+		}
+		if hi > n {
+			hi = n
+		}
+		out[i] = span{lo, hi}
+	}
+	return out
+}
+
+// fnv64a hashes a serialized blob for the model version handshake.
+func fnv64a(b []byte) uint64 {
+	h := uint64(14695981039346656037)
+	for _, c := range b {
+		h ^= uint64(c)
+		h *= 1099511628211
+	}
+	return h
+}
+
+// countingConn counts bytes written, so the driver can attribute wire cost
+// to broadcast vs data frames (sends are serialized per node, making the
+// before/after snapshot attribution exact).
+type countingConn struct {
+	net.Conn
+	out atomic.Int64
+}
+
+func (c *countingConn) Write(p []byte) (int, error) {
+	n, err := c.Conn.Write(p)
+	c.out.Add(int64(n))
+	return n, err
+}

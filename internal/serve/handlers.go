@@ -89,21 +89,31 @@ func (s *Server) writeBackpressure(w http.ResponseWriter, v any) {
 	s.writeJSON(w, http.StatusTooManyRequests, v)
 }
 
-// handleClassify runs one tweet through its shard synchronously.
+// handleClassify runs one tweet through its shard synchronously. Latency
+// is recorded for every terminal outcome, labeled by outcome, so the
+// accepted-path series stays clean while rejections and disconnects remain
+// observable.
 func (s *Server) handleClassify(w http.ResponseWriter, r *http.Request) {
 	start := time.Now()
+	outcome := outcomeOK
+	defer func() {
+		s.latency[outcome].Observe(time.Since(start).Seconds())
+	}()
 	var tw twitterdata.Tweet
 	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20)).Decode(&tw); err != nil {
+		outcome = outcomeBadRequest
 		s.writeJSON(w, http.StatusBadRequest, map[string]string{"error": fmt.Sprintf("decode tweet: %v", err)})
 		return
 	}
 	reply := make(chan core.Result, 1)
 	sh, ok, err := s.offer(job{tweet: tw, reply: reply})
 	if err != nil {
+		outcome = outcomeDraining
 		s.writeJSON(w, http.StatusServiceUnavailable, map[string]string{"error": err.Error()})
 		return
 	}
 	if !ok {
+		outcome = outcomeQueueFull
 		s.rejected.Inc()
 		s.writeBackpressure(w, map[string]string{"error": "shard queue full"})
 		return
@@ -121,9 +131,10 @@ func (s *Server) handleClassify(w http.ResponseWriter, r *http.Request) {
 		})
 	case <-r.Context().Done():
 		// The client went away; the shard still processes the tweet and
-		// drops the buffered reply.
+		// drops the buffered reply. The time until disconnect lands on the
+		// canceled series instead of masquerading as request latency.
+		outcome = outcomeCanceled
 	}
-	s.latency.Observe(time.Since(start).Seconds())
 }
 
 // handleIngest enqueues an NDJSON batch asynchronously. Ingestion stops at

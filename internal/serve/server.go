@@ -130,8 +130,23 @@ type Server struct {
 	accepted  *metrics.Counter
 	rejected  *metrics.Counter
 	malformed *metrics.Counter
-	latency   *metrics.Histogram
+	// latency holds one histogram per terminal classify outcome, so
+	// rejected and canceled requests stop polluting the accepted-path
+	// series while still being observable.
+	latency map[string]*metrics.Histogram
 }
+
+// Terminal outcomes of POST /v1/classify, used as the outcome label on the
+// request-latency histogram.
+const (
+	outcomeOK         = "ok"
+	outcomeBadRequest = "bad_request"
+	outcomeQueueFull  = "queue_full"
+	outcomeDraining   = "draining"
+	outcomeCanceled   = "canceled"
+)
+
+var classifyOutcomes = []string{outcomeOK, outcomeBadRequest, outcomeQueueFull, outcomeDraining, outcomeCanceled}
 
 // NewServer builds the sharded server and starts its shard goroutines.
 func NewServer(opts Options) *Server {
@@ -151,7 +166,12 @@ func newServer(opts Options, start bool) *Server {
 		accepted:  reg.Counter("redhanded_ingest_accepted_total", "Tweets accepted into a shard queue.", nil),
 		rejected:  reg.Counter("redhanded_ingest_rejected_total", "Tweets rejected with 429 because a shard queue was full.", nil),
 		malformed: reg.Counter("redhanded_ingest_malformed_total", "NDJSON lines that failed to decode.", nil),
-		latency:   reg.Histogram("redhanded_classify_latency_seconds", "End-to-end /v1/classify request latency.", nil, nil),
+		latency:   make(map[string]*metrics.Histogram, len(classifyOutcomes)),
+	}
+	for _, outcome := range classifyOutcomes {
+		s.latency[outcome] = reg.Histogram("redhanded_classify_latency_seconds",
+			"End-to-end /v1/classify request latency by terminal outcome.",
+			nil, metrics.Labels{"outcome": outcome})
 	}
 	for i := 0; i < opts.Shards; i++ {
 		labels := metrics.Labels{"shard": fmt.Sprint(i)}

@@ -322,8 +322,8 @@ func TestMetricsExposition(t *testing.T) {
 		`redhanded_shard_queue_depth{shard="0"}`,
 		`redhanded_shard_queue_depth{shard="1"}`,
 		"# TYPE redhanded_classify_latency_seconds histogram",
-		`redhanded_classify_latency_seconds_bucket{le="+Inf"} 1`,
-		"redhanded_classify_latency_seconds_count 1",
+		`redhanded_classify_latency_seconds_bucket{outcome="ok",le="+Inf"} 1`,
+		`redhanded_classify_latency_seconds_count{outcome="ok"} 1`,
 		`redhanded_shard_process_seconds_bucket{shard=`,
 		`redhanded_http_requests_total{path="/v1/classify"} 1`,
 		// The process-default registry rides along: core/engine wiring.
@@ -456,5 +456,114 @@ func TestGracefulShutdownCheckpointRestore(t *testing.T) {
 	c := newServer(bad, false)
 	if err := c.Restore(dir); err == nil {
 		t.Fatal("restore with mismatched shard count should fail")
+	}
+}
+
+// TestClassifyLatencyOutcomes proves every terminal classify outcome lands
+// on the latency histogram under its own outcome label: rejected and
+// malformed requests are no longer invisible, and none of them pollute the
+// accepted-path ("ok") series.
+func TestClassifyLatencyOutcomes(t *testing.T) {
+	opts := testOptions()
+	opts.Shards = 1
+	opts.QueueDepth = 1
+	// Shard loops never start: the queue fills and stays full.
+	s := newServer(opts, false)
+	ts := httptest.NewServer(s)
+	defer ts.Close()
+
+	count := func(outcome string) int64 {
+		return s.latency[outcome].Count()
+	}
+
+	// bad_request: undecodable body.
+	resp, err := http.Post(ts.URL+"/v1/classify", "application/json", strings.NewReader("{nope"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("status = %d, want 400", resp.StatusCode)
+	}
+	if got := count(outcomeBadRequest); got != 1 {
+		t.Errorf("bad_request latency count = %d, want 1", got)
+	}
+
+	// queue_full: the first request fills the stalled shard's queue and is
+	// later canceled (covering the canceled outcome); the second is shed
+	// with 429.
+	tw := makeTweet("1", "9", "text", "")
+	blob, _ := tw.Marshal()
+	ctx, cancel := context.WithCancel(context.Background())
+	firstDone := make(chan struct{})
+	go func() {
+		defer close(firstDone)
+		req, _ := http.NewRequestWithContext(ctx, "POST", ts.URL+"/v1/classify", bytes.NewReader(blob))
+		req.Header.Set("Content-Type", "application/json")
+		if resp, err := http.DefaultClient.Do(req); err == nil {
+			resp.Body.Close()
+		}
+	}()
+	deadline := time.Now().Add(2 * time.Second)
+	for len(s.shards[0].queue) == 0 {
+		if time.Now().After(deadline) {
+			cancel()
+			t.Fatal("queue never filled")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	resp, err = http.Post(ts.URL+"/v1/classify", "application/json", bytes.NewReader(blob))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("status = %d, want 429", resp.StatusCode)
+	}
+	if got := count(outcomeQueueFull); got != 1 {
+		t.Errorf("queue_full latency count = %d, want 1", got)
+	}
+
+	// canceled: the queued request's client goes away; its wait time lands
+	// on the canceled series, not the ok one.
+	cancel()
+	<-firstDone
+	deadline = time.Now().Add(2 * time.Second)
+	for count(outcomeCanceled) == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("canceled outcome never recorded")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	// ok must not have been touched by any of the outcomes above.
+	if got := count(outcomeOK); got != 0 {
+		t.Errorf("ok latency count = %d, want 0", got)
+	}
+}
+
+// TestClassifyLatencyDraining proves the 503 drain path records latency
+// under the draining outcome.
+func TestClassifyLatencyDraining(t *testing.T) {
+	opts := testOptions()
+	opts.Shards = 1
+	s := NewServer(opts)
+	ts := httptest.NewServer(s)
+	defer ts.Close()
+	if err := s.Drain(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	tw := makeTweet("1", "9", "text", "")
+	blob, _ := tw.Marshal()
+	resp, err := http.Post(ts.URL+"/v1/classify", "application/json", bytes.NewReader(blob))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("status = %d, want 503", resp.StatusCode)
+	}
+	if got := s.latency[outcomeDraining].Count(); got != 1 {
+		t.Errorf("draining latency count = %d, want 1", got)
 	}
 }

@@ -296,6 +296,19 @@ const (
 	KindSLR = "SLR"
 )
 
+// KnownKind reports whether kind names a model this build can decode —
+// the executor side of the cluster hello negotiation, so a driver running
+// a newer model kind fails fast with a clear error instead of a mid-run
+// decode failure.
+func KnownKind(kind string) bool {
+	switch kind {
+	case KindHT, KindSLR:
+		return true
+	default:
+		return false
+	}
+}
+
 // ModelKindOf returns the protocol tag for a remote-trainable model.
 func ModelKindOf(m RemoteTrainable) (string, error) {
 	switch m.(type) {
