@@ -145,18 +145,27 @@ func main() {
 		log.Printf("skipping checkpoint: shards did not drain cleanly")
 	default:
 		if err := srv.Checkpoint(*checkpoint); err != nil {
-			// ARF does not support checkpointing; report, don't crash.
 			log.Printf("checkpoint: %v", err)
 		} else {
 			log.Printf("checkpointed %d shards to %s", srv.Shards(), *checkpoint)
 		}
 	}
-	var processed int64
+	var processed, warnings, drifts, replacements int64
 	for i := 0; i < srv.Shards(); i++ {
-		processed += srv.Pipeline(i).Processed()
+		p := srv.Pipeline(i)
+		processed += p.Processed()
+		if d := p.DriftStats(); d != nil {
+			warnings += d.Warnings
+			drifts += d.Drifts
+			replacements += d.TreeReplacements
+		}
 	}
 	fmt.Printf("processed %d tweets across %d shards in %s\n",
 		processed, srv.Shards(), srv.Uptime().Round(time.Millisecond))
+	if opts.Model == core.ModelARF {
+		fmt.Printf("drift: %d warnings, %d drifts, %d tree replacements\n",
+			warnings, drifts, replacements)
+	}
 	if errors.Is(<-errc, http.ErrServerClosed) {
 		return
 	}

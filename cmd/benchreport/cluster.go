@@ -12,11 +12,12 @@ import (
 	"redhanded/internal/twitterdata"
 )
 
-// ClusterRun is one arm of the before/after measurement: the same warmed
-// pipeline driven through a steady-state unlabeled stream with either the
-// v1 full re-broadcast or the v2 delta protocol.
+// ClusterRun is one arm of the before/after measurement: a warmed pipeline
+// driven through a steady-state unlabeled stream with either the v1 full
+// re-broadcast or the delta protocol, for one model kind.
 type ClusterRun struct {
-	Mode                 string  `json:"mode"` // "full" or "delta"
+	Model                string  `json:"model"` // "ht" or "arf"
+	Mode                 string  `json:"mode"`  // "full" or "delta"
 	SteadyBatches        int     `json:"steady_batches"`
 	SteadyBroadcastBytes int64   `json:"steady_broadcast_bytes"`
 	BroadcastPerBatch    int64   `json:"broadcast_bytes_per_batch"`
@@ -27,7 +28,8 @@ type ClusterRun struct {
 
 // ClusterReport is the BENCH_cluster.json payload: steady-state broadcast
 // cost per batch with an unchanged model/vocab, before and after delta
-// broadcasts.
+// broadcasts — for the HT (whole-model elision) and the ARF (per-member
+// elision on top of it).
 type ClusterReport struct {
 	GeneratedUnix int64  `json:"generated_unix"`
 	GoVersion     string `json:"go_version"`
@@ -42,37 +44,59 @@ type ClusterReport struct {
 	ModelBlobSize int   `json:"model_blob_bytes"`
 	VocabSize     int   `json:"vocab_words"`
 
+	ARFWarmupTweets int   `json:"arf_warmup_tweets"`
+	ARFSteadyTweets int64 `json:"arf_steady_tweets"`
+	ARFEnsembleSize int   `json:"arf_ensemble_size"`
+	ARFForestBytes  int   `json:"arf_forest_broadcast_bytes"`
+
 	Runs []ClusterRun `json:"runs"`
 	// BroadcastReduction is full/delta steady-state broadcast bytes per
-	// batch; the acceptance target is >= 10x.
+	// batch for the HT arm; the acceptance target is >= 10x.
 	BroadcastReduction   float64 `json:"broadcast_reduction"`
 	MeetsTargetReduction bool    `json:"meets_target_reduction"`
+	// ARFElisionRatio is delta/full steady-state broadcast bytes per batch
+	// for the ARF arm; per-member elision demands <= 1/EnsembleSize.
+	ARFElisionRatio       float64 `json:"arf_elision_ratio"`
+	MeetsARFElisionTarget bool    `json:"meets_arf_elision_target"`
 }
 
 const (
 	clusterExecutors    = 3
 	clusterBatch        = 1000
 	clusterSteadyTweets = 80000
+
+	arfEnsembleSize = 10
+	arfSteadyTweets = 80000
 )
 
-// clusterWorkload builds the labeled warmup set that grows the HT model
-// and the adaptive vocabulary to realistic sizes before measuring (the
-// paper's labeled corpus is ~86k tweets; this is half that scale).
-func clusterWorkload() []twitterdata.Tweet {
+// clusterWorkload builds the labeled warmup set that grows the model and
+// the adaptive vocabulary to realistic sizes before measuring (the paper's
+// labeled corpus is ~86k tweets; the HT arm uses half that scale).
+func clusterWorkload(scaleDown int) []twitterdata.Tweet {
 	return twitterdata.GenerateAggression(twitterdata.AggressionConfig{
-		Seed: 7, Days: 10, NormalCount: 27000, AbusiveCount: 13500, HatefulCount: 2700,
+		Seed: 7, Days: 10,
+		NormalCount: 27000 / scaleDown, AbusiveCount: 13500 / scaleDown, HatefulCount: 2700 / scaleDown,
 	})
+}
+
+func clusterOptions(model string) core.Options {
+	opts := core.DefaultOptions()
+	if model == "arf" {
+		opts.Model = core.ModelARF
+		opts.ARF.EnsembleSize = arfEnsembleSize
+	}
+	return opts
 }
 
 // runClusterArm warms a fresh pipeline over the labeled set, then measures
 // the steady-state unlabeled phase (model and vocabulary unchanged) with
 // the given wire mode. Fresh executors per arm keep the arms independent.
-func runClusterArm(warmup []twitterdata.Tweet, disableDelta bool) (ClusterRun, *core.Pipeline, error) {
+func runClusterArm(model string, warmup []twitterdata.Tweet, steadyTweets int64, disableDelta bool) (ClusterRun, *core.Pipeline, error) {
 	mode := "delta"
 	if disableDelta {
 		mode = "full"
 	}
-	run := ClusterRun{Mode: mode}
+	run := ClusterRun{Model: model, Mode: mode}
 
 	addrs := make([]string, clusterExecutors)
 	for i := range addrs {
@@ -87,16 +111,16 @@ func runClusterArm(warmup []twitterdata.Tweet, disableDelta bool) (ClusterRun, *
 		Executors: addrs, BatchSize: clusterBatch,
 		TasksPerExecutor: runtime.NumCPU(), DisableDelta: disableDelta,
 	}
-	p := core.NewPipeline(core.DefaultOptions())
+	p := core.NewPipeline(clusterOptions(model))
 	if _, err := engine.RunCluster(p, engine.NewSliceSource(warmup), cfg); err != nil {
-		return run, nil, fmt.Errorf("warmup (%s): %w", mode, err)
+		return run, nil, fmt.Errorf("warmup (%s/%s): %w", model, mode, err)
 	}
 
 	steady := engine.NewLimitSource(
-		engine.NewUnlabeledAdapter(twitterdata.NewUnlabeledSource(11, 10)), clusterSteadyTweets)
+		engine.NewUnlabeledAdapter(twitterdata.NewUnlabeledSource(11, 10)), steadyTweets)
 	stats, err := engine.RunCluster(p, steady, cfg)
 	if err != nil {
-		return run, nil, fmt.Errorf("steady (%s): %w", mode, err)
+		return run, nil, fmt.Errorf("steady (%s/%s): %w", model, mode, err)
 	}
 	run.SteadyBatches = stats.Batches
 	run.SteadyBroadcastBytes = stats.BroadcastBytes
@@ -109,40 +133,63 @@ func runClusterArm(warmup []twitterdata.Tweet, disableDelta bool) (ClusterRun, *
 	return run, p, nil
 }
 
-// clusterBench runs both arms and writes BENCH_cluster.json.
-func clusterBench(out string) error {
-	warmup := clusterWorkload()
-	rep := ClusterReport{
-		GeneratedUnix: time.Now().Unix(),
-		GoVersion:     runtime.Version(),
-		GOOS:          runtime.GOOS,
-		GOARCH:        runtime.GOARCH,
-		NumCPU:        runtime.NumCPU(),
-		Executors:     clusterExecutors,
-		BatchSize:     clusterBatch,
-		WarmupTweets:  len(warmup),
-		SteadyTweets:  clusterSteadyTweets,
-	}
-
-	full, _, err := runClusterArm(warmup, true)
-	if err != nil {
-		return err
-	}
-	delta, p, err := runClusterArm(warmup, false)
-	if err != nil {
-		return err
-	}
-	rep.Runs = []ClusterRun{full, delta}
-	rep.VocabSize = p.Extractor().BoW().Size()
+func modelBlobSize(p *core.Pipeline) int {
 	if m, ok := p.Model().(interface{ MarshalBinary() ([]byte, error) }); ok {
 		if blob, err := m.MarshalBinary(); err == nil {
-			rep.ModelBlobSize = len(blob)
+			return len(blob)
 		}
 	}
-	if delta.BroadcastPerBatch > 0 {
-		rep.BroadcastReduction = float64(full.BroadcastPerBatch) / float64(delta.BroadcastPerBatch)
+	return 0
+}
+
+// clusterBench runs the HT and ARF arms and writes BENCH_cluster.json.
+func clusterBench(out string) error {
+	warmup := clusterWorkload(2)
+	arfWarmup := warmup
+	rep := ClusterReport{
+		GeneratedUnix:   time.Now().Unix(),
+		GoVersion:       runtime.Version(),
+		GOOS:            runtime.GOOS,
+		GOARCH:          runtime.GOARCH,
+		NumCPU:          runtime.NumCPU(),
+		Executors:       clusterExecutors,
+		BatchSize:       clusterBatch,
+		WarmupTweets:    len(warmup),
+		SteadyTweets:    clusterSteadyTweets,
+		ARFWarmupTweets: len(arfWarmup),
+		ARFSteadyTweets: arfSteadyTweets,
+		ARFEnsembleSize: arfEnsembleSize,
+	}
+
+	htFull, _, err := runClusterArm("ht", warmup, clusterSteadyTweets, true)
+	if err != nil {
+		return err
+	}
+	htDelta, htP, err := runClusterArm("ht", warmup, clusterSteadyTweets, false)
+	if err != nil {
+		return err
+	}
+	arfFull, _, err := runClusterArm("arf", arfWarmup, arfSteadyTweets, true)
+	if err != nil {
+		return err
+	}
+	arfDelta, arfP, err := runClusterArm("arf", arfWarmup, arfSteadyTweets, false)
+	if err != nil {
+		return err
+	}
+	rep.Runs = []ClusterRun{htFull, htDelta, arfFull, arfDelta}
+	rep.VocabSize = htP.Extractor().BoW().Size()
+	rep.ModelBlobSize = modelBlobSize(htP)
+	rep.ARFForestBytes = modelBlobSize(arfP)
+	if htDelta.BroadcastPerBatch > 0 {
+		rep.BroadcastReduction = float64(htFull.BroadcastPerBatch) / float64(htDelta.BroadcastPerBatch)
 	}
 	rep.MeetsTargetReduction = rep.BroadcastReduction >= 10
+	if arfFull.BroadcastPerBatch > 0 {
+		rep.ARFElisionRatio = float64(arfDelta.BroadcastPerBatch) / float64(arfFull.BroadcastPerBatch)
+	}
+	rep.MeetsARFElisionTarget = rep.ARFElisionRatio > 0 &&
+		rep.ARFElisionRatio <= 1/float64(arfEnsembleSize)
 
 	blob, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
@@ -154,12 +201,20 @@ func clusterBench(out string) error {
 	} else if err := os.WriteFile(out, blob, 0o644); err != nil {
 		return err
 	}
-	fmt.Printf("cluster steady-state broadcast: %d B/batch full vs %d B/batch delta — %.1fx reduction (model %d B, vocab %d words)\n",
-		full.BroadcastPerBatch, delta.BroadcastPerBatch, rep.BroadcastReduction, rep.ModelBlobSize, rep.VocabSize)
-	fmt.Printf("cluster steady-state throughput: %.0f tweets/s full vs %.0f tweets/s delta\n",
-		full.ThroughputTweetsPerS, delta.ThroughputTweetsPerS)
+	fmt.Printf("cluster steady-state broadcast (HT): %d B/batch full vs %d B/batch delta — %.1fx reduction (model %d B, vocab %d words)\n",
+		htFull.BroadcastPerBatch, htDelta.BroadcastPerBatch, rep.BroadcastReduction, rep.ModelBlobSize, rep.VocabSize)
+	fmt.Printf("cluster steady-state broadcast (ARF, %d members): %d B/batch full vs %d B/batch delta — ratio %.4f (target <= %.4f; forest %d B)\n",
+		arfEnsembleSize, arfFull.BroadcastPerBatch, arfDelta.BroadcastPerBatch,
+		rep.ARFElisionRatio, 1/float64(arfEnsembleSize), rep.ARFForestBytes)
+	fmt.Printf("cluster steady-state throughput: HT %.0f tweets/s full vs %.0f delta; ARF %.0f full vs %.0f delta\n",
+		htFull.ThroughputTweetsPerS, htDelta.ThroughputTweetsPerS,
+		arfFull.ThroughputTweetsPerS, arfDelta.ThroughputTweetsPerS)
 	if !rep.MeetsTargetReduction {
 		fmt.Fprintln(os.Stderr, "benchreport: WARNING: below the 10x steady-state broadcast reduction target")
+		return errBelowTarget
+	}
+	if !rep.MeetsARFElisionTarget {
+		fmt.Fprintln(os.Stderr, "benchreport: WARNING: ARF steady-state broadcast above 1/EnsembleSize of the full forest")
 		return errBelowTarget
 	}
 	return nil

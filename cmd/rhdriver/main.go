@@ -8,6 +8,7 @@
 //	rhexecutor -addr 127.0.0.1:7702 &
 //	datagen -dataset aggression -scale 0.2 -out tweets.jsonl
 //	rhdriver -executors 127.0.0.1:7701,127.0.0.1:7702 -in tweets.jsonl
+//	rhdriver -executors 127.0.0.1:7701,127.0.0.1:7702 -model arf -in tweets.jsonl
 package main
 
 import (
@@ -30,7 +31,7 @@ func main() {
 		in        = flag.String("in", "-", "input JSONL path (- for stdin)")
 		executors = flag.String("executors", "", "comma-separated executor addresses")
 		classes   = flag.Int("classes", 3, "class scheme: 2 or 3")
-		model     = flag.String("model", "ht", "streaming model: ht, slr (cluster-capable)")
+		model     = flag.String("model", "ht", "streaming model: ht, arf, slr")
 		batch     = flag.Int("batch", 3000, "micro-batch size")
 		tasks     = flag.Int("tasks", 8, "parallel tasks per executor")
 		rate      = flag.Float64("rate", 0, "simulated arrival rate in tweets/sec (0 = as fast as possible)")
@@ -49,10 +50,12 @@ func main() {
 	switch *model {
 	case "ht":
 		opts.Model = core.ModelHT
+	case "arf":
+		opts.Model = core.ModelARF
 	case "slr":
 		opts.Model = core.ModelSLR
 	default:
-		log.Fatalf("model %q is not cluster-capable (use ht or slr)", *model)
+		log.Fatalf("unknown model %q (use ht, arf, or slr)", *model)
 	}
 	if *classes == 2 {
 		opts.Scheme = core.TwoClass
@@ -96,6 +99,10 @@ func main() {
 		float64(stats.DataBytes)/1024)
 	fmt.Printf("resilience: %d failovers, %d resyncs, %d reconnects\n",
 		stats.Failovers, stats.Resyncs, stats.Reconnects)
+	if opts.Model == core.ModelARF {
+		fmt.Printf("drift: %d warnings, %d drifts, %d tree replacements\n",
+			stats.Warnings, stats.Drifts, stats.TreeReplacements)
+	}
 	fmt.Printf("alerts raised: %d\n", p.Alerter().Raised())
 	if rep.Instances > 0 {
 		fmt.Printf("prequential: accuracy=%.4f precision=%.4f recall=%.4f F1=%.4f\n",

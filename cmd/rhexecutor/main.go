@@ -36,6 +36,13 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	ex.OnHello(func(kind string, accepted bool) {
+		if accepted {
+			log.Printf("driver session negotiated model kind %s", kind)
+		} else {
+			log.Printf("driver session rejected: cannot host model kind %q", kind)
+		}
+	})
 	log.Printf("executor listening on %s with %d workers", ex.Addr(), *workers)
 
 	sig := make(chan os.Signal, 1)

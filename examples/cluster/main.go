@@ -6,9 +6,14 @@
 // reconnect and resync (full model + vocabulary handshake). Run real
 // nodes with cmd/rhexecutor and point cmd/rhdriver at them for the same
 // behavior across machines.
+//
+// Pass -model arf to distribute the paper's best model, the Adaptive
+// Random Forest: member trees broadcast with per-member hash elision and
+// the drift/warning/replacement counters appear in the final report.
 package main
 
 import (
+	"flag"
 	"fmt"
 	"log"
 	"time"
@@ -18,6 +23,8 @@ import (
 
 func main() {
 	log.SetFlags(0)
+	model := flag.String("model", "ht", "streaming model: ht, arf, slr")
+	flag.Parse()
 
 	// Three executor nodes (2 task slots each, like small workers).
 	var exs [3]*redhanded.Executor
@@ -59,7 +66,19 @@ func main() {
 		swapped <- repl
 	}()
 
-	p := redhanded.NewPipeline(redhanded.DefaultOptions())
+	opts := redhanded.DefaultOptions()
+	switch *model {
+	case "ht":
+		opts.Model = redhanded.ModelHT
+	case "arf":
+		opts.Model = redhanded.ModelARF
+	case "slr":
+		opts.Model = redhanded.ModelSLR
+	default:
+		log.Fatalf("unknown model %q (use ht, arf, or slr)", *model)
+	}
+
+	p := redhanded.NewPipeline(opts)
 	stats, err := redhanded.RunCluster(p, redhanded.NewSliceSource(data), redhanded.ClusterConfig{
 		Executors:        addrs,
 		BatchSize:        500,
@@ -80,6 +99,10 @@ func main() {
 		float64(stats.BroadcastBytes)/1024, float64(stats.DataBytes)/1024)
 	fmt.Printf("resilience: %d failovers, %d resyncs, %d reconnects\n",
 		stats.Failovers, stats.Resyncs, stats.Reconnects)
+	if opts.Model == redhanded.ModelARF {
+		fmt.Printf("drift: %d warnings, %d drifts, %d tree replacements\n",
+			stats.Warnings, stats.Drifts, stats.TreeReplacements)
+	}
 	fmt.Printf("prequential: accuracy=%.4f F1=%.4f over %d labeled tweets\n",
 		rep.Accuracy, rep.F1, rep.Instances)
 	for i, ex := range exs {

@@ -14,7 +14,11 @@ import (
 // model, the normalizer statistics, the adaptive BoW vocabulary, and the
 // evaluation counters; restoring into a pipeline with the same Options
 // resumes detection exactly where it stopped. Models must be remote-
-// trainable (HT or SLR) — the same property the cluster engine requires.
+// trainable — every kind in the stream codec registry (HT, SLR, ARF)
+// qualifies, the same property the cluster engine requires. The ARF's
+// encoding includes its drift detectors, background trees, and RNG state,
+// so a restored forest reacts to future drift exactly as the original
+// would have.
 
 // checkpointState is the gob payload.
 type checkpointState struct {

@@ -57,12 +57,39 @@ func TestCheckpointSLR(t *testing.T) {
 	}
 }
 
-func TestCheckpointARFUnsupported(t *testing.T) {
+func TestCheckpointARFRoundTrip(t *testing.T) {
+	data := smallDataset(44, 2000, 1000, 200)
 	opts := DefaultOptions()
 	opts.Model = ModelARF
+	opts.ARF.EnsembleSize = 5
 	p := NewPipeline(opts)
-	if err := p.Checkpoint(&bytes.Buffer{}); err == nil {
-		t.Fatalf("ARF checkpoint should be rejected")
+	p.ProcessAll(data[:2000])
+
+	var buf bytes.Buffer
+	if err := p.Checkpoint(&buf); err != nil {
+		t.Fatal(err)
+	}
+	restored := NewPipeline(opts)
+	if err := restored.Restore(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if restored.Summary() != p.Summary() {
+		t.Fatalf("summaries differ:\n%+v\n%+v", restored.Summary(), p.Summary())
+	}
+
+	// The checkpoint captures member trees, background trees, detector
+	// state, and the structural RNG, so both forests must continue
+	// identically — drift reactions included.
+	rest := data[2000:]
+	p.ProcessAll(rest)
+	restored.ProcessAll(rest)
+	if restored.Summary() != p.Summary() {
+		t.Fatalf("ARF diverged after restore:\n%+v\n%+v", restored.Summary(), p.Summary())
+	}
+	before := p.Model().(interface{ DriftsDetected() int }).DriftsDetected()
+	after := restored.Model().(interface{ DriftsDetected() int }).DriftsDetected()
+	if before != after {
+		t.Fatalf("drift counters diverged after restore: %d vs %d", before, after)
 	}
 }
 

@@ -7,6 +7,7 @@ import (
 	"redhanded/internal/feature"
 	"redhanded/internal/ml"
 	"redhanded/internal/norm"
+	"redhanded/internal/stream"
 	"redhanded/internal/twitterdata"
 )
 
@@ -95,6 +96,20 @@ func (p *Pipeline) Processed() int64 {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	return p.processed
+}
+
+// DriftStats reports the model's drift telemetry (nil for models without
+// drift detectors), serialized against the processing lock so the serving
+// layer can read it while a shard goroutine trains.
+func (p *Pipeline) DriftStats() *stream.DriftStats {
+	dr, ok := p.model.(stream.DriftReporter)
+	if !ok {
+		return nil
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	st := dr.DriftStats()
+	return &st
 }
 
 // BoWSizeCurve returns (instances, BoW size) points sampled at the

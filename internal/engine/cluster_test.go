@@ -1,7 +1,9 @@
 package engine
 
 import (
+	"encoding/gob"
 	"math"
+	"net"
 	"strings"
 	"testing"
 
@@ -94,14 +96,44 @@ func TestClusterSLR(t *testing.T) {
 	}
 }
 
-func TestClusterRejectsARF(t *testing.T) {
-	addrs := startCluster(t, 1, 1)
+func TestClusterARF(t *testing.T) {
+	addrs := startCluster(t, 2, 2)
+	data := testDataset(14, 3000, 1500, 300)
 	opts := testOptions()
 	opts.Model = core.ModelARF
+	opts.ARF.EnsembleSize = 5
 	p := core.NewPipeline(opts)
-	_, err := RunCluster(p, NewSliceSource(testDataset(14, 50, 20, 5)), ClusterConfig{Executors: addrs})
-	if err == nil || !strings.Contains(err.Error(), "remote") {
-		t.Fatalf("ARF should be rejected by the cluster engine, got %v", err)
+	if _, err := RunCluster(p, NewSliceSource(data), ClusterConfig{
+		Executors: addrs, BatchSize: 500, TasksPerExecutor: 2,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if f1 := p.Summary().F1; f1 < 0.75 {
+		t.Fatalf("cluster ARF F1 = %v, want >= 0.75", f1)
+	}
+}
+
+func TestClusterRejectsUnknownKind(t *testing.T) {
+	ex, err := StartExecutor("127.0.0.1:0", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ex.Close()
+	conn, err := net.Dial("tcp", ex.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	enc, dec := gob.NewEncoder(conn), gob.NewDecoder(conn)
+	if err := enc.Encode(&wireMsg{Kind: msgHello, Seq: -1, Proto: clusterProtoVersion, ModelKind: "XGB"}); err != nil {
+		t.Fatal(err)
+	}
+	var ack batchResponse
+	if err := dec.Decode(&ack); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(ack.Err, "XGB") {
+		t.Fatalf("unregistered model kind accepted: %+v", ack)
 	}
 }
 

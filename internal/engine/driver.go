@@ -25,9 +25,11 @@ import (
 //   - failover: per-node health tracking with reconnect-and-backoff; when a
 //     node dies mid-batch its share is reassigned to survivors, so a batch
 //     completes as long as one executor lives;
-//   - delta broadcasts: the model ships only when its hash changed and the
-//     BoW vocabulary ships as an append-only diff with a version handshake,
-//     so an unchanged model/vocab costs a few bytes per batch;
+//   - delta broadcasts: the model ships only when its hash changed (and a
+//     partitioned model like the ARF ships only the member trees whose
+//     per-part hash moved), while the BoW vocabulary ships as an
+//     append-only diff with a version handshake — so an unchanged
+//     model/vocab costs a few bytes per batch;
 //   - pipelining: batch k+1's source read and tweet encode overlap batch
 //     k's round trip, while broadcasts stay strictly ordered behind the
 //     merge so test-then-train semantics hold.
@@ -128,6 +130,7 @@ type execNode struct {
 
 	// Broadcast state held by the node's current session.
 	modelHash    uint64
+	modelParts   []uint64 // per-part hashes (partitioned models only)
 	vocabVersion uint64
 	vocabLen     int
 	bcSeq        int64
@@ -213,10 +216,14 @@ func (v *vocabState) refresh(words []string) {
 }
 
 // broadcast is one batch's shared broadcast payload, computed once and
-// specialized per node into a delta by broadcastFor.
+// specialized per node into a delta by broadcastFor. Monolithic models
+// fill modelBlob; partitioned models fill header/parts/partHashes instead.
 type broadcast struct {
 	seq        int64
 	modelBlob  []byte
+	header     []byte
+	parts      [][]byte
+	partHashes []uint64
 	modelHash  uint64
 	statsBlob  []byte
 	vocabVer   uint64
@@ -245,6 +252,14 @@ type clusterRun struct {
 	vocab vocabState
 	stop  chan struct{}
 
+	// Serialization cache: in the cluster driver every model mutation
+	// flows through ApplyAccumulators, which advances the model's train
+	// count for each labeled observation — so an unchanged train count
+	// proves the model bytes are unchanged and the previous batch's
+	// encoding (an ARF forest is tens of KB of gob work) can be reused.
+	bcModelCount int64
+	bcModel      *broadcast
+
 	broadcastBytes atomic.Int64
 	dataBytes      atomic.Int64
 	failovers      atomic.Int64
@@ -253,10 +268,11 @@ type clusterRun struct {
 }
 
 // RunCluster executes the pipeline across the executor nodes. The
-// pipeline's model must implement stream.RemoteTrainable (HT or SLR). The
-// run survives executor failures as long as at least one node stays
-// reachable; each failed share is reassigned to a survivor and produces
-// results identical to the ones the dead node would have returned.
+// pipeline's model must implement stream.RemoteTrainable — every kind in
+// the stream codec registry (HT, SLR, ARF) qualifies. The run survives
+// executor failures as long as at least one node stays reachable; each
+// failed share is reassigned to a survivor and produces results identical
+// to the ones the dead node would have returned.
 func RunCluster(p *core.Pipeline, src Source, cfg ClusterConfig) (Stats, error) {
 	cfg = cfg.withDefaults()
 	if len(cfg.Executors) == 0 {
@@ -312,6 +328,7 @@ func RunCluster(p *core.Pipeline, src Source, cfg ClusterConfig) (Stats, error) 
 	start := time.Now()
 	var stats Stats
 	var lat latencyTracker
+	driftDone := captureDrift(p)
 
 	// Prefetch: the source is read one batch ahead of the batch in flight.
 	batches := make(chan []twitterdata.Tweet, 1)
@@ -370,6 +387,7 @@ func RunCluster(p *core.Pipeline, src Source, cfg ClusterConfig) (Stats, error) 
 		stats.Failovers = r.failovers.Load()
 		stats.Resyncs = r.resyncs.Load()
 		stats.Reconnects = r.reconnects.Load()
+		driftDone(&stats)
 		return stats, err
 	}
 
@@ -513,29 +531,54 @@ func (r *clusterRun) runBatch(seq int64, batch, ahead []twitterdata.Tweet) error
 }
 
 // makeBroadcast serializes the batch's global state once and refreshes the
-// vocabulary log.
+// vocabulary log. Partitioned models serialize as a header plus per-part
+// blobs with independent content hashes, so broadcastFor can elide the
+// parts a node already holds.
 func (r *clusterRun) makeBroadcast(seq int64) (*broadcast, error) {
-	modelBlob, err := r.model.MarshalBinary()
-	if err != nil {
-		return nil, fmt.Errorf("engine: broadcast model: %w", err)
+	bc := &broadcast{
+		seq:        seq,
+		preprocess: r.p.Options().Preprocess,
+		normMode:   int(r.p.Normalizer().Mode),
+		scheme:     int(r.p.Options().Scheme),
+	}
+	counter, countable := r.model.(interface{ TrainCount() int64 })
+	if countable && r.bcModel != nil && counter.TrainCount() == r.bcModelCount {
+		// Nothing trained since the last broadcast (steady-state unlabeled
+		// traffic): the previous encoding is still exact.
+		bc.modelBlob = r.bcModel.modelBlob
+		bc.header = r.bcModel.header
+		bc.parts = r.bcModel.parts
+		bc.partHashes = r.bcModel.partHashes
+		bc.modelHash = r.bcModel.modelHash
+	} else if pm, ok := r.model.(stream.PartitionedModel); ok {
+		header, parts, err := pm.MarshalParts()
+		if err != nil {
+			return nil, fmt.Errorf("engine: broadcast model: %w", err)
+		}
+		bc.header, bc.parts = header, parts
+		bc.modelHash, bc.partHashes = stream.HashModelParts(header, parts)
+	} else {
+		modelBlob, err := r.model.MarshalBinary()
+		if err != nil {
+			return nil, fmt.Errorf("engine: broadcast model: %w", err)
+		}
+		bc.modelBlob = modelBlob
+		bc.modelHash = stream.Hash64(modelBlob)
+	}
+	if countable {
+		r.bcModelCount = counter.TrainCount()
+		r.bcModel = bc
 	}
 	statsBlob, err := r.p.Normalizer().Stats.MarshalBinary()
 	if err != nil {
 		return nil, fmt.Errorf("engine: broadcast stats: %w", err)
 	}
+	bc.statsBlob = statsBlob
 	r.vocab.refresh(r.p.Extractor().BoW().Words())
-	return &broadcast{
-		seq:        seq,
-		modelBlob:  modelBlob,
-		modelHash:  fnv64a(modelBlob),
-		statsBlob:  statsBlob,
-		vocabVer:   r.vocab.version,
-		vocabEpoch: r.vocab.epoch,
-		vocabLog:   r.vocab.log,
-		preprocess: r.p.Options().Preprocess,
-		normMode:   int(r.p.Normalizer().Mode),
-		scheme:     int(r.p.Options().Scheme),
-	}, nil
+	bc.vocabVer = r.vocab.version
+	bc.vocabEpoch = r.vocab.epoch
+	bc.vocabLog = r.vocab.log
+	return bc, nil
 }
 
 // broadcastFor specializes the batch broadcast into the delta this node
@@ -553,7 +596,25 @@ func (r *clusterRun) broadcastFor(n *execNode, bc *broadcast) wireMsg {
 	}
 	full := r.cfg.DisableDelta
 	if full || n.modelHash != bc.modelHash {
-		msg.ModelBlob = bc.modelBlob
+		switch {
+		case bc.parts == nil:
+			msg.ModelBlob = bc.modelBlob
+		case !full && len(n.modelParts) == len(bc.partHashes):
+			// The session holds a part set of the right shape: ship the
+			// header plus only the parts whose content hash moved (for the
+			// ARF, the drift-replaced or freshly grown member trees).
+			msg.ModelHeader = bc.header
+			for i, ph := range bc.partHashes {
+				if n.modelParts[i] != ph {
+					msg.ModelPartIdx = append(msg.ModelPartIdx, i)
+					msg.ModelParts = append(msg.ModelParts, bc.parts[i])
+				}
+			}
+		default:
+			msg.ModelHeader = bc.header
+			msg.ModelParts = bc.parts
+			msg.ModelFull = true
+		}
 	}
 	switch {
 	case !full && n.vocabVersion == bc.vocabVer:
@@ -668,7 +729,7 @@ func (r *clusterRun) exchange(n *execNode, seq int64, bc *broadcast, sp span, ba
 			r.resyncs.Add(1)
 			clusterResyncs.Inc()
 			n.mu.Lock()
-			n.modelHash, n.vocabVersion, n.vocabLen, n.bcSeq = 0, 0, 0, -1
+			n.modelHash, n.modelParts, n.vocabVersion, n.vocabLen, n.bcSeq = 0, nil, 0, 0, -1
 			n.mu.Unlock()
 			continue
 		}
@@ -704,6 +765,7 @@ func (r *clusterRun) sendShare(n *execNode, gen int, seq int64, bc *broadcast, s
 		clusterBroadcastBytes.Add(sent)
 		n.bcSeq = seq
 		n.modelHash = bc.modelHash
+		n.modelParts = bc.partHashes
 		n.vocabVersion = bc.vocabVer
 		n.vocabLen = len(bc.vocabLog)
 	}
@@ -823,7 +885,7 @@ func (r *clusterRun) connect(n *execNode) error {
 	n.gen++
 	gen := n.gen
 	n.up = true
-	n.modelHash, n.vocabVersion, n.vocabLen, n.bcSeq = 0, 0, 0, -1
+	n.modelHash, n.modelParts, n.vocabVersion, n.vocabLen, n.bcSeq = 0, nil, 0, 0, -1
 	n.presends = make(map[respKey]bool)
 	n.pending = make(map[respKey]chan shareReply)
 	n.mu.Unlock()

@@ -13,6 +13,7 @@ import (
 
 	"redhanded/internal/core"
 	"redhanded/internal/metrics"
+	"redhanded/internal/stream"
 	"redhanded/internal/twitterdata"
 )
 
@@ -172,6 +173,14 @@ type Stats struct {
 	Failovers  int64
 	Resyncs    int64
 	Reconnects int64
+
+	// Drift telemetry for this run (models with drift detectors, e.g. the
+	// ARF's per-member ADWIN pairs; zero for other models). Warnings counts
+	// background trees started, Drifts counts detector signals, and
+	// TreeReplacements counts member trees swapped out.
+	Warnings         int64
+	Drifts           int64
+	TreeReplacements int64
 }
 
 // Throughput returns tweets per second.
@@ -235,11 +244,30 @@ func (r *RateLimitedSource) Next() (twitterdata.Tweet, bool) {
 	return r.src.Next()
 }
 
+// captureDrift snapshots the pipeline model's drift telemetry and returns
+// a closure that fills a Stats with the counters accumulated since the
+// snapshot — so every engine reports the drift activity of its own run,
+// even on a pipeline that has already lived through earlier runs.
+func captureDrift(p *core.Pipeline) func(*Stats) {
+	dr, ok := p.Model().(stream.DriftReporter)
+	if !ok {
+		return func(*Stats) {}
+	}
+	before := dr.DriftStats()
+	return func(s *Stats) {
+		after := dr.DriftStats()
+		s.Warnings = after.Warnings - before.Warnings
+		s.Drifts = after.Drifts - before.Drifts
+		s.TreeReplacements = after.TreeReplacements - before.TreeReplacements
+	}
+}
+
 // RunSequential executes the pipeline one tweet at a time on the calling
 // goroutine — the MOA execution model (single-threaded ML engine without
 // parallelized processing).
 func RunSequential(p *core.Pipeline, src Source) Stats {
 	start := time.Now()
+	driftDone := captureDrift(p)
 	var n int64
 	for {
 		t, ok := src.Next()
@@ -250,5 +278,7 @@ func RunSequential(p *core.Pipeline, src Source) Stats {
 		n++
 		tweetsProcessedTotal.Inc()
 	}
-	return Stats{Processed: n, Duration: time.Since(start)}
+	stats := Stats{Processed: n, Duration: time.Since(start)}
+	driftDone(&stats)
+	return stats
 }

@@ -46,6 +46,18 @@ type Executor struct {
 	// shareHook, when set (under mu), runs at the start of every share —
 	// fault tests use it to crash the executor at a precise point.
 	shareHook func()
+	// onHello, when set (under mu), observes every hello negotiation —
+	// cmd/rhexecutor logs the model kind each driver session settles on.
+	onHello func(modelKind string, accepted bool)
+}
+
+// OnHello registers an observer called after every hello negotiation with
+// the requested model kind and whether the session was accepted. Set it
+// before drivers connect.
+func (e *Executor) OnHello(fn func(modelKind string, accepted bool)) {
+	e.mu.Lock()
+	e.onHello = fn
+	e.mu.Unlock()
 }
 
 // kill abruptly severs the executor — listener and connections close with
@@ -251,9 +263,16 @@ func (s *execSession) hello(msg *wireMsg) bool {
 	case msg.Proto != clusterProtoVersion:
 		resp.Err = fmt.Sprintf("engine: driver speaks cluster protocol v%d, executor v%d", msg.Proto, clusterProtoVersion)
 	case !stream.KnownKind(msg.ModelKind):
-		resp.Err = fmt.Sprintf("engine: executor cannot host model kind %q", msg.ModelKind)
+		resp.Err = fmt.Sprintf("engine: executor cannot host model kind %q (registered: %v)",
+			msg.ModelKind, stream.KnownKinds())
 	default:
 		s.modelKind = msg.ModelKind
+	}
+	s.e.mu.Lock()
+	hook := s.e.onHello
+	s.e.mu.Unlock()
+	if hook != nil {
+		hook(msg.ModelKind, resp.Err == "")
 	}
 	if err := s.enc.Encode(&resp); err != nil {
 		return false
@@ -270,14 +289,39 @@ func (s *execSession) applyBroadcast(msg *wireMsg) {
 	s.bcOK, s.needResync, s.bcErr = false, false, ""
 	s.normMode, s.scheme = msg.NormMode, msg.Scheme
 
-	if len(msg.ModelBlob) > 0 {
+	switch {
+	case len(msg.ModelBlob) > 0:
+		// Monolithic kinds: a full model blob replaces the session's copy.
 		m, err := stream.DecodeModel(s.modelKind, msg.ModelBlob)
 		if err != nil {
 			s.bcErr = err.Error()
 			return
 		}
 		s.model, s.modelHash = m, msg.ModelHash
-	} else if s.model == nil || s.modelHash != msg.ModelHash {
+	case len(msg.ModelHeader) > 0 && msg.ModelFull:
+		// Partitioned kinds, full restore: header plus the complete part set.
+		m, err := stream.DecodeModelParts(s.modelKind, msg.ModelHeader, msg.ModelParts)
+		if err != nil {
+			s.bcErr = err.Error()
+			return
+		}
+		s.model, s.modelHash = m, msg.ModelHash
+	case len(msg.ModelHeader) > 0:
+		// Partitioned kinds, patch: only the changed parts, applied onto the
+		// model this session already holds. A session that cannot apply the
+		// patch (fresh connection, or a base the driver did not expect)
+		// resyncs instead of serving shares against a wrong ensemble.
+		pm, ok := s.model.(stream.PartitionedModel)
+		if !ok {
+			s.needResync = true
+			return
+		}
+		if err := pm.PatchParts(msg.ModelHeader, msg.ModelPartIdx, msg.ModelParts); err != nil {
+			s.needResync = true
+			return
+		}
+		s.modelHash = msg.ModelHash
+	case s.model == nil || s.modelHash != msg.ModelHash:
 		s.needResync = true
 		return
 	}

@@ -10,6 +10,7 @@ import (
 
 	"redhanded/internal/core"
 	"redhanded/internal/norm"
+	"redhanded/internal/stream"
 	"redhanded/internal/twitterdata"
 )
 
@@ -146,6 +147,119 @@ func TestClusterFailoverMatchesSequential(t *testing.T) {
 	}
 	if got, want := clustered.Extractor().BoW().Size(), seq.Extractor().BoW().Size(); got != want {
 		t.Errorf("BoW size differs: cluster %d, sequential %d", got, want)
+	}
+}
+
+// TestClusterARFMatchesSequential extends the equivalence proof to the
+// Adaptive Random Forest: a seeded 3-executor ARF run (batch size 1, one
+// task) that loses an executor mid-stream reproduces the sequential
+// engine's confusion matrix bit-for-bit. What makes this exact:
+// counter-based bagging weights (the same logical instance draws the same
+// Poisson weight on any node, including a failover re-run), the
+// train-then-detect member ordering the merge replays, Chan-merge
+// arithmetic shared by Train and the accumulator path, and gated detectors
+// so the sequential ADWIN path equals the gated batch replay.
+func TestClusterARFMatchesSequential(t *testing.T) {
+	opts := testOptions()
+	opts.Model = core.ModelARF
+	opts.Normalization = norm.MinMax
+	opts.ARF = stream.ARFConfig{EnsembleSize: 3, Seed: 5, GateOnErrorIncrease: true}
+	data := testDataset(41, 500, 250, 50)
+
+	seq := core.NewPipeline(opts)
+	seqStats := RunSequential(seq, NewSliceSource(data))
+
+	exs := make([]*Executor, 3)
+	addrs := make([]string, 3)
+	for i := range exs {
+		ex, err := StartExecutor("127.0.0.1:0", 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer ex.Close()
+		exs[i] = ex
+		addrs[i] = ex.Addr()
+	}
+	clustered := core.NewPipeline(opts)
+	// With batch size 1 every share lands on the first healthy node, so
+	// crashing it mid-share forces all later tweets through failover.
+	crashOnShare(exs[0], 120)
+	stats, err := RunCluster(clustered, NewSliceSource(data), fastReconnect(ClusterConfig{
+		Executors: addrs, BatchSize: 1, TasksPerExecutor: 1,
+	}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Processed != int64(len(data)) {
+		t.Fatalf("processed %d, want %d", stats.Processed, len(data))
+	}
+	if stats.Failovers == 0 {
+		t.Fatal("kill did not exercise failover")
+	}
+
+	mSeq, mCl := seq.Evaluator().Matrix(), clustered.Evaluator().Matrix()
+	if mSeq.Total() != mCl.Total() {
+		t.Fatalf("instances differ: sequential %d, cluster %d", mSeq.Total(), mCl.Total())
+	}
+	for i := 0; i < mSeq.NumClasses(); i++ {
+		for j := 0; j < mSeq.NumClasses(); j++ {
+			if mSeq.Count(i, j) != mCl.Count(i, j) {
+				t.Errorf("confusion[%d][%d]: sequential %d, cluster-with-failover %d",
+					i, j, mSeq.Count(i, j), mCl.Count(i, j))
+			}
+		}
+	}
+	if got, want := clustered.Summary(), seq.Summary(); got != want {
+		t.Errorf("prequential report differs:\ncluster    %+v\nsequential %+v", got, want)
+	}
+	if got, want := clustered.Extractor().BoW().Size(), seq.Extractor().BoW().Size(); got != want {
+		t.Errorf("BoW size differs: cluster %d, sequential %d", got, want)
+	}
+	// Drift reactions replay identically at the driver merge.
+	if stats.Warnings != seqStats.Warnings || stats.Drifts != seqStats.Drifts ||
+		stats.TreeReplacements != seqStats.TreeReplacements {
+		t.Errorf("drift telemetry differs: cluster {w:%d d:%d r:%d}, sequential {w:%d d:%d r:%d}",
+			stats.Warnings, stats.Drifts, stats.TreeReplacements,
+			seqStats.Warnings, seqStats.Drifts, seqStats.TreeReplacements)
+	}
+}
+
+// TestClusterCorruptARFDeltaFailsOver injects corrupt ARF delta blobs on
+// one executor: the driver must reject them at merge time (the forest
+// delta decode validates shape and per-member tree versions), fail the
+// share over to the healthy node, and finish with uncorrupted results.
+func TestClusterCorruptARFDeltaFailsOver(t *testing.T) {
+	good, err := StartExecutor("127.0.0.1:0", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer good.Close()
+	bad, err := StartExecutor("127.0.0.1:0", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer bad.Close()
+	bad.corruptDeltas.Store(true)
+
+	opts := testOptions()
+	opts.Model = core.ModelARF
+	opts.ARF.EnsembleSize = 5
+	data := testDataset(42, 2000, 1000, 200)
+	p := core.NewPipeline(opts)
+	stats, err := RunCluster(p, NewSliceSource(data), fastReconnect(ClusterConfig{
+		Executors: []string{good.Addr(), bad.Addr()}, BatchSize: 500, TasksPerExecutor: 2,
+	}))
+	if err != nil {
+		t.Fatalf("corrupt ARF deltas aborted the run: %v", err)
+	}
+	if stats.Processed != int64(len(data)) {
+		t.Fatalf("processed %d, want %d", stats.Processed, len(data))
+	}
+	if stats.Failovers == 0 {
+		t.Fatal("corrupt ARF deltas never triggered failover")
+	}
+	if f1 := p.Summary().F1; f1 < 0.75 {
+		t.Fatalf("F1 after corrupt-ARF-delta failover = %v, want >= 0.75", f1)
 	}
 }
 
@@ -324,6 +438,40 @@ func TestClusterSteadyStateBroadcastShrinks(t *testing.T) {
 	}
 }
 
+// TestClusterARFPerMemberElision checks the acceptance target of the
+// partitioned broadcast: with no drift events and an unchanged forest
+// (steady unlabeled traffic), the delta protocol's broadcast cost per
+// batch collapses to at most 1/EnsembleSize of the full-forest broadcast —
+// the whole point of hashing members individually instead of shipping ten
+// trees because one might have changed.
+func TestClusterARFPerMemberElision(t *testing.T) {
+	const ensemble = 5
+	addrs := startCluster(t, 2, 2)
+	warm := testDataset(43, 2000, 1000, 200)
+	measure := func(disableDelta bool) (perBatch int64) {
+		opts := testOptions()
+		opts.Model = core.ModelARF
+		opts.ARF.EnsembleSize = ensemble
+		p := core.NewPipeline(opts)
+		cfg := ClusterConfig{Executors: addrs, BatchSize: 500, TasksPerExecutor: 2, DisableDelta: disableDelta}
+		if _, err := RunCluster(p, NewSliceSource(warm), cfg); err != nil {
+			t.Fatal(err)
+		}
+		// Steady state: unlabeled traffic only, so no member tree changes.
+		src := NewLimitSource(NewUnlabeledAdapter(twitterdata.NewUnlabeledSource(44, 10)), 10000)
+		stats, err := RunCluster(p, src, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return stats.BroadcastBytes / int64(stats.Batches)
+	}
+	full := measure(true)
+	delta := measure(false)
+	if delta*ensemble > full {
+		t.Errorf("steady-state ARF broadcast bytes/batch: delta %d, full %d — want <= 1/%d", delta, full, ensemble)
+	}
+}
+
 // TestExecutorCloseDrains drives the wire protocol by hand: Close while a
 // share is in flight must deliver that share's response before the
 // connection goes away, instead of hard-closing the listener under it.
@@ -366,7 +514,7 @@ func TestExecutorCloseDrains(t *testing.T) {
 	data := testDataset(38, 400, 200, 40)
 	bcast := wireMsg{
 		Kind: msgBroadcast, Seq: 1,
-		ModelHash: fnv64a(modelBlob), ModelBlob: modelBlob, StatsBlob: statsBlob,
+		ModelHash: stream.Hash64(modelBlob), ModelBlob: modelBlob, StatsBlob: statsBlob,
 		VocabBase: 0, VocabVersion: 1, VocabWords: p.Extractor().BoW().Words(),
 		Preprocess: true, NormMode: int(p.Normalizer().Mode), Scheme: int(p.Options().Scheme),
 	}

@@ -82,6 +82,7 @@ func RunMicroBatch(p *core.Pipeline, src Source, cfg MicroBatchConfig) (Stats, e
 	start := time.Now()
 	var stats Stats
 	var lat latencyTracker
+	driftDone := captureDrift(p)
 
 	tasks := make(chan taskMsg, cfg.Workers)
 	var workerWG sync.WaitGroup
@@ -127,6 +128,7 @@ func RunMicroBatch(p *core.Pipeline, src Source, cfg MicroBatchConfig) (Stats, e
 	}
 	stats.Duration = time.Since(start)
 	lat.fill(&stats)
+	driftDone(&stats)
 	return stats, nil
 }
 

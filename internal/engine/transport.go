@@ -7,19 +7,27 @@ import (
 	"redhanded/internal/twitterdata"
 )
 
-// The cluster wire protocol (v2). Each driver→executor connection carries a
+// The cluster wire protocol (v3). Each driver→executor connection carries a
 // gob stream of wireMsg frames; the executor answers data frames (and the
 // hello) with batchResponse frames. Compared to the v1 protocol — one
 // monolithic request per batch re-broadcasting the full model, normalizer
-// statistics, and BoW vocabulary every time — v2 splits a batch into:
+// statistics, and BoW vocabulary every time — v2 split a batch into:
 //
-//	hello      one per connection: protocol + model-kind negotiation
-//	broadcast  one per (node, batch): stats always; model blob only when its
-//	           hash changed; vocabulary as an append-only diff against the
-//	           version the node acknowledged (the adaptive BoW mostly grows,
-//	           Fig. 10, so the steady-state diff is empty)
+//	hello      one per connection: protocol + model-kind negotiation (the
+//	           kind set comes from the stream codec registry, so a driver
+//	           running a model this executor build cannot decode fails
+//	           fast at connect)
+//	broadcast  one per (node, batch): stats always; model state only when
+//	           its hash changed; vocabulary as an append-only diff against
+//	           the version the node acknowledged (the adaptive BoW mostly
+//	           grows, Fig. 10, so the steady-state diff is empty)
 //	data       one per share: the tweets plus the share's [lo,hi) bounds
 //	shutdown   polite end-of-run so executors drop the session cleanly
+//
+// and v3 adds per-part model elision: a stream.PartitionedModel (the ARF)
+// broadcasts as a header plus per-member parts, each hashed independently,
+// so a batch in which only a drift-replaced or freshly grown member changed
+// ships that member alone instead of the whole forest.
 //
 // Splitting broadcast from data is what enables pipelining: the driver
 // encodes and ships batch k+1's tweets while batch k's round trip is still
@@ -32,7 +40,7 @@ import (
 
 // clusterProtoVersion is negotiated in the hello exchange; mismatched
 // driver/executor builds fail fast instead of mis-decoding frames.
-const clusterProtoVersion = 2
+const clusterProtoVersion = 3
 
 // Message kinds carried in wireMsg.Kind.
 const (
@@ -53,8 +61,18 @@ type wireMsg struct {
 	ModelKind string
 
 	// Broadcast fields.
-	ModelHash    uint64 // fnv-64a of the serialized global model
-	ModelBlob    []byte // omitted when the executor already holds ModelHash
+	ModelHash uint64 // stream.Hash64 of the serialized global model
+	ModelBlob []byte // monolithic kinds; omitted when the executor already holds ModelHash
+
+	// Partitioned kinds (stream.PartitionedModel) broadcast a header plus
+	// per-part blobs instead of ModelBlob. ModelFull marks a complete part
+	// set (fresh restore); otherwise ModelParts carries only the parts at
+	// ModelPartIdx, patched onto the model the session already holds.
+	ModelHeader  []byte
+	ModelPartIdx []int
+	ModelParts   [][]byte
+	ModelFull    bool
+
 	StatsBlob    []byte // normalizer statistics (always full; they change every batch)
 	VocabBase    uint64 // vocab version the words extend (0 = full replacement)
 	VocabVersion uint64 // vocab version after applying this message
@@ -121,16 +139,6 @@ func splitSpans(n, k int) []span {
 		out[i] = span{lo, hi}
 	}
 	return out
-}
-
-// fnv64a hashes a serialized blob for the model version handshake.
-func fnv64a(b []byte) uint64 {
-	h := uint64(14695981039346656037)
-	for _, c := range b {
-		h ^= uint64(c)
-		h *= 1099511628211
-	}
-	return h
 }
 
 // countingConn counts bytes written, so the driver can attribute wire cost

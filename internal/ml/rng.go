@@ -29,6 +29,31 @@ func (r *RNG) Split() *RNG {
 	return NewRNG(z ^ (z >> 31))
 }
 
+// SeedAt derives a decorrelated seed for the (seed, counter) pair with the
+// SplitMix64 finalizer. It is the basis for counter-based (stateless)
+// random streams: every caller that knows the logical position of an event
+// draws the same values for it, no matter which process or execution order
+// reached the event — the property the distributed training paths rely on
+// to reproduce sequential results exactly.
+func SeedAt(seed, counter uint64) uint64 {
+	z := seed + counter*0x9E3779B97F4A7C15
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}
+
+// State exposes the generator's internal state for serialization.
+func (r *RNG) State() uint64 { return r.state }
+
+// SetState restores a state captured with State. A zero state is remapped
+// like a zero seed (xorshift cannot escape all-zero).
+func (r *RNG) SetState(s uint64) {
+	if s == 0 {
+		s = 0x9E3779B97F4A7C15
+	}
+	r.state = s
+}
+
 // Uint64 returns the next 64 pseudo-random bits.
 func (r *RNG) Uint64() uint64 {
 	x := r.state

@@ -12,6 +12,7 @@ import (
 	"redhanded/internal/core"
 	"redhanded/internal/eval"
 	"redhanded/internal/metrics"
+	"redhanded/internal/stream"
 	"redhanded/internal/twitterdata"
 )
 
@@ -40,18 +41,27 @@ type ShardStats struct {
 	QueueCap     int         `json:"queue_cap"`
 	AlertsRaised int64       `json:"alerts_raised"`
 	Report       eval.Report `json:"report"`
+	// Drift carries the shard model's drift telemetry (per-member ADWIN
+	// warning/drift/replacement counters for the ARF); absent for models
+	// without drift detectors.
+	Drift *stream.DriftStats `json:"drift,omitempty"`
 }
 
 // Stats is the GET /v1/stats payload.
 type Stats struct {
-	UptimeSeconds float64      `json:"uptime_seconds"`
-	Shards        int          `json:"shards"`
-	Processed     int64        `json:"processed"`
-	Accepted      int64        `json:"accepted"`
-	Rejected      int64        `json:"rejected"`
-	AlertsRaised  int64        `json:"alerts_raised"`
-	Subscribers   int          `json:"alert_subscribers"`
-	PerShard      []ShardStats `json:"per_shard"`
+	UptimeSeconds float64 `json:"uptime_seconds"`
+	Shards        int     `json:"shards"`
+	Processed     int64   `json:"processed"`
+	Accepted      int64   `json:"accepted"`
+	Rejected      int64   `json:"rejected"`
+	AlertsRaised  int64   `json:"alerts_raised"`
+	Subscribers   int     `json:"alert_subscribers"`
+	// Aggregate drift telemetry across shards (models with drift
+	// detectors only).
+	Warnings         int64        `json:"drift_warnings,omitempty"`
+	Drifts           int64        `json:"drifts,omitempty"`
+	TreeReplacements int64        `json:"tree_replacements,omitempty"`
+	PerShard         []ShardStats `json:"per_shard"`
 }
 
 func (s *Server) routes() *http.ServeMux {
@@ -214,6 +224,12 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 		processed := sh.p.Processed()
 		st.Processed += processed
 		st.AlertsRaised += raised
+		drift := sh.p.DriftStats()
+		if drift != nil {
+			st.Warnings += drift.Warnings
+			st.Drifts += drift.Drifts
+			st.TreeReplacements += drift.TreeReplacements
+		}
 		st.PerShard = append(st.PerShard, ShardStats{
 			Shard:        sh.id,
 			Processed:    processed,
@@ -221,6 +237,7 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 			QueueCap:     cap(sh.queue),
 			AlertsRaised: raised,
 			Report:       sh.p.Summary(),
+			Drift:        drift,
 		})
 	}
 	s.writeJSON(w, http.StatusOK, st)

@@ -3,9 +3,26 @@ package stream
 import (
 	"fmt"
 	"math"
-	"sync"
 
+	"redhanded/internal/metrics"
 	"redhanded/internal/ml"
+)
+
+// Drift telemetry on the default metrics registry. The counters fire at
+// whichever process hosts the authoritative forest (the sequential engine,
+// the micro-batch driver, the cluster driver, or a serving shard) — the
+// executor-side replicas never run drift detection, so nothing is counted
+// twice.
+var (
+	arfWarningsTotal = metrics.Default().Counter(
+		"redhanded_arf_warnings_total",
+		"ARF member warnings (background trees started).", nil)
+	arfDriftsTotal = metrics.Default().Counter(
+		"redhanded_arf_drifts_total",
+		"ARF member drift-detector signals.", nil)
+	arfReplacementsTotal = metrics.Default().Counter(
+		"redhanded_arf_tree_replacements_total",
+		"ARF member trees replaced after a detected drift.", nil)
 )
 
 // ARFConfig configures the Adaptive Random Forest. Defaults follow Table I
@@ -55,8 +72,8 @@ type memberDetector interface {
 	// add folds one error observation and reports (warning, drift).
 	add(errBit float64) (warning, drift bool)
 	// addGated is the batch-replay variant: it must never react to error
-	// improvements (batch-granularity replay would misread warm-up
-	// improvements as change).
+	// improvements (batch-granularity replay would otherwise misread
+	// warm-up improvements as change).
 	addGated(v float64) (warning, drift bool)
 }
 
@@ -137,13 +154,22 @@ func (c ARFConfig) withDefaults() ARFConfig {
 
 // arfMember is one ensemble slot: a tree, its drift detector, a possible
 // background tree warming up to replace it, and a prequential accuracy
-// estimate used to weight its votes.
+// estimate used to weight its votes. The generation numbers identify the
+// trees across serialization boundaries (accumulator deltas built against
+// a replaced tree are recognized and dropped by generation, the way the
+// in-process engines used pointer identity).
 type arfMember struct {
 	tree       *HoeffdingTree
 	background *HoeffdingTree
 	detector   memberDetector
+	gen        uint64
+	bgGen      uint64
 	seen       float64
 	correct    float64
+	// Telemetry.
+	warnings     int64
+	drifts       int64
+	replacements int64
 }
 
 func (m *arfMember) weight() float64 {
@@ -161,8 +187,8 @@ func (m *arfMember) weight() float64 {
 type AdaptiveRandomForest struct {
 	cfg        ARFConfig
 	members    []*arfMember
-	rng        *ml.RNG
-	rngMu      sync.Mutex // NewAccumulator splits the RNG from parallel tasks
+	rng        *ml.RNG // structural randomness: subspace sampling
+	nextGen    uint64
 	trainCount int64
 	drifts     int
 	warnings   int
@@ -183,8 +209,13 @@ func NewAdaptiveRandomForest(cfg ARFConfig) *AdaptiveRandomForest {
 	return f
 }
 
+func (f *AdaptiveRandomForest) newGen() uint64 {
+	f.nextGen++
+	return f.nextGen
+}
+
 func (f *AdaptiveRandomForest) newMember() *arfMember {
-	return &arfMember{tree: f.newTree(), detector: f.newDetector()}
+	return &arfMember{tree: f.newTree(), gen: f.newGen(), detector: f.newDetector()}
 }
 
 func (f *AdaptiveRandomForest) newTree() *HoeffdingTree {
@@ -209,6 +240,24 @@ func (f *AdaptiveRandomForest) DriftsDetected() int { return f.drifts }
 // WarningsDetected returns how many background trees have been started.
 func (f *AdaptiveRandomForest) WarningsDetected() int { return f.warnings }
 
+// DriftStats implements DriftReporter.
+func (f *AdaptiveRandomForest) DriftStats() DriftStats {
+	st := DriftStats{Members: make([]MemberDriftStats, len(f.members))}
+	for i, m := range f.members {
+		st.Members[i] = MemberDriftStats{
+			Member:           i,
+			Warnings:         m.warnings,
+			Drifts:           m.drifts,
+			TreeReplacements: m.replacements,
+			BackgroundActive: m.background != nil,
+		}
+		st.Warnings += m.warnings
+		st.Drifts += m.drifts
+		st.TreeReplacements += m.replacements
+	}
+	return st
+}
+
 // Predict implements ml.Classifier: accuracy-weighted soft voting.
 func (f *AdaptiveRandomForest) Predict(x []float64) ml.Prediction {
 	votes := make(ml.Prediction, f.cfg.NumClasses)
@@ -224,27 +273,37 @@ func (f *AdaptiveRandomForest) Predict(x []float64) ml.Prediction {
 	return votes
 }
 
+// baggingWeight draws the Poisson(lambda) online-bagging weight for the
+// member seeing the instance at logical stream position n. The draw comes
+// from a counter-based RNG keyed by (seed, n, member) instead of a shared
+// stateful generator, so every execution plan — sequential, micro-batch
+// tasks, cluster executors, and a failed-over share re-run on a different
+// node — derives the identical weight for the same logical instance.
+func (f *AdaptiveRandomForest) baggingWeight(n int64, member int) float64 {
+	if f.cfg.DisableBagging {
+		return 1
+	}
+	rng := ml.NewRNG(ml.SeedAt(ml.SeedAt(f.cfg.Seed, uint64(n)), uint64(member)))
+	return float64(rng.Poisson(f.cfg.Lambda))
+}
+
 // Train implements ml.StreamClassifier.
 func (f *AdaptiveRandomForest) Train(in ml.Instance) {
 	if !in.IsLabeled() || in.Label >= f.cfg.NumClasses || !in.Valid() {
 		return
 	}
-	for _, m := range f.members {
-		f.trainMember(m, in, f.memberWeight())
+	for i, m := range f.members {
+		f.trainMember(m, in, f.baggingWeight(f.trainCount, i))
 	}
 	f.trainCount++
 }
 
-// memberWeight draws the online-bagging weight for one member.
-func (f *AdaptiveRandomForest) memberWeight() float64 {
-	if f.cfg.DisableBagging {
-		return 1
-	}
-	return float64(f.rng.Poisson(f.cfg.Lambda))
-}
-
 // trainMember performs the ARF per-member step: prequential error
-// monitoring, warning/drift reactions, then weighted training.
+// monitoring, weighted training, then warning/drift reactions. Training
+// happens before the detector reacts — a warning's background tree starts
+// from the next instance and a drifted member's replacement takes over from
+// the next instance — so the micro-batch merge (tree deltas applied, then
+// detectors replayed) is an exact replay of this order at batch size 1.
 func (f *AdaptiveRandomForest) trainMember(m *arfMember, in ml.Instance, k float64) {
 	pred := m.tree.Predict(in.X).ArgMax()
 	errBit := 1.0
@@ -254,60 +313,77 @@ func (f *AdaptiveRandomForest) trainMember(m *arfMember, in ml.Instance, k float
 	}
 	m.seen++
 
-	if !f.cfg.DisableDrift {
-		warned, drifted := m.detector.add(errBit)
-		if warned && m.background == nil {
-			m.background = f.newTree()
-			f.warnings++
-		}
-		if drifted {
-			f.replaceTree(m)
+	if k > 0 {
+		weighted := in
+		weighted.Weight = k
+		m.tree.Train(weighted)
+		if m.background != nil {
+			m.background.Train(weighted)
 		}
 	}
 
-	if k <= 0 {
-		return
-	}
-	weighted := in
-	weighted.Weight = k
-	m.tree.Train(weighted)
-	if m.background != nil {
-		m.background.Train(weighted)
+	if !f.cfg.DisableDrift {
+		warned, drifted := m.detector.add(errBit)
+		f.react(m, warned, drifted)
 	}
 }
 
-// arfAccumulator holds one tree accumulator per member plus per-member
-// error counts. Drift handling happens at the driver during the merge: the
-// aggregate error bits of the batch are replayed into each member's
-// detectors. Ordering within the batch is lost, which is an accepted
-// approximation for micro-batch execution (drift decisions operate at batch
-// granularity).
+// react applies one detector verdict to the member: start a background
+// tree on warning, swap it in on drift.
+func (f *AdaptiveRandomForest) react(m *arfMember, warned, drifted bool) {
+	if warned && m.background == nil {
+		m.background = f.newTree()
+		m.bgGen = f.newGen()
+		f.warnings++
+		m.warnings++
+		arfWarningsTotal.Inc()
+	}
+	if drifted {
+		f.drifts++
+		m.drifts++
+		arfDriftsTotal.Inc()
+		f.replaceTree(m)
+	}
+}
+
+// arfAccumulator holds one tree accumulator per member (plus one per
+// active background tree) and per-member error counts. Drift handling
+// happens at the driver during the merge: the aggregate error bits of the
+// batch are replayed into each member's detectors. Ordering within the
+// batch is lost, which is an accepted approximation for micro-batch
+// execution (drift decisions operate at batch granularity).
 type arfAccumulator struct {
 	forest  *AdaptiveRandomForest
+	base    int64 // forest train count at creation: the logical stream position of the first observation
 	trees   []ml.Accumulator
+	bgTrees []ml.Accumulator // nil slots where the member had no background tree
+	gens    []uint64
+	bgGens  []uint64
 	errors  []float64 // per member: errors in this batch
 	seen    []float64 // per member: instances scored
-	rng     *ml.RNG
 	count   int64
-	version []*HoeffdingTree // tree identity snapshot for staleness checks
 }
 
 var _ ml.Accumulator = (*arfAccumulator)(nil)
 
-// NewAccumulator implements ml.DistributedClassifier.
+// NewAccumulator implements ml.DistributedClassifier. It does not mutate
+// the forest, so parallel tasks may call it concurrently.
 func (f *AdaptiveRandomForest) NewAccumulator() ml.Accumulator {
-	f.rngMu.Lock()
-	accRNG := f.rng.Split()
-	f.rngMu.Unlock()
 	acc := &arfAccumulator{
 		forest: f,
+		base:   f.trainCount,
 		errors: make([]float64, len(f.members)),
 		seen:   make([]float64, len(f.members)),
-		rng:    accRNG,
 	}
 	for _, m := range f.members {
 		acc.trees = append(acc.trees, m.tree.NewAccumulator())
-		acc.version = append(acc.version, m.tree)
+		acc.gens = append(acc.gens, m.gen)
+		if m.background != nil {
+			acc.bgTrees = append(acc.bgTrees, m.background.NewAccumulator())
+		} else {
+			acc.bgTrees = append(acc.bgTrees, nil)
+		}
+		acc.bgGens = append(acc.bgGens, m.bgGen)
 	}
 	return acc
 }
@@ -317,19 +393,19 @@ func (a *arfAccumulator) Observe(in ml.Instance) {
 	if !in.IsLabeled() || in.Label >= a.forest.cfg.NumClasses || !in.Valid() {
 		return
 	}
+	n := a.base + a.count
 	for i, m := range a.forest.members {
 		if m.tree.Predict(in.X).ArgMax() != in.Label {
 			a.errors[i]++
 		}
 		a.seen[i]++
-		k := 1.0
-		if !a.forest.cfg.DisableBagging {
-			k = float64(a.rng.Poisson(a.forest.cfg.Lambda))
-		}
-		if k > 0 {
+		if k := a.forest.baggingWeight(n, i); k > 0 {
 			weighted := in
 			weighted.Weight = k
 			a.trees[i].Observe(weighted)
+			if a.bgTrees[i] != nil {
+				a.bgTrees[i].Observe(weighted)
+			}
 		}
 	}
 	a.count++
@@ -338,25 +414,36 @@ func (a *arfAccumulator) Observe(in ml.Instance) {
 // Count implements ml.Accumulator.
 func (a *arfAccumulator) Count() int64 { return a.count }
 
-// ApplyAccumulators implements ml.DistributedClassifier.
+// ApplyAccumulators implements ml.DistributedClassifier. Per member the
+// merge replays the sequential member step at batch granularity: apply the
+// foreground and background tree deltas (training), then fold the batch's
+// error counts into the accuracy estimate and the drift detectors.
+// Accumulators whose generation snapshot no longer matches the member
+// (the tree was replaced since the accumulator was made) are dropped.
 func (f *AdaptiveRandomForest) ApplyAccumulators(accs []ml.Accumulator) {
 	for i, m := range f.members {
-		var treeAccs []ml.Accumulator
+		var treeAccs, bgAccs []ml.Accumulator
 		var errs, seen float64
 		for _, raw := range accs {
 			acc, ok := raw.(*arfAccumulator)
 			if !ok || acc.forest != f || i >= len(acc.trees) {
 				continue
 			}
-			if acc.version[i] != m.tree {
+			if acc.gens[i] != m.gen || acc.trees[i] == nil {
 				continue // tree was replaced since the accumulator was made
 			}
 			treeAccs = append(treeAccs, acc.trees[i])
 			errs += acc.errors[i]
 			seen += acc.seen[i]
+			if m.background != nil && acc.bgTrees[i] != nil && acc.bgGens[i] == m.bgGen {
+				bgAccs = append(bgAccs, acc.bgTrees[i])
+			}
 		}
 		if len(treeAccs) > 0 {
 			m.tree.ApplyAccumulators(treeAccs)
+		}
+		if len(bgAccs) > 0 {
+			m.background.ApplyAccumulators(bgAccs)
 		}
 		m.seen += seen
 		m.correct += seen - errs
@@ -376,13 +463,17 @@ func (f *AdaptiveRandomForest) ApplyAccumulators(accs []ml.Accumulator) {
 func (f *AdaptiveRandomForest) replaceTree(m *arfMember) {
 	if m.background != nil {
 		m.tree = m.background
+		m.gen = m.bgGen
 		m.background = nil
+		m.bgGen = 0
 	} else {
 		m.tree = f.newTree()
+		m.gen = f.newGen()
 	}
 	m.detector = f.newDetector()
 	m.seen, m.correct = 0, 0
-	f.drifts++
+	m.replacements++
+	arfReplacementsTotal.Inc()
 }
 
 // replayDetectors feeds the batch's error rate into the member's detector
@@ -398,11 +489,5 @@ func (f *AdaptiveRandomForest) replayDetectors(m *arfMember, errs, seen float64)
 		warned = warned || w
 		drifted = drifted || d
 	}
-	if warned && m.background == nil {
-		m.background = f.newTree()
-		f.warnings++
-	}
-	if drifted {
-		f.replaceTree(m)
-	}
+	f.react(m, warned, drifted)
 }

@@ -20,18 +20,19 @@ func newGaussianObserver(numClasses int) *gaussianObserver {
 	return &gaussianObserver{PerClass: make([]norm.Welford, numClasses)}
 }
 
-// observe folds a (value, class, weight) triple into the estimator.
-// Weighted observations repeat the Welford update, which is exact for
-// integral weights (online bagging uses Poisson-distributed integer
-// weights).
+// observe folds a (value, class, weight) triple into the estimator as one
+// Chan-style merge of a synthetic single-point summary (a weight-w stack
+// of the same value has mean value and zero variance). Using the same
+// merge arithmetic as the distributed delta path makes a direct Train and
+// a one-instance accumulator merge bit-identical, which is what lets a
+// batch-size-1 cluster run reproduce the sequential engine exactly.
 func (g *gaussianObserver) observe(value float64, class int, weight float64) {
-	if class < 0 || class >= len(g.PerClass) {
+	if class < 0 || class >= len(g.PerClass) || weight <= 0 {
 		return
 	}
-	for w := weight; w > 0; w-- {
-		g.PerClass[class].Add(value)
-		g.Range.Add(value)
-	}
+	n := int64(math.Ceil(weight))
+	g.PerClass[class].Merge(norm.Welford{N: n, Mean: value})
+	g.Range.Merge(norm.RangeStat{N: n, Min: value, Max: value})
 }
 
 // merge combines another observer (a task-local delta) into this one.

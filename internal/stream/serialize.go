@@ -12,13 +12,18 @@ import (
 // Serialization support for distributed execution: the micro-batch engines
 // broadcast the global model to tasks/executors each batch (the paper notes
 // the serialized global model stays under 1 MB) and ship the local
-// sufficient-statistic deltas back for merging.
+// sufficient-statistic deltas back for merging. This file holds the
+// Hoeffding-tree and SLR encodings; the ARF encoding lives in
+// arf_serialize.go, and the kind registry the transport layers consume is
+// in codec.go.
 
 // RemoteTrainable is a streaming model that can cross process boundaries:
 // it serializes its full state (broadcast), restores it (executor side),
 // and reconstitutes accumulator deltas produced remotely.
 type RemoteTrainable interface {
 	ml.DistributedClassifier
+	// Kind returns the model's stable wire tag (see RegisterCodec).
+	Kind() string
 	MarshalBinary() ([]byte, error)
 	UnmarshalBinary(data []byte) error
 	// AccumulatorFromState rebuilds a remote accumulator delta so it can
@@ -290,56 +295,22 @@ func (s *SLR) AccumulatorFromState(data []byte) (ml.Accumulator, error) {
 	return &slrAccumulator{cfg: s.cfg, w: st.W, count: st.Count}, nil
 }
 
-// Model kind tags used by the cluster protocol.
+// Model kind tags used by the cluster protocol and checkpoints.
 const (
 	KindHT  = "HT"
 	KindSLR = "SLR"
+	KindARF = "ARF"
 )
 
-// KnownKind reports whether kind names a model this build can decode —
-// the executor side of the cluster hello negotiation, so a driver running
-// a newer model kind fails fast with a clear error instead of a mid-run
-// decode failure.
-func KnownKind(kind string) bool {
-	switch kind {
-	case KindHT, KindSLR:
-		return true
-	default:
-		return false
-	}
-}
+// Kind implements RemoteTrainable.
+func (t *HoeffdingTree) Kind() string { return KindHT }
 
-// ModelKindOf returns the protocol tag for a remote-trainable model.
-func ModelKindOf(m RemoteTrainable) (string, error) {
-	switch m.(type) {
-	case *HoeffdingTree:
-		return KindHT, nil
-	case *SLR:
-		return KindSLR, nil
-	default:
-		return "", fmt.Errorf("stream: no remote kind for %T", m)
-	}
-}
+// Kind implements RemoteTrainable.
+func (s *SLR) Kind() string { return KindSLR }
 
-// DecodeModel reconstructs a remote-trainable model of the given kind from
-// its serialized state (executor side of the cluster protocol).
-func DecodeModel(kind string, data []byte) (RemoteTrainable, error) {
-	switch kind {
-	case KindHT:
-		t := NewHoeffdingTree(HTConfig{NumClasses: 2, NumFeatures: 1})
-		if err := t.UnmarshalBinary(data); err != nil {
-			return nil, err
-		}
-		return t, nil
-	case KindSLR:
-		s := NewSLR(SLRConfig{NumClasses: 2, NumFeatures: 1})
-		if err := s.UnmarshalBinary(data); err != nil {
-			return nil, err
-		}
-		return s, nil
-	default:
-		return nil, fmt.Errorf("stream: unknown model kind %q", kind)
-	}
+func init() {
+	RegisterCodec(Codec{Kind: KindHT, New: func() RemoteTrainable { return new(HoeffdingTree) }})
+	RegisterCodec(Codec{Kind: KindSLR, New: func() RemoteTrainable { return new(SLR) }})
 }
 
 // Interface conformance checks.

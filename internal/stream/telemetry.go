@@ -1,0 +1,33 @@
+package stream
+
+// DriftStats is drift-detector telemetry reported by adaptive models. The
+// serving layer and the cluster driver surface it on /v1/stats and
+// engine.Stats, which is why the fields carry JSON tags.
+type DriftStats struct {
+	// Warnings counts background trees started after a warning signal.
+	Warnings int64 `json:"warnings"`
+	// Drifts counts drift-detector signals.
+	Drifts int64 `json:"drifts"`
+	// TreeReplacements counts member trees swapped out after a drift.
+	TreeReplacements int64 `json:"tree_replacements"`
+	// Members breaks the counters down per ensemble slot.
+	Members []MemberDriftStats `json:"members,omitempty"`
+}
+
+// MemberDriftStats is one ensemble member's drift telemetry.
+type MemberDriftStats struct {
+	Member           int   `json:"member"`
+	Warnings         int64 `json:"warnings"`
+	Drifts           int64 `json:"drifts"`
+	TreeReplacements int64 `json:"tree_replacements"`
+	// BackgroundActive reports whether a background tree is currently
+	// warming up to replace this member.
+	BackgroundActive bool `json:"background_active"`
+}
+
+// DriftReporter is implemented by models that monitor concept drift.
+type DriftReporter interface {
+	DriftStats() DriftStats
+}
+
+var _ DriftReporter = (*AdaptiveRandomForest)(nil)

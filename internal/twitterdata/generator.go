@@ -122,7 +122,35 @@ var (
 		groupProb:   0.60,
 	}
 	profiles = []classProfile{normalProfile, abusiveProfile, hatefulProfile}
+
+	// classLabels maps a class index to its dataset label independently of
+	// which profile currently generates the class's surface features — the
+	// concept-shift mode swaps profiles between classes while the labels
+	// stay with the classes.
+	classLabels = []string{LabelNormal, LabelAbusive, LabelHateful}
 )
+
+// shiftedProfiles is the post-shift regime: an abrupt concept drift in
+// which the class-conditional distributions are exchanged. Aggressors
+// adopt the surface statistics of normal accounts (evasion), previously
+// benign traffic turns loud and swear-heavy, and hateful content goes
+// implicit — almost no classic swears, heavy fresh slang, muted shouting —
+// while still targeting groups. A model trained on the original regime is
+// systematically wrong afterwards; the new regime remains separable, so an
+// adaptive model can relearn it.
+var shiftedProfiles = func() []classProfile {
+	shiftHateful := hatefulProfile
+	shiftHateful.swearMean = 0.1
+	shiftHateful.mildProb = 0
+	shiftHateful.slangProb = 0.9
+	shiftHateful.upperZeroProb = 0.85
+	shiftHateful.upperLambda = 0.8
+	shiftHateful.strongNegMean = 0.3
+	shiftHateful.negAdjProb = 0.1
+	shiftHateful.wpsMean = 16.5
+	shiftHateful.exclaimProb = 0.1
+	return []classProfile{abusiveProfile, normalProfile, shiftHateful}
+}()
 
 // AggressionConfig configures the synthetic 86k aggression dataset.
 type AggressionConfig struct {
@@ -131,6 +159,11 @@ type AggressionConfig struct {
 	NormalCount  int // paper: 53,835
 	AbusiveCount int // paper: 27,179
 	HatefulCount int // paper: 4,970
+	// ShiftAt injects an abrupt concept drift: tweets generated from this
+	// offset onward (0 disables) draw from swapped class-conditional
+	// profiles (see shiftedProfiles), stressing the drift-detection path
+	// the way §I's adapting aggressors would.
+	ShiftAt int
 }
 
 // DefaultAggressionConfig mirrors the dataset the paper evaluates on.
@@ -153,6 +186,7 @@ type Generator struct {
 	counter   int64
 	swearPool []string
 	slangDays [][]string
+	profiles  []classProfile
 }
 
 // NewGenerator creates a generator with the given seed and day horizon.
@@ -161,8 +195,9 @@ func NewGenerator(seed uint64, days int) *Generator {
 		days = 1
 	}
 	g := &Generator{
-		rng:  ml.NewRNG(seed),
-		base: time.Date(2017, 6, 1, 0, 0, 0, 0, time.UTC),
+		rng:      ml.NewRNG(seed),
+		base:     time.Date(2017, 6, 1, 0, 0, 0, 0, time.UTC),
+		profiles: profiles,
 	}
 	// Sample only alphabetic seed swears: obfuscated variants ("sh1t")
 	// would be mangled by the preprocessing step and stop matching the
@@ -178,9 +213,16 @@ func NewGenerator(seed uint64, days int) *Generator {
 	return g
 }
 
+// Shift switches the generator to the post-drift regime (swapped
+// class-conditional profiles). Tweets generated afterwards follow the new
+// concept; labels keep naming the same classes.
+func (g *Generator) Shift() { g.profiles = shiftedProfiles }
+
 // GenerateAggression produces the labeled dataset: tweets grouped by day
 // (day 0 first), classes interleaved uniformly within each day, matching
-// the paper's "10 consecutive days of ~8-9k tweets each".
+// the paper's "10 consecutive days of ~8-9k tweets each". With ShiftAt
+// set, the generator swaps to the shifted profiles once that many tweets
+// have been emitted.
 func GenerateAggression(cfg AggressionConfig) []Tweet {
 	g := NewGenerator(cfg.Seed, cfg.Days)
 	counts := []int{cfg.NormalCount, cfg.AbusiveCount, cfg.HatefulCount}
@@ -203,8 +245,11 @@ func GenerateAggression(cfg AggressionConfig) []Tweet {
 			dayClasses[i], dayClasses[j] = dayClasses[j], dayClasses[i]
 		})
 		for _, c := range dayClasses {
+			if cfg.ShiftAt > 0 && len(out) == cfg.ShiftAt {
+				g.Shift()
+			}
 			tw := g.Tweet(c, day)
-			tw.Label = profiles[c].label
+			tw.Label = classLabels[c]
 			out = append(out, tw)
 		}
 	}
@@ -214,7 +259,7 @@ func GenerateAggression(cfg AggressionConfig) []Tweet {
 // Tweet generates one synthetic tweet of the given class (0 normal,
 // 1 abusive, 2 hateful) on the given day, without a label attached.
 func (g *Generator) Tweet(class, day int) Tweet {
-	p := profiles[class]
+	p := g.profiles[class]
 	g.counter++
 	posted := g.base.Add(time.Duration(day)*24*time.Hour +
 		time.Duration(g.rng.Intn(86400))*time.Second)

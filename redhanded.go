@@ -93,8 +93,9 @@ const (
 
 // NewPipeline assembles the detection framework.
 //
-// Pipelines built with HT or SLR models support Checkpoint/Restore for
-// surviving restarts without losing the incrementally learned state.
+// Every model kind (HT, ARF, SLR) supports Checkpoint/Restore for
+// surviving restarts without losing the incrementally learned state, and
+// runs on every engine, the TCP cluster included.
 func NewPipeline(opts Options) *Pipeline { return core.NewPipeline(opts) }
 
 // Session-level detection (the paper's future-work windowing extension).
