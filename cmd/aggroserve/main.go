@@ -48,6 +48,11 @@ func main() {
 		checkpoint = flag.String("checkpoint", "", "checkpoint directory written on graceful shutdown")
 		restore    = flag.Bool("restore", false, "restore shard state from -checkpoint before serving")
 		drainWait  = flag.Duration("drain-timeout", 30*time.Second, "max time to drain shard queues on shutdown")
+
+		maxUsers = flag.Int("max-users", 0, "user-state record cap across all shards, CLOCK-evicted (0 = unbounded)")
+		userTTL  = flag.Duration("user-ttl", 24*time.Hour, "retire user records idle this long (event time; amortized into the hot path)")
+		escScore = flag.Float64("escalation-threshold", 0.6, "EWMA aggression score that flags a user as escalating (negative disables)")
+		escMin   = flag.Int("escalation-min-tweets", 8, "minimum observed tweets before a user can escalate")
 	)
 	flag.Parse()
 
@@ -55,6 +60,10 @@ func main() {
 	opts.Preprocess = *preprocess
 	opts.AdaptiveBoW = *adaptive
 	opts.AlertThreshold = *threshold
+	opts.Users.MaxUsers = *maxUsers
+	opts.Users.TTL = *userTTL
+	opts.Users.Escalation.Threshold = *escScore
+	opts.Users.Escalation.MinTweets = *escMin
 	switch *model {
 	case "ht":
 		opts.Model = core.ModelHT
@@ -151,6 +160,7 @@ func main() {
 		}
 	}
 	var processed, warnings, drifts, replacements int64
+	var activeUsers, evictions, sessionVerdicts, escalations int64
 	for i := 0; i < srv.Shards(); i++ {
 		p := srv.Pipeline(i)
 		processed += p.Processed()
@@ -159,9 +169,17 @@ func main() {
 			drifts += d.Drifts
 			replacements += d.TreeReplacements
 		}
+		users := p.Users()
+		activeUsers += int64(users.Len())
+		capEv, ttlEv := users.Evictions()
+		evictions += capEv + ttlEv
+		sessionVerdicts += users.SessionVerdicts()
+		escalations += users.Escalations()
 	}
 	fmt.Printf("processed %d tweets across %d shards in %s\n",
 		processed, srv.Shards(), srv.Uptime().Round(time.Millisecond))
+	fmt.Printf("user state: %d active users (%d evicted), %d session verdicts, %d escalations\n",
+		activeUsers, evictions, sessionVerdicts, escalations)
 	if opts.Model == core.ModelARF {
 		fmt.Printf("drift: %d warnings, %d drifts, %d tree replacements\n",
 			warnings, drifts, replacements)

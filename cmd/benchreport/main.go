@@ -84,15 +84,29 @@ var errBelowTarget = fmt.Errorf("benchreport: below target")
 func main() {
 	out := flag.String("out", "", "output file ('-' for stdout; defaults per mode)")
 	cluster := flag.Bool("cluster", false, "benchmark the cluster engine's delta broadcasts instead of the feature path")
+	users := flag.Bool("userstate", false, "benchmark the user-state store (Observe at 1M distinct users under a 100k cap, 16 goroutines)")
 	flag.Parse()
 	if *out == "" {
 		*out = "BENCH_featurepath.json"
 		if *cluster {
 			*out = "BENCH_cluster.json"
 		}
+		if *users {
+			*out = "BENCH_userstate.json"
+		}
 	}
 	if *cluster {
 		if err := clusterBench(*out); err != nil {
+			if err == errBelowTarget {
+				os.Exit(2)
+			}
+			fmt.Fprintln(os.Stderr, "benchreport:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *users {
+		if err := userstateBench(*out); err != nil {
 			if err == errBelowTarget {
 				os.Exit(2)
 			}

@@ -104,6 +104,9 @@ func main() {
 			stats.Warnings, stats.Drifts, stats.TreeReplacements)
 	}
 	fmt.Printf("alerts raised: %d\n", p.Alerter().Raised())
+	fmt.Printf("user state: %d active users (%d evicted), %d session verdicts, %d escalations\n",
+		stats.ActiveUsers, stats.UserEvictions,
+		p.Users().SessionVerdicts(), p.Users().Escalations())
 	if rep.Instances > 0 {
 		fmt.Printf("prequential: accuracy=%.4f precision=%.4f recall=%.4f F1=%.4f\n",
 			rep.Accuracy, rep.Precision, rep.Recall, rep.F1)

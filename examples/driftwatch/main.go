@@ -9,6 +9,7 @@ package main
 import (
 	"fmt"
 	"log"
+	"time"
 
 	"redhanded"
 	"redhanded/internal/eval"
@@ -25,6 +26,12 @@ func main() {
 
 	opts := redhanded.DefaultOptions()
 	opts.Scheme = redhanded.TwoClass
+	// User-state knobs: bound the per-user store (CLOCK eviction beyond
+	// 5k records, 48h idle TTL) and watch for users escalating across
+	// sessions while the vocabulary drifts underneath the model.
+	opts.Users.MaxUsers = 5000
+	opts.Users.TTL = 48 * time.Hour
+	opts.Users.Escalation.Threshold = 0.6
 	adaptive := redhanded.NewPipeline(opts)
 
 	frozenOpts := opts
@@ -66,4 +73,8 @@ func main() {
 	fmt.Printf("adaptive BoW grew from 347 to %d words; frozen stayed at %d\n",
 		adaptive.Extractor().BoW().Size(), frozen.Extractor().BoW().Size())
 	fmt.Printf("ADWIN change points in the frozen model's error stream: %d\n", errWatch.Drifts())
+	users := adaptive.Users()
+	capEv, ttlEv := users.Evictions()
+	fmt.Printf("user state: %d active users (cap 5000; %d cap / %d ttl evictions), %d escalation verdicts\n",
+		users.Len(), capEv, ttlEv, users.Escalations())
 }

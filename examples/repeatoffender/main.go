@@ -1,0 +1,133 @@
+// Repeatoffender: the user-state layer catching users (not tweets)
+// red-handed. A small pool of habitual offenders posts aggressive
+// tweets inside a much larger crowd of normal traffic; the pipeline's
+// sharded userstate store accumulates each author's sliding session
+// window, offense history, and EWMA aggression score, and emits:
+//
+//   - session verdicts — repetitive hostility inside one sliding window,
+//   - escalation verdicts — a user trending toward aggression across
+//     sessions (score high over a span longer than a window, recent
+//     verdicts not decaying),
+//   - suspension recommendations — repeated confident alerts.
+//
+// The store is memory-bounded: with a 2,000-record cap and 50,000
+// distinct drive-by users, CLOCK eviction retires one-off accounts while
+// the habitual offenders (always recently referenced) survive. At the
+// end, the whole store round-trips through a checkpoint and the restored
+// copy answers the same per-user queries.
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"log"
+	"time"
+
+	"redhanded"
+	"redhanded/internal/twitterdata"
+	"redhanded/internal/userstate"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	opts := redhanded.DefaultOptions()
+	opts.Scheme = redhanded.TwoClass
+	opts.AlertThreshold = 0.7
+	opts.Users = userstate.Config{
+		MaxUsers: 2000, // bounded: 50k distinct users will stream through
+		Session: userstate.SessionConfig{
+			Window: time.Hour, MinTweets: 4, AggressiveShare: 0.7,
+		},
+		Escalation: userstate.EscalationConfig{
+			Threshold: 0.55, MinTweets: 10, MinSpan: 2 * time.Hour,
+		},
+	}
+	p := redhanded.NewPipeline(opts)
+	p.Alerter().SuspendAfter = 5
+
+	// Warm the model with labeled history.
+	warmup := redhanded.GenerateAggression(redhanded.AggressionConfig{
+		Seed: 42, Days: 10, NormalCount: 5000, AbusiveCount: 2500, HatefulCount: 450,
+	})
+	p.ProcessAll(warmup)
+	fmt.Printf("model warmed up: F1=%.3f over %d labeled tweets\n\n", p.Summary().F1, p.Summary().Instances)
+
+	// Live traffic: 8 habitual offenders inside 50k drive-by accounts.
+	// Offenders post a burst of aggressive tweets every few minutes for a
+	// simulated day; everyone else posts once and disappears.
+	sessions, escalations := 0, 0
+	p.SubscribeVerdicts(verdictPrinter{sessions: &sessions, escalations: &escalations})
+
+	gen := twitterdata.NewGenerator(77, 10)
+	base := time.Date(2020, 6, 1, 0, 0, 0, 0, time.UTC)
+	drives := 0
+	for i := 0; i < 60000; i++ {
+		at := base.Add(time.Duration(i) * 1400 * time.Millisecond) // ~23 simulated hours
+		var tw twitterdata.Tweet
+		if i%8 == 0 { // offender burst slot
+			tw = gen.Tweet(1+i%2, i%10) // abusive / hateful text
+			id := fmt.Sprintf("offender%02d", (i/8)%8)
+			tw.User.IDStr, tw.User.ScreenName = id, id
+		} else {
+			tw = gen.Tweet(0, i%10)
+			drives++
+			id := fmt.Sprintf("driveby%05d", drives)
+			tw.User.IDStr, tw.User.ScreenName = id, id
+		}
+		tw.Label = "" // the pipeline sees live traffic unlabeled
+		tw.CreatedAt = at.Format(twitterdata.TimeLayout)
+		p.Process(&tw)
+	}
+
+	users := p.Users()
+	capEv, ttlEv := users.Evictions()
+	fmt.Printf("\n50k+ distinct users streamed; store holds %d records (cap 2000, %d cap / %d ttl evictions)\n",
+		users.Len(), capEv, ttlEv)
+	fmt.Printf("verdicts: %d sessions, %d escalations; suspensions recommended: %v\n",
+		sessions, escalations, p.Alerter().SuspendedUsers())
+
+	// The habitual offenders survived eviction; the drive-bys mostly did
+	// not. GET /v1/users/{id} serves exactly this snapshot over HTTP.
+	if snap, ok := users.Lookup("offender00"); ok {
+		fmt.Printf("\noffender00: %d tweets (%.0f%% aggressive), score=%.2f, offenses=%d, suspended=%v, cadence=%.0fs\n",
+			snap.Tweets, 100*float64(snap.Aggressive)/float64(snap.Tweets),
+			snap.Score, snap.Offenses, snap.Suspended, snap.CadenceSeconds)
+	}
+
+	// Checkpoint the store and restore it into a fresh copy: the restored
+	// state answers the same queries (the serving layer does this per
+	// shard on graceful shutdown).
+	var buf bytes.Buffer
+	if err := users.Checkpoint(&buf); err != nil {
+		log.Fatal(err)
+	}
+	size := buf.Len()
+	restored := userstate.New(opts.Users)
+	if err := restored.Restore(&buf); err != nil {
+		log.Fatal(err)
+	}
+	a, _ := users.Lookup("offender03")
+	b, _ := restored.Lookup("offender03")
+	fmt.Printf("\ncheckpoint: %d bytes; restored store tracks %d users; offender03 score %.4f == %.4f\n",
+		size, restored.Len(), a.Score, b.Score)
+}
+
+// verdictPrinter shows the first few verdicts of each kind live.
+type verdictPrinter struct{ sessions, escalations *int }
+
+func (v verdictPrinter) HandleSession(s redhanded.SessionVerdict) {
+	*v.sessions++
+	if *v.sessions <= 3 {
+		fmt.Printf("SESSION    @%-11s %d tweets, %.0f%% aggressive in window\n",
+			s.ScreenName, s.Tweets, 100*s.AggressiveShare)
+	}
+}
+
+func (v verdictPrinter) HandleEscalation(e redhanded.EscalationVerdict) {
+	*v.escalations++
+	if *v.escalations <= 3 {
+		fmt.Printf("ESCALATION @%-11s score=%.2f over %d tweets since %s (%d session verdicts)\n",
+			e.ScreenName, e.Score, e.Tweets, e.FirstSeen.Format("15:04"), e.Sessions)
+	}
+}

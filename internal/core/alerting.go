@@ -5,6 +5,7 @@ import (
 
 	"redhanded/internal/metrics"
 	"redhanded/internal/twitterdata"
+	"redhanded/internal/userstate"
 )
 
 // alertsRaisedTotal counts alerts across every pipeline in the process on
@@ -17,12 +18,17 @@ var alertsRaisedTotal = metrics.Default().Counter(
 // Alert is raised in real time when a tweet is predicted aggressive with
 // sufficient confidence.
 type Alert struct {
-	TweetID    string
-	UserID     string
-	ScreenName string
-	Label      string // predicted class name
-	Confidence float64
-	Text       string
+	TweetID    string  `json:"tweet_id"`
+	UserID     string  `json:"user_id"`
+	ScreenName string  `json:"screen_name"`
+	Label      string  `json:"label"` // predicted class name
+	Confidence float64 `json:"confidence"`
+	Text       string  `json:"text"`
+	// Offenses is the author's offense count including this alert, and
+	// Suspended whether the count crossed the repeated-offense bar (zero
+	// values for tweets without a user ID).
+	Offenses  int  `json:"offenses,omitempty"`
+	Suspended bool `json:"suspended,omitempty"`
 }
 
 // AlertSink consumes alerts. Implementations may forward them to human
@@ -39,28 +45,32 @@ type AlertSinkFunc func(Alert)
 func (f AlertSinkFunc) HandleAlert(a Alert) { f(a) }
 
 // Alerter implements the alerting step: it filters predictions by
-// confidence, forwards alerts to registered sinks, and maintains a
-// per-user alert history used to suspend accounts with repeated offenses.
+// confidence and forwards alerts to registered sinks. The per-user alert
+// history and suspension flags live in the userstate store the alerter is
+// bound to — the pipeline's sharded store, or a private one for
+// standalone alerters — so history survives checkpoints and stays
+// memory-bounded alongside the rest of the user state.
 type Alerter struct {
 	mu        sync.Mutex
 	threshold float64
 	sinks     []AlertSink
-	history   map[string]int
-	suspended map[string]bool
+	users     *userstate.Store
 	// SuspendAfter is the repeated-offense count that triggers an account
 	// suspension recommendation (0 disables).
 	SuspendAfter int
 	raised       int64
 }
 
-// NewAlerter creates an alerter with the given confidence threshold.
+// NewAlerter creates a standalone alerter with the given confidence
+// threshold, backed by a private user-state store.
 func NewAlerter(threshold float64) *Alerter {
-	return &Alerter{
-		threshold:    threshold,
-		history:      make(map[string]int),
-		suspended:    make(map[string]bool),
-		SuspendAfter: 5,
-	}
+	return newAlerterWith(threshold, userstate.New(userstate.Config{Shards: 4}))
+}
+
+// newAlerterWith binds the alerter to an existing store (the pipeline
+// path: one store carries sessions, offenses, and escalation state).
+func newAlerterWith(threshold float64, users *userstate.Store) *Alerter {
+	return &Alerter{threshold: threshold, users: users, SuspendAfter: 5}
 }
 
 // Subscribe registers a sink for future alerts.
@@ -87,12 +97,25 @@ func (a *Alerter) Consider(tw *twitterdata.Tweet, predicted string, confidence f
 	a.mu.Lock()
 	a.raised++
 	alertsRaisedTotal.Inc()
-	a.history[alert.UserID]++
-	if a.SuspendAfter > 0 && a.history[alert.UserID] >= a.SuspendAfter {
-		a.suspended[alert.UserID] = true
-	}
+	suspendAfter := a.SuspendAfter
 	sinks := append([]AlertSink(nil), a.sinks...)
 	a.mu.Unlock()
+	if alert.UserID != "" {
+		// Offense-only: the session window and behavioral aggregates are
+		// fed by the pipeline's own Observe for the same tweet.
+		out := a.users.Observe(userstate.Observation{
+			UserID:       alert.UserID,
+			ScreenName:   alert.ScreenName,
+			At:           tw.PostedAt(),
+			Aggressive:   true,
+			Confidence:   confidence,
+			Offense:      true,
+			SuspendAfter: suspendAfter,
+			OffenseOnly:  true,
+		})
+		alert.Offenses = out.Offenses
+		alert.Suspended = out.Suspended
+	}
 	for _, s := range sinks {
 		s.HandleAlert(alert)
 	}
@@ -107,26 +130,11 @@ func (a *Alerter) Raised() int64 {
 }
 
 // OffenseCount returns the alert history of one user.
-func (a *Alerter) OffenseCount(userID string) int {
-	a.mu.Lock()
-	defer a.mu.Unlock()
-	return a.history[userID]
-}
+func (a *Alerter) OffenseCount(userID string) int { return a.users.OffenseCount(userID) }
 
 // Suspended reports whether the user crossed the repeated-offense bar.
-func (a *Alerter) Suspended(userID string) bool {
-	a.mu.Lock()
-	defer a.mu.Unlock()
-	return a.suspended[userID]
-}
+func (a *Alerter) Suspended(userID string) bool { return a.users.Suspended(userID) }
 
-// SuspendedUsers returns all users recommended for suspension.
-func (a *Alerter) SuspendedUsers() []string {
-	a.mu.Lock()
-	defer a.mu.Unlock()
-	out := make([]string, 0, len(a.suspended))
-	for u := range a.suspended {
-		out = append(out, u)
-	}
-	return out
-}
+// SuspendedUsers returns all users recommended for suspension, sorted so
+// repeated calls (and API clients) see a stable order.
+func (a *Alerter) SuspendedUsers() []string { return a.users.SuspendedUsers() }

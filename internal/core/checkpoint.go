@@ -31,6 +31,11 @@ type checkpointState struct {
 	EvalK      int
 	EvalCells  []int64
 	PredCounts []int64
+	// UserStateBlob is the sharded user-state store (sessions, offenses,
+	// escalation scores, CLOCK order) in its own versioned, checksummed
+	// encoding. Empty in checkpoints written before the store existed;
+	// restoring such a checkpoint leaves the store fresh.
+	UserStateBlob []byte
 }
 
 // Checkpoint serializes the pipeline's learned state.
@@ -57,14 +62,19 @@ func (p *Pipeline) Checkpoint(w io.Writer) error {
 	if err != nil {
 		return fmt.Errorf("core: checkpoint BoW: %w", err)
 	}
+	usersBlob, err := p.users.MarshalBinary()
+	if err != nil {
+		return fmt.Errorf("core: checkpoint user state: %w", err)
+	}
 	st := checkpointState{
-		ModelKind:  kind,
-		ModelBlob:  modelBlob,
-		StatsBlob:  statsBlob,
-		BoWBlob:    bowBlob,
-		Processed:  p.processed,
-		EvalK:      p.evaluator.Matrix().NumClasses(),
-		PredCounts: append([]int64(nil), p.predCounts...),
+		ModelKind:     kind,
+		ModelBlob:     modelBlob,
+		StatsBlob:     statsBlob,
+		BoWBlob:       bowBlob,
+		UserStateBlob: usersBlob,
+		Processed:     p.processed,
+		EvalK:         p.evaluator.Matrix().NumClasses(),
+		PredCounts:    append([]int64(nil), p.predCounts...),
 	}
 	k := st.EvalK
 	st.EvalCells = make([]int64, k*k)
@@ -114,6 +124,11 @@ func (p *Pipeline) Restore(r io.Reader) error {
 	p.normalizer.Stats = stats
 	if err := p.extractor.BoW().UnmarshalBinary(st.BoWBlob); err != nil {
 		return fmt.Errorf("core: restore BoW: %w", err)
+	}
+	if len(st.UserStateBlob) > 0 {
+		if err := p.users.UnmarshalBinary(st.UserStateBlob); err != nil {
+			return fmt.Errorf("core: restore user state: %w", err)
+		}
 	}
 	p.processed = st.Processed
 	copy(p.predCounts, st.PredCounts)

@@ -2,6 +2,7 @@ package core
 
 import (
 	"bytes"
+	"encoding/gob"
 	"testing"
 )
 
@@ -118,5 +119,95 @@ func TestRestoreMismatches(t *testing.T) {
 	// Garbage payload.
 	if err := NewPipeline(DefaultOptions()).Restore(bytes.NewReader([]byte("junk"))); err == nil {
 		t.Fatalf("garbage checkpoint accepted")
+	}
+}
+
+// TestCheckpointCarriesUserState proves the pipeline checkpoint round-
+// trips the sharded user-state store: offense histories, session
+// verdicts, and escalation state survive a restore, and the restored
+// pipeline emits the identical verdict stream over the remaining tweets.
+func TestCheckpointCarriesUserState(t *testing.T) {
+	data := smallDataset(45, 2500, 1200, 250)
+	opts := DefaultOptions()
+	opts.Scheme = TwoClass
+	p := NewPipeline(opts)
+	p.ProcessAll(data[:3000])
+
+	var buf bytes.Buffer
+	if err := p.Checkpoint(&buf); err != nil {
+		t.Fatal(err)
+	}
+	restored := NewPipeline(opts)
+	if err := restored.Restore(&buf); err != nil {
+		t.Fatal(err)
+	}
+
+	if got, want := restored.Users().Len(), p.Users().Len(); got != want {
+		t.Fatalf("restored %d user records, want %d", got, want)
+	}
+	if got, want := restored.Users().SessionVerdicts(), p.Users().SessionVerdicts(); got != want {
+		t.Fatalf("restored %d session verdicts, want %d", got, want)
+	}
+	suspended := p.Alerter().SuspendedUsers()
+	restoredSuspended := restored.Alerter().SuspendedUsers()
+	if len(suspended) != len(restoredSuspended) {
+		t.Fatalf("suspension sets diverged: %v vs %v", suspended, restoredSuspended)
+	}
+	for i := range suspended {
+		if suspended[i] != restoredSuspended[i] {
+			t.Fatalf("suspension sets diverged (or unsorted): %v vs %v", suspended, restoredSuspended)
+		}
+	}
+
+	// Continue both pipelines on the remaining stream: verdict streams and
+	// per-user state must stay identical.
+	rest := data[3000:]
+	p.ProcessAll(rest)
+	restored.ProcessAll(rest)
+	if p.Users().SessionVerdicts() != restored.Users().SessionVerdicts() ||
+		p.Users().Escalations() != restored.Users().Escalations() {
+		t.Fatalf("verdict streams diverged after restore: (%d,%d) vs (%d,%d)",
+			p.Users().SessionVerdicts(), p.Users().Escalations(),
+			restored.Users().SessionVerdicts(), restored.Users().Escalations())
+	}
+	for _, id := range p.Alerter().SuspendedUsers() {
+		a, okA := p.Users().Lookup(id)
+		b, okB := restored.Users().Lookup(id)
+		if !okA || !okB || a.Offenses != b.Offenses || a.Score != b.Score || a.Tweets != b.Tweets {
+			t.Fatalf("user %s diverged after restore:\n%+v\n%+v", id, a, b)
+		}
+	}
+}
+
+// TestLegacyCheckpointWithoutUserState: a checkpoint written before the
+// user-state layer (no UserStateBlob) restores cleanly with a fresh
+// store rather than failing.
+func TestLegacyCheckpointWithoutUserState(t *testing.T) {
+	p := NewPipeline(DefaultOptions())
+	p.ProcessAll(smallDataset(46, 300, 150, 30))
+	var buf bytes.Buffer
+	if err := p.Checkpoint(&buf); err != nil {
+		t.Fatal(err)
+	}
+	// Re-encode the gob payload with the user-state blob stripped,
+	// simulating the pre-userstate checkpoint format.
+	var st checkpointState
+	if err := gob.NewDecoder(&buf).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	st.UserStateBlob = nil
+	var legacy bytes.Buffer
+	if err := gob.NewEncoder(&legacy).Encode(st); err != nil {
+		t.Fatal(err)
+	}
+	restored := NewPipeline(DefaultOptions())
+	if err := restored.Restore(&legacy); err != nil {
+		t.Fatalf("legacy checkpoint rejected: %v", err)
+	}
+	if restored.Processed() != p.Processed() {
+		t.Fatalf("legacy restore lost model state")
+	}
+	if restored.Users().Len() != 0 {
+		t.Fatalf("legacy restore invented user records")
 	}
 }

@@ -13,6 +13,7 @@ import (
 	"redhanded/internal/norm"
 	"redhanded/internal/stream"
 	"redhanded/internal/twitterdata"
+	"redhanded/internal/userstate"
 )
 
 // ClassScheme selects the classification problem.
@@ -112,6 +113,10 @@ type Options struct {
 	HT  stream.HTConfig
 	ARF stream.ARFConfig
 	SLR stream.SLRConfig
+	// Users configures the per-user state store (session windows, offense
+	// history, escalation scoring, memory bounds). The zero value resolves
+	// to the userstate defaults: 16 shards, unbounded users, 24h idle TTL.
+	Users userstate.Config
 }
 
 // DefaultOptions returns the configuration of the paper's main experiments.

@@ -9,6 +9,7 @@ import (
 	"redhanded/internal/norm"
 	"redhanded/internal/stream"
 	"redhanded/internal/twitterdata"
+	"redhanded/internal/userstate"
 )
 
 // Result reports what the pipeline did with one tweet.
@@ -21,6 +22,19 @@ type Result struct {
 	// Tested is true for labeled tweets that entered the prequential
 	// evaluation (and then trained the model).
 	Tested bool
+	// Session / Escalation carry the user-state verdicts this tweet
+	// triggered (nil for the vast majority of tweets).
+	Session    *SessionVerdict
+	Escalation *EscalationVerdict
+}
+
+// VerdictSink consumes the user-state verdicts the pipeline emits:
+// session verdicts (repetitive hostility within a sliding window) and
+// escalation verdicts (a user trending toward aggression across
+// sessions). Sinks run on the processing goroutine and must not block.
+type VerdictSink interface {
+	HandleSession(SessionVerdict)
+	HandleEscalation(EscalationVerdict)
 }
 
 // Pipeline is the sequential reference implementation of the detection
@@ -37,6 +51,8 @@ type Pipeline struct {
 	model      ml.DistributedClassifier
 	evaluator  *eval.Prequential
 	alerter    *Alerter
+	users      *userstate.Store
+	verdicts   []VerdictSink
 	sampler    *BoostedSampler
 	bowSizes   []eval.Point // Fig. 10 series
 	processed  int64
@@ -54,6 +70,7 @@ func NewPipeline(opts Options) *Pipeline {
 	bowCfg.Frozen = !opts.AdaptiveBoW
 	ext := feature.NewExtractor(feature.Config{Preprocess: opts.Preprocess, BoW: bowCfg})
 	k := opts.Scheme.NumClasses()
+	users := userstate.New(opts.Users)
 	return &Pipeline{
 		opts:       opts,
 		classes:    opts.Scheme.Classes(),
@@ -61,7 +78,8 @@ func NewPipeline(opts Options) *Pipeline {
 		normalizer: norm.NewNormalizer(opts.Normalization, feature.NumFeatures),
 		model:      newModel(opts),
 		evaluator:  eval.NewPrequential(k, opts.SampleStep),
-		alerter:    NewAlerter(opts.AlertThreshold),
+		alerter:    newAlerterWith(opts.AlertThreshold, users),
+		users:      users,
 		sampler:    NewBoostedSampler(DefaultSamplerConfig(opts.Seed)),
 		predCounts: make([]int64, k),
 	}
@@ -87,6 +105,45 @@ func (p *Pipeline) Evaluator() *eval.Prequential { return p.evaluator }
 
 // Alerter exposes the alerting component.
 func (p *Pipeline) Alerter() *Alerter { return p.alerter }
+
+// Users exposes the sharded per-user state store (session windows,
+// offense history, escalation scores). It is safe to read concurrently
+// with processing; the serving layer's GET /v1/users/{id} goes through
+// it.
+func (p *Pipeline) Users() *userstate.Store { return p.users }
+
+// SubscribeVerdicts registers a sink for session and escalation
+// verdicts. Sinks run on the processing goroutine and must not block.
+func (p *Pipeline) SubscribeVerdicts(s VerdictSink) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.verdicts = append(p.verdicts, s)
+}
+
+// observeUser folds one prediction into the user-state store, attaches
+// any verdicts to the result, and fans them out to the verdict sinks.
+// Called with p.mu held.
+func (p *Pipeline) observeUser(tw *twitterdata.Tweet, aggressive bool, confidence float64) (*SessionVerdict, *EscalationVerdict) {
+	if tw.User.IDStr == "" {
+		return nil, nil
+	}
+	out := p.users.Observe(userstate.Observation{
+		UserID:     tw.User.IDStr,
+		ScreenName: tw.User.ScreenName,
+		At:         tw.PostedAt(),
+		Aggressive: aggressive,
+		Confidence: confidence,
+	})
+	for _, s := range p.verdicts {
+		if out.Session != nil {
+			s.HandleSession(*out.Session)
+		}
+		if out.Escalation != nil {
+			s.HandleEscalation(*out.Escalation)
+		}
+	}
+	return out.Session, out.Escalation
+}
 
 // Sampler exposes the boosted sampling component.
 func (p *Pipeline) Sampler() *BoostedSampler { return p.sampler }
@@ -194,6 +251,7 @@ func (p *Pipeline) Process(tw *twitterdata.Tweet) Result {
 		p.sampler.Offer(tw, votes)
 	}
 
+	res.Session, res.Escalation = p.observeUser(tw, pred > 0, res.Confidence)
 	if pred > 0 { // any non-normal class is aggressive behavior
 		res.Alerted = p.alerter.Consider(tw, p.classes.Name(pred), res.Confidence)
 	}
@@ -246,6 +304,7 @@ func (p *Pipeline) AbsorbBatch(tweets []twitterdata.Tweet, outcomes []Outcome) {
 			}
 			p.sampler.Offer(tw, votes)
 		}
+		p.observeUser(tw, o.Pred > 0, o.Conf)
 		if o.Pred > 0 {
 			p.alerter.Consider(tw, p.classes.Name(o.Pred), o.Conf)
 		}

@@ -1,95 +1,54 @@
 package core
 
 import (
-	"sync"
 	"time"
 
 	"redhanded/internal/twitterdata"
+	"redhanded/internal/userstate"
 )
 
 // Session-level detection is the paper's stated future work (§VI): forms
 // of behavior like cyberbullying and trolling involve *repetitive* hostile
 // actions, so they are detected over a group of tweets from the same user
-// rather than a single tweet, using the windowing facilities of the
-// underlying stream engine. SessionTracker implements that: it maintains a
-// sliding time window of per-tweet predictions for every user and flags a
-// user session when enough of its recent tweets are predicted aggressive.
+// rather than a single tweet. The windowing itself now lives in the
+// sharded internal/userstate store (which every Pipeline owns); this file
+// keeps the original SessionTracker API as a thin adapter over a
+// standalone store for callers that drive session detection outside a
+// pipeline.
 
 // SessionConfig tunes the session windows.
-type SessionConfig struct {
-	// Window is the sliding session length (default 1 hour).
-	Window time.Duration
-	// MinTweets is the minimum number of tweets in the window before a
-	// session can be judged (default 3).
-	MinTweets int
-	// AggressiveShare is the fraction of window tweets predicted
-	// aggressive that flags the session (default 0.6).
-	AggressiveShare float64
-	// Cooldown suppresses repeated verdicts for the same user within this
-	// duration (default = Window).
-	Cooldown time.Duration
-}
-
-// DefaultSessionConfig returns the defaults described above.
-func DefaultSessionConfig() SessionConfig {
-	return SessionConfig{Window: time.Hour, MinTweets: 3, AggressiveShare: 0.6}
-}
-
-func (c SessionConfig) withDefaults() SessionConfig {
-	d := DefaultSessionConfig()
-	if c.Window <= 0 {
-		c.Window = d.Window
-	}
-	if c.MinTweets <= 0 {
-		c.MinTweets = d.MinTweets
-	}
-	if c.AggressiveShare <= 0 {
-		c.AggressiveShare = d.AggressiveShare
-	}
-	if c.Cooldown <= 0 {
-		c.Cooldown = c.Window
-	}
-	return c
-}
+type SessionConfig = userstate.SessionConfig
 
 // SessionVerdict is emitted when a user's sliding window crosses the
 // aggression threshold.
-type SessionVerdict struct {
-	UserID          string
-	ScreenName      string
-	WindowStart     time.Time
-	WindowEnd       time.Time
-	Tweets          int
-	AggressiveShare float64
-	MeanConfidence  float64
-}
+type SessionVerdict = userstate.SessionVerdict
 
-// sessionEntry is one observed tweet within a user window.
-type sessionEntry struct {
-	at         time.Time
-	aggressive bool
-	confidence float64
-}
+// EscalationVerdict flags a user trending toward aggression across
+// sessions (see userstate.EscalationConfig for the scoring model).
+type EscalationVerdict = userstate.EscalationVerdict
 
-// userSession is the per-user sliding window.
-type userSession struct {
-	entries     []sessionEntry
-	lastVerdict time.Time
-	screenName  string
-}
+// DefaultSessionConfig returns 1-hour windows flagging >= 60% aggressive
+// with at least 3 tweets.
+func DefaultSessionConfig() SessionConfig { return userstate.DefaultSessionConfig() }
 
 // SessionTracker aggregates per-tweet predictions into per-user session
 // verdicts. It is safe for concurrent use.
+//
+// SessionTracker is a compatibility adapter over a userstate.Store: the
+// store amortizes idle-record retirement into Observe (24h event-time
+// TTL), so calling Prune is optional rather than load-bearing.
 type SessionTracker struct {
-	mu       sync.Mutex
-	cfg      SessionConfig
-	sessions map[string]*userSession
-	verdicts int64
+	store *userstate.Store
 }
 
-// NewSessionTracker creates a tracker.
+// NewSessionTracker creates a tracker backed by its own user-state store.
 func NewSessionTracker(cfg SessionConfig) *SessionTracker {
-	return &SessionTracker{cfg: cfg.withDefaults(), sessions: make(map[string]*userSession)}
+	return &SessionTracker{store: userstate.New(userstate.Config{
+		Session: cfg,
+		// Sessions only: the escalation detector stays out of the legacy
+		// adapter's verdict stream.
+		Escalation: userstate.EscalationConfig{Threshold: -1},
+	})}
 }
 
 // Observe folds one classified tweet into its author's window and returns
@@ -99,82 +58,26 @@ func (st *SessionTracker) Observe(tw *twitterdata.Tweet, predictedAggressive boo
 	if at.IsZero() {
 		return nil
 	}
-	st.mu.Lock()
-	defer st.mu.Unlock()
-
-	s := st.sessions[tw.User.IDStr]
-	if s == nil {
-		s = &userSession{}
-		st.sessions[tw.User.IDStr] = s
-	}
-	s.screenName = tw.User.ScreenName
-	s.entries = append(s.entries, sessionEntry{at: at, aggressive: predictedAggressive, confidence: confidence})
-
-	// Evict entries that fell out of the window.
-	cutoff := at.Add(-st.cfg.Window)
-	keep := s.entries[:0]
-	for _, e := range s.entries {
-		if !e.at.Before(cutoff) {
-			keep = append(keep, e)
-		}
-	}
-	s.entries = keep
-
-	if len(s.entries) < st.cfg.MinTweets {
-		return nil
-	}
-	if !s.lastVerdict.IsZero() && at.Sub(s.lastVerdict) < st.cfg.Cooldown {
-		return nil
-	}
-	aggr, confSum := 0, 0.0
-	for _, e := range s.entries {
-		if e.aggressive {
-			aggr++
-			confSum += e.confidence
-		}
-	}
-	share := float64(aggr) / float64(len(s.entries))
-	if share < st.cfg.AggressiveShare {
-		return nil
-	}
-	s.lastVerdict = at
-	st.verdicts++
-	return &SessionVerdict{
-		UserID:          tw.User.IDStr,
-		ScreenName:      s.screenName,
-		WindowStart:     s.entries[0].at,
-		WindowEnd:       at,
-		Tweets:          len(s.entries),
-		AggressiveShare: share,
-		MeanConfidence:  confSum / float64(aggr),
-	}
+	out := st.store.Observe(userstate.Observation{
+		UserID:     tw.User.IDStr,
+		ScreenName: tw.User.ScreenName,
+		At:         at,
+		Aggressive: predictedAggressive,
+		Confidence: confidence,
+	})
+	return out.Session
 }
 
 // Verdicts returns the number of session verdicts emitted.
-func (st *SessionTracker) Verdicts() int64 {
-	st.mu.Lock()
-	defer st.mu.Unlock()
-	return st.verdicts
-}
+func (st *SessionTracker) Verdicts() int64 { return st.store.SessionVerdicts() }
 
-// ActiveUsers returns how many users currently have a tracked window.
-func (st *SessionTracker) ActiveUsers() int {
-	st.mu.Lock()
-	defer st.mu.Unlock()
-	return len(st.sessions)
-}
+// ActiveUsers returns how many users currently have a tracked record.
+func (st *SessionTracker) ActiveUsers() int { return st.store.Len() }
 
-// Prune drops users whose windows ended before the cutoff, bounding
-// memory over long streams.
-func (st *SessionTracker) Prune(cutoff time.Time) int {
-	st.mu.Lock()
-	defer st.mu.Unlock()
-	removed := 0
-	for id, s := range st.sessions {
-		if len(s.entries) == 0 || s.entries[len(s.entries)-1].at.Before(cutoff) {
-			delete(st.sessions, id)
-			removed++
-		}
-	}
-	return removed
-}
+// Prune drops users whose windows ended before the cutoff. The store
+// already retires idle users incrementally inside Observe; Prune remains
+// for callers that want an explicit retirement point.
+func (st *SessionTracker) Prune(cutoff time.Time) int { return st.store.Prune(cutoff) }
+
+// Store exposes the backing user-state store (snapshots, checkpoints).
+func (st *SessionTracker) Store() *userstate.Store { return st.store }

@@ -136,3 +136,24 @@ func TestSessionEndToEndWithPipeline(t *testing.T) {
 		t.Fatalf("no session verdicts over concentrated abusive traffic")
 	}
 }
+
+// TestSessionTrackerAmortizedEviction: the legacy tracker used to grow
+// without bound unless callers remembered Prune. Backed by the userstate
+// store, idle records are now retired incrementally inside Observe (24h
+// event-time TTL) — no Prune call in sight.
+func TestSessionTrackerAmortizedEviction(t *testing.T) {
+	st := NewSessionTracker(DefaultSessionConfig())
+	base := time.Date(2017, 6, 1, 12, 0, 0, 0, time.UTC)
+	// 600 one-shot users spread over ~12 days of event time.
+	for i := 0; i < 600; i++ {
+		st.Observe(sessionTweet(fmt.Sprintf("oneshot%d", i), base.Add(time.Duration(i)*30*time.Minute)), false, 0.1)
+	}
+	if n := st.ActiveUsers(); n >= 400 {
+		t.Fatalf("idle users not retired: %d of 600 still tracked", n)
+	}
+	// Prune still works as an explicit retirement point for the rest.
+	st.Prune(base.Add(600 * 30 * time.Minute))
+	if n := st.ActiveUsers(); n != 0 {
+		t.Fatalf("prune left %d records", n)
+	}
+}

@@ -388,6 +388,7 @@ func RunCluster(p *core.Pipeline, src Source, cfg ClusterConfig) (Stats, error) 
 		stats.Resyncs = r.resyncs.Load()
 		stats.Reconnects = r.reconnects.Load()
 		driftDone(&stats)
+		captureUsers(p, &stats)
 		return stats, err
 	}
 

@@ -181,6 +181,12 @@ type Stats struct {
 	Warnings         int64
 	Drifts           int64
 	TreeReplacements int64
+
+	// User-state cardinality: records tracked by the pipeline's userstate
+	// store when the run finished (sessions, offense histories, escalation
+	// scores), plus records the store evicted to stay within its cap/TTL.
+	ActiveUsers   int64
+	UserEvictions int64
 }
 
 // Throughput returns tweets per second.
@@ -244,6 +250,15 @@ func (r *RateLimitedSource) Next() (twitterdata.Tweet, bool) {
 	return r.src.Next()
 }
 
+// captureUsers fills a Stats with the pipeline store's user cardinality
+// and eviction counts at the end of a run.
+func captureUsers(p *core.Pipeline, s *Stats) {
+	users := p.Users()
+	s.ActiveUsers = int64(users.Len())
+	capEv, ttlEv := users.Evictions()
+	s.UserEvictions = capEv + ttlEv
+}
+
 // captureDrift snapshots the pipeline model's drift telemetry and returns
 // a closure that fills a Stats with the counters accumulated since the
 // snapshot — so every engine reports the drift activity of its own run,
@@ -280,5 +295,6 @@ func RunSequential(p *core.Pipeline, src Source) Stats {
 	}
 	stats := Stats{Processed: n, Duration: time.Since(start)}
 	driftDone(&stats)
+	captureUsers(p, &stats)
 	return stats
 }

@@ -129,6 +129,7 @@ func RunMicroBatch(p *core.Pipeline, src Source, cfg MicroBatchConfig) (Stats, e
 	stats.Duration = time.Since(start)
 	lat.fill(&stats)
 	driftDone(&stats)
+	captureUsers(p, &stats)
 	return stats, nil
 }
 

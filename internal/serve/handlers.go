@@ -14,6 +14,7 @@ import (
 	"redhanded/internal/metrics"
 	"redhanded/internal/stream"
 	"redhanded/internal/twitterdata"
+	"redhanded/internal/userstate"
 )
 
 // ClassifyResponse is the synchronous result of POST /v1/classify.
@@ -35,12 +36,17 @@ type IngestResponse struct {
 
 // ShardStats is one shard's entry in GET /v1/stats.
 type ShardStats struct {
-	Shard        int         `json:"shard"`
-	Processed    int64       `json:"processed"`
-	QueueDepth   int         `json:"queue_depth"`
-	QueueCap     int         `json:"queue_cap"`
-	AlertsRaised int64       `json:"alerts_raised"`
-	Report       eval.Report `json:"report"`
+	Shard        int   `json:"shard"`
+	Processed    int64 `json:"processed"`
+	QueueDepth   int   `json:"queue_depth"`
+	QueueCap     int   `json:"queue_cap"`
+	AlertsRaised int64 `json:"alerts_raised"`
+	// User-state cardinality and activity for this shard's store.
+	ActiveUsers     int         `json:"active_users"`
+	Evictions       int64       `json:"user_evictions"`
+	SessionVerdicts int64       `json:"session_verdicts"`
+	Escalations     int64       `json:"escalations"`
+	Report          eval.Report `json:"report"`
 	// Drift carries the shard model's drift telemetry (per-member ADWIN
 	// warning/drift/replacement counters for the ARF); absent for models
 	// without drift detectors.
@@ -56,6 +62,11 @@ type Stats struct {
 	Rejected      int64   `json:"rejected"`
 	AlertsRaised  int64   `json:"alerts_raised"`
 	Subscribers   int     `json:"alert_subscribers"`
+	// Aggregate user-state cardinality and activity across shards.
+	ActiveUsers     int64 `json:"active_users"`
+	UserEvictions   int64 `json:"user_evictions"`
+	SessionVerdicts int64 `json:"session_verdicts"`
+	Escalations     int64 `json:"escalations"`
 	// Aggregate drift telemetry across shards (models with drift
 	// detectors only).
 	Warnings         int64        `json:"drift_warnings,omitempty"`
@@ -77,6 +88,7 @@ func (s *Server) routes() *http.ServeMux {
 	handle("POST /v1/classify", "/v1/classify", s.handleClassify)
 	handle("POST /v1/ingest", "/v1/ingest", s.handleIngest)
 	handle("GET /v1/alerts", "/v1/alerts", s.handleAlerts)
+	handle("GET /v1/users/{id}", "/v1/users", s.handleUser)
 	handle("GET /v1/stats", "/v1/stats", s.handleStats)
 	handle("GET /healthz", "/healthz", s.handleHealthz)
 	mux.Handle("GET /metrics", s.metricsHandler())
@@ -210,6 +222,31 @@ func (s *Server) recordIngest(r IngestResponse) {
 	s.malformed.Add(r.Malformed)
 }
 
+// UserResponse is the GET /v1/users/{id} payload: which shard owns the
+// user plus a point-in-time snapshot of their state.
+type UserResponse struct {
+	Shard int `json:"shard"`
+	userstate.Snapshot
+}
+
+// handleUser looks one user's state up on the shard their tweets route
+// to. Unknown users get 404 — either never seen, or already evicted by
+// the cap/TTL policy.
+func (s *Server) handleUser(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	if id == "" {
+		s.writeJSON(w, http.StatusBadRequest, map[string]string{"error": "missing user id"})
+		return
+	}
+	idx := ShardFor(id, len(s.shards))
+	snap, ok := s.shards[idx].p.Users().Lookup(id)
+	if !ok {
+		s.writeJSON(w, http.StatusNotFound, map[string]string{"error": "unknown user (never seen or evicted)"})
+		return
+	}
+	s.writeJSON(w, http.StatusOK, UserResponse{Shard: idx, Snapshot: snap})
+}
+
 // handleStats reports per-shard prequential metrics and queue state.
 func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 	st := Stats{
@@ -230,14 +267,25 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 			st.Drifts += drift.Drifts
 			st.TreeReplacements += drift.TreeReplacements
 		}
+		users := sh.p.Users()
+		active := users.Len()
+		capEv, ttlEv := users.Evictions()
+		st.ActiveUsers += int64(active)
+		st.UserEvictions += capEv + ttlEv
+		st.SessionVerdicts += users.SessionVerdicts()
+		st.Escalations += users.Escalations()
 		st.PerShard = append(st.PerShard, ShardStats{
-			Shard:        sh.id,
-			Processed:    processed,
-			QueueDepth:   len(sh.queue),
-			QueueCap:     cap(sh.queue),
-			AlertsRaised: raised,
-			Report:       sh.p.Summary(),
-			Drift:        drift,
+			Shard:           sh.id,
+			Processed:       processed,
+			QueueDepth:      len(sh.queue),
+			QueueCap:        cap(sh.queue),
+			AlertsRaised:    raised,
+			ActiveUsers:     active,
+			Evictions:       capEv + ttlEv,
+			SessionVerdicts: users.SessionVerdicts(),
+			Escalations:     users.Escalations(),
+			Report:          sh.p.Summary(),
+			Drift:           drift,
 		})
 	}
 	s.writeJSON(w, http.StatusOK, st)

@@ -157,6 +157,18 @@ func NewServer(opts Options) *Server {
 // server to exercise backpressure deterministically).
 func newServer(opts Options, start bool) *Server {
 	opts = opts.withDefaults()
+	// The configured user cap is a per-server budget: divide it across the
+	// shard pipelines (each owns an independent userstate store) so the
+	// process-wide record count stays within Pipeline.Users.MaxUsers.
+	// (Degenerate budgets below the shard count resolve to one record per
+	// shard — the smallest enforceable bound.)
+	if opts.Pipeline.Users.MaxUsers > 0 {
+		per := opts.Pipeline.Users.MaxUsers / opts.Shards
+		if per < 1 {
+			per = 1
+		}
+		opts.Pipeline.Users.MaxUsers = per
+	}
 	reg := opts.Registry
 	s := &Server{
 		opts:      opts,
@@ -185,11 +197,15 @@ func newServer(opts Options, start bool) *Server {
 				"Tweets processed by the shard loop since server start.", labels),
 		}
 		sh.p.Alerter().Subscribe(s.hub)
+		sh.p.SubscribeVerdicts(s.hub)
 		q := sh.queue
 		// The closure captures only the channel; a replacement server with
 		// the same shard count takes the series over via re-registration.
 		reg.GaugeFunc("redhanded_shard_queue_depth", "Live shard queue depth.",
 			labels, func() float64 { return float64(len(q)) })
+		users := sh.p.Users()
+		reg.GaugeFunc("redhanded_userstate_active_users", "Tracked user records per shard.",
+			labels, func() float64 { return float64(users.Len()) })
 		s.shards = append(s.shards, sh)
 	}
 	s.mux = s.routes()
@@ -295,6 +311,7 @@ func (s *Server) UnregisterMetrics() {
 		s.opts.Registry.Unregister("redhanded_shard_queue_depth", labels)
 		s.opts.Registry.Unregister("redhanded_shard_process_seconds", labels)
 		s.opts.Registry.Unregister("redhanded_shard_processed_total", labels)
+		s.opts.Registry.Unregister("redhanded_userstate_active_users", labels)
 	}
 }
 

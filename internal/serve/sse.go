@@ -20,15 +20,38 @@ type alertEvent struct {
 	Label      string  `json:"label"`
 	Confidence float64 `json:"confidence"`
 	Text       string  `json:"text"`
+	Offenses   int     `json:"offenses,omitempty"`
+	Suspended  bool    `json:"suspended,omitempty"`
 }
 
-// alertHub is a fan-out core.AlertSink: every shard pipeline's Alerter
-// publishes into it, and each SSE connection subscribes to a buffered
+// sessionEvent is the SSE payload for one session verdict.
+type sessionEvent struct {
+	Seq int64 `json:"seq"`
+	core.SessionVerdict
+}
+
+// escalationEvent is the SSE payload for one escalation verdict.
+type escalationEvent struct {
+	Seq int64 `json:"seq"`
+	core.EscalationVerdict
+}
+
+// sseEvent is one frame on the /v1/alerts stream: an event kind plus its
+// already-typed payload (marshaled lazily on each subscriber's writer).
+type sseEvent struct {
+	seq  int64
+	kind string // "alert", "session", "escalation"
+	data any
+}
+
+// alertHub is a fan-out sink for the per-shard pipelines: alerts (via
+// core.AlertSink) and session/escalation verdicts (via core.VerdictSink)
+// publish into it, and each SSE connection subscribes to a buffered
 // channel. Delivery is best-effort — a subscriber that cannot keep up
-// loses alerts (counted) instead of stalling the classify hot path.
+// loses events (counted) instead of stalling the classify hot path.
 type alertHub struct {
 	mu       sync.Mutex
-	subs     map[chan alertEvent]struct{}
+	subs     map[chan sseEvent]struct{}
 	buffer   int
 	seq      int64
 	streamed *metrics.Counter
@@ -38,28 +61,20 @@ type alertHub struct {
 
 func newAlertHub(buffer int, reg *metrics.Registry) *alertHub {
 	return &alertHub{
-		subs:     make(map[chan alertEvent]struct{}),
+		subs:     make(map[chan sseEvent]struct{}),
 		buffer:   buffer,
-		streamed: reg.Counter("redhanded_alerts_streamed_total", "Alerts delivered to SSE subscribers.", nil),
-		dropped:  reg.Counter("redhanded_alerts_dropped_total", "Alerts dropped because a subscriber buffer was full.", nil),
+		streamed: reg.Counter("redhanded_alerts_streamed_total", "Events delivered to SSE subscribers.", nil),
+		dropped:  reg.Counter("redhanded_alerts_dropped_total", "Events dropped because a subscriber buffer was full.", nil),
 		subGauge: reg.Gauge("redhanded_sse_subscribers", "Live SSE alert subscribers.", nil),
 	}
 }
 
-// HandleAlert implements core.AlertSink. It runs on a shard goroutine, so
-// it must never block.
-func (h *alertHub) HandleAlert(a core.Alert) {
+// publish fans one event out to every subscriber. It runs on a shard
+// goroutine, so it must never block.
+func (h *alertHub) publish(kind string, fill func(seq int64) any) {
 	h.mu.Lock()
 	h.seq++
-	ev := alertEvent{
-		Seq:        h.seq,
-		TweetID:    a.TweetID,
-		UserID:     a.UserID,
-		ScreenName: a.ScreenName,
-		Label:      a.Label,
-		Confidence: a.Confidence,
-		Text:       a.Text,
-	}
+	ev := sseEvent{seq: h.seq, kind: kind, data: fill(h.seq)}
 	for ch := range h.subs {
 		select {
 		case ch <- ev:
@@ -71,8 +86,35 @@ func (h *alertHub) HandleAlert(a core.Alert) {
 	h.mu.Unlock()
 }
 
-func (h *alertHub) subscribe() chan alertEvent {
-	ch := make(chan alertEvent, h.buffer)
+// HandleAlert implements core.AlertSink.
+func (h *alertHub) HandleAlert(a core.Alert) {
+	h.publish("alert", func(seq int64) any {
+		return alertEvent{
+			Seq:        seq,
+			TweetID:    a.TweetID,
+			UserID:     a.UserID,
+			ScreenName: a.ScreenName,
+			Label:      a.Label,
+			Confidence: a.Confidence,
+			Text:       a.Text,
+			Offenses:   a.Offenses,
+			Suspended:  a.Suspended,
+		}
+	})
+}
+
+// HandleSession implements core.VerdictSink.
+func (h *alertHub) HandleSession(v core.SessionVerdict) {
+	h.publish("session", func(seq int64) any { return sessionEvent{Seq: seq, SessionVerdict: v} })
+}
+
+// HandleEscalation implements core.VerdictSink.
+func (h *alertHub) HandleEscalation(v core.EscalationVerdict) {
+	h.publish("escalation", func(seq int64) any { return escalationEvent{Seq: seq, EscalationVerdict: v} })
+}
+
+func (h *alertHub) subscribe() chan sseEvent {
+	ch := make(chan sseEvent, h.buffer)
 	h.mu.Lock()
 	h.subs[ch] = struct{}{}
 	h.mu.Unlock()
@@ -80,7 +122,7 @@ func (h *alertHub) subscribe() chan alertEvent {
 	return ch
 }
 
-func (h *alertHub) unsubscribe(ch chan alertEvent) {
+func (h *alertHub) unsubscribe(ch chan sseEvent) {
 	h.mu.Lock()
 	delete(h.subs, ch)
 	h.mu.Unlock()
@@ -97,8 +139,9 @@ func (h *alertHub) Subscribers() int {
 // sseHeartbeat keeps idle connections alive through proxies.
 const sseHeartbeat = 15 * time.Second
 
-// handleAlerts streams alerts as Server-Sent Events until the client
-// disconnects.
+// handleAlerts streams alerts plus session/escalation verdicts as
+// Server-Sent Events (event kinds "alert", "session", "escalation")
+// until the client disconnects.
 func (s *Server) handleAlerts(w http.ResponseWriter, r *http.Request) {
 	fl, ok := w.(http.Flusher)
 	if !ok {
@@ -119,11 +162,11 @@ func (s *Server) handleAlerts(w http.ResponseWriter, r *http.Request) {
 	for {
 		select {
 		case ev := <-ch:
-			data, err := json.Marshal(ev)
+			data, err := json.Marshal(ev.data)
 			if err != nil {
 				continue
 			}
-			if _, err := fmt.Fprintf(w, "id: %d\nevent: alert\ndata: %s\n\n", ev.Seq, data); err != nil {
+			if _, err := fmt.Fprintf(w, "id: %d\nevent: %s\ndata: %s\n\n", ev.seq, ev.kind, data); err != nil {
 				return
 			}
 			fl.Flush()

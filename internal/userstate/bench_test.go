@@ -1,0 +1,86 @@
+package userstate
+
+import (
+	"fmt"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// benchIDs pre-renders distinct user IDs so the hot loop measures
+// Observe, not fmt.
+func benchIDs(n int) []string {
+	ids := make([]string, n)
+	for i := range ids {
+		ids[i] = fmt.Sprintf("u%07d", i)
+	}
+	return ids
+}
+
+// BenchmarkUserstateObserve measures Observe over one million distinct
+// users with a 100k cap — the store's steady state is constant eviction
+// pressure. Run with -cpu 16 (the bench smoke pins GOMAXPROCS) for the
+// contended figure; b.RunParallel spreads the users across goroutines so
+// every shard stripe stays busy.
+func BenchmarkUserstateObserve(b *testing.B) {
+	s := New(Config{Shards: 64, MaxUsers: 100_000})
+	ids := benchIDs(1_000_000)
+	start := time.Date(2020, 6, 1, 0, 0, 0, 0, time.UTC).UnixNano()
+	var next atomic.Int64
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			i := next.Add(1)
+			s.Observe(Observation{
+				UserID:     ids[int(i)%len(ids)],
+				At:         time.Unix(0, start+i*int64(50*time.Millisecond)),
+				Aggressive: i%3 == 0,
+				Confidence: 0.8,
+			})
+		}
+	})
+}
+
+// BenchmarkUserstateObserveHot measures the repeat-offender path: a
+// small working set of users that always hit existing records (session
+// window + EWMA updates, no inserts or evictions).
+func BenchmarkUserstateObserveHot(b *testing.B) {
+	s := New(Config{Shards: 64, MaxUsers: 100_000})
+	ids := benchIDs(4096)
+	start := time.Date(2020, 6, 1, 0, 0, 0, 0, time.UTC).UnixNano()
+	var next atomic.Int64
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			i := next.Add(1)
+			s.Observe(Observation{
+				UserID:     ids[int(i)%len(ids)],
+				At:         time.Unix(0, start+i*int64(time.Millisecond)),
+				Aggressive: i%3 == 0,
+				Confidence: 0.8,
+			})
+		}
+	})
+}
+
+// BenchmarkUserstateLookup measures read-side snapshots against a
+// populated store.
+func BenchmarkUserstateLookup(b *testing.B) {
+	s := New(Config{Shards: 64})
+	ids := benchIDs(100_000)
+	at := time.Date(2020, 6, 1, 0, 0, 0, 0, time.UTC)
+	for i, id := range ids {
+		s.Observe(Observation{UserID: id, At: at.Add(time.Duration(i) * time.Millisecond), Aggressive: i%2 == 0, Confidence: 0.8})
+	}
+	var next atomic.Int64
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			i := next.Add(1)
+			s.Lookup(ids[int(i)%len(ids)])
+		}
+	})
+}

@@ -29,6 +29,8 @@
 //   - examples/driftwatch: concept-drift detection over the stream
 //   - examples/relatedbehaviors: sarcasm and offensive-language datasets
 //   - examples/serving: the HTTP serving subsystem with live SSE alerts
+//   - examples/repeatoffender: the bounded per-user state store catching
+//     repeat offenders (sessions, escalation, suspension, eviction)
 //
 // See DESIGN.md for the architecture.
 package redhanded
@@ -40,6 +42,7 @@ import (
 	"redhanded/internal/metrics"
 	"redhanded/internal/serve"
 	"redhanded/internal/twitterdata"
+	"redhanded/internal/userstate"
 )
 
 // Pipeline is the end-to-end detection pipeline (Fig. 1 of the paper).
@@ -98,7 +101,10 @@ const (
 // runs on every engine, the TCP cluster included.
 func NewPipeline(opts Options) *Pipeline { return core.NewPipeline(opts) }
 
-// Session-level detection (the paper's future-work windowing extension).
+// Per-user state: every Pipeline owns a sharded, memory-bounded,
+// checkpointable userstate.Store that unifies session windows, offense
+// histories, and escalation scoring. Session-level detection (the
+// paper's future-work windowing extension) reads from it.
 type (
 	// SessionConfig tunes per-user sliding windows.
 	SessionConfig = core.SessionConfig
@@ -106,6 +112,21 @@ type (
 	SessionTracker = core.SessionTracker
 	// SessionVerdict is one flagged user window.
 	SessionVerdict = core.SessionVerdict
+	// EscalationVerdict flags a user trending toward aggression across
+	// sessions, not just within one window.
+	EscalationVerdict = core.EscalationVerdict
+	// UserStateConfig bounds and tunes the per-user state store
+	// (Options.Users): shard count, record cap, idle TTL, escalation
+	// scoring.
+	UserStateConfig = userstate.Config
+	// UserStore is the sharded per-user state store (Pipeline.Users).
+	UserStore = userstate.Store
+	// UserSnapshot is one user's state copy (UserStore.Lookup and the
+	// serving layer's GET /v1/users/{id}).
+	UserSnapshot = userstate.Snapshot
+	// VerdictSink consumes session and escalation verdicts
+	// (Pipeline.SubscribeVerdicts).
+	VerdictSink = core.VerdictSink
 )
 
 // NewSessionTracker aggregates per-tweet predictions into per-user
