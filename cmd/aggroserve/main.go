@@ -8,6 +8,14 @@
 //
 //	aggroserve -addr :8080 -shards 4 -queue 2048
 //	aggroserve -model slr -classes 2 -checkpoint /var/lib/aggro -restore
+//	aggroserve -trace -trace-slow-budget 25ms -debug-addr 127.0.0.1:6060
+//
+// With -trace every tweet is stamped with a span at ingest and its per-stage
+// timings (queue wait, feature extraction, classification, user-state
+// observe, verdict fan-out, SSE emit) are served from GET /v1/trace and
+// GET /v1/trace/slow; -debug-addr starts a separate listener with
+// net/http/pprof plus the trace endpoints and registers runtime gauges on
+// /metrics.
 //
 // On SIGINT/SIGTERM the server stops accepting work, drains every shard
 // queue, and (with -checkpoint) writes one core checkpoint per shard so a
@@ -19,7 +27,6 @@ import (
 	"errors"
 	"flag"
 	"fmt"
-	"log"
 	"net/http"
 	"os"
 	"os/signal"
@@ -27,13 +34,13 @@ import (
 	"time"
 
 	"redhanded/internal/core"
+	"redhanded/internal/metrics"
 	"redhanded/internal/norm"
+	"redhanded/internal/obs"
 	"redhanded/internal/serve"
 )
 
 func main() {
-	log.SetFlags(0)
-	log.SetPrefix("aggroserve: ")
 	var (
 		addr       = flag.String("addr", ":8080", "HTTP listen address")
 		model      = flag.String("model", "ht", "streaming model: ht, arf, slr")
@@ -53,8 +60,20 @@ func main() {
 		userTTL  = flag.Duration("user-ttl", 24*time.Hour, "retire user records idle this long (event time; amortized into the hot path)")
 		escScore = flag.Float64("escalation-threshold", 0.6, "EWMA aggression score that flags a user as escalating (negative disables)")
 		escMin   = flag.Int("escalation-min-tweets", 8, "minimum observed tweets before a user can escalate")
+
+		trace     = flag.Bool("trace", false, "stamp every tweet with a per-stage span (GET /v1/trace, /v1/trace/slow)")
+		traceSlow = flag.Duration("trace-slow-budget", 25*time.Millisecond, "latency budget; spans over it are captured with full stage breakdown (negative disables)")
+		traceRing = flag.Int("trace-ring", 512, "per-shard trace ring capacity (rounded up to a power of two)")
+		debugAddr = flag.String("debug-addr", "", "optional debug listener with net/http/pprof + trace endpoints; also registers runtime gauges on /metrics")
+		logFormat = flag.String("log-format", "text", "log output format: text or json")
+		logLevel  = flag.String("log-level", "info", "log level: debug, info, warn, error")
 	)
 	flag.Parse()
+	logger := obs.NewLogger(os.Stderr, *logFormat, *logLevel)
+	fatal := func(msg string, args ...any) {
+		logger.Error(msg, args...)
+		os.Exit(1)
+	}
 
 	opts := core.DefaultOptions()
 	opts.Preprocess = *preprocess
@@ -72,7 +91,7 @@ func main() {
 	case "slr":
 		opts.Model = core.ModelSLR
 	default:
-		log.Fatalf("unknown model %q", *model)
+		fatal("unknown model", "model", *model)
 	}
 	switch *classes {
 	case 2:
@@ -80,7 +99,7 @@ func main() {
 	case 3:
 		opts.Scheme = core.ThreeClass
 	default:
-		log.Fatalf("classes must be 2 or 3")
+		fatal("classes must be 2 or 3", "classes", *classes)
 	}
 	switch *normMode {
 	case "none":
@@ -92,7 +111,7 @@ func main() {
 	case "zscore":
 		opts.Normalization = norm.ZScore
 	default:
-		log.Fatalf("unknown normalization %q", *normMode)
+		fatal("unknown normalization", "norm", *normMode)
 	}
 
 	srv := serve.NewServer(serve.Options{
@@ -100,15 +119,30 @@ func main() {
 		Shards:     *shards,
 		QueueDepth: *queue,
 		RetryAfter: *retryAfter,
+		Trace: obs.Config{
+			Enabled:    *trace,
+			RingSize:   *traceRing,
+			SlowBudget: *traceSlow,
+		},
 	})
 	if *restore {
 		if *checkpoint == "" {
-			log.Fatal("-restore requires -checkpoint")
+			fatal("-restore requires -checkpoint")
 		}
 		if err := srv.Restore(*checkpoint); err != nil {
-			log.Fatal(err)
+			fatal("restore failed", "dir", *checkpoint, "err", err)
 		}
-		log.Printf("restored %d shards from %s", srv.Shards(), *checkpoint)
+		logger.Info("restored checkpoint", "shards", srv.Shards(), "dir", *checkpoint)
+	}
+
+	if *debugAddr != "" {
+		obs.RegisterRuntimeGauges(metrics.Default())
+		_, stopDebug, err := obs.StartDebugServer(*debugAddr, srv.Tracer())
+		if err != nil {
+			fatal("debug listener failed", "addr", *debugAddr, "err", err)
+		}
+		defer stopDebug()
+		logger.Info("debug server listening", "addr", *debugAddr, "pprof", true, "trace", *trace)
 	}
 
 	// WriteTimeout stays 0: /v1/alerts is a long-lived SSE stream.
@@ -120,15 +154,17 @@ func main() {
 	}
 	errc := make(chan error, 1)
 	go func() { errc <- httpSrv.ListenAndServe() }()
-	log.Printf("serving on %s: model=%s %s shards=%d queue=%d", *addr, opts.Model, opts.Scheme, *shards, *queue)
+	logger.Info("serving",
+		"addr", *addr, "model", opts.Model.String(), "scheme", opts.Scheme.String(),
+		"shards", *shards, "queue", *queue, "trace", *trace)
 
 	sigc := make(chan os.Signal, 1)
 	signal.Notify(sigc, syscall.SIGINT, syscall.SIGTERM)
 	select {
 	case err := <-errc:
-		log.Fatal(err)
+		fatal("server failed", "err", err)
 	case sig := <-sigc:
-		log.Printf("received %s, shutting down", sig)
+		logger.Info("shutting down", "signal", sig.String())
 	}
 
 	// Drain first: it stops intake, terminates the long-lived SSE streams,
@@ -139,24 +175,24 @@ func main() {
 	defer cancelDrain()
 	drainErr := srv.Drain(drainCtx)
 	if drainErr != nil {
-		log.Printf("drain: %v", drainErr)
+		logger.Error("drain failed", "err", drainErr)
 	}
 	httpCtx, cancelHTTP := context.WithTimeout(context.Background(), 5*time.Second)
 	defer cancelHTTP()
 	if err := httpSrv.Shutdown(httpCtx); err != nil {
-		log.Printf("http shutdown: %v", err)
+		logger.Error("http shutdown failed", "err", err)
 	}
 	switch {
 	case *checkpoint == "":
 	case drainErr != nil:
 		// Shards may still be training; a checkpoint now would serialize
 		// state mid-mutation and -restore would load it as authoritative.
-		log.Printf("skipping checkpoint: shards did not drain cleanly")
+		logger.Warn("skipping checkpoint: shards did not drain cleanly")
 	default:
 		if err := srv.Checkpoint(*checkpoint); err != nil {
-			log.Printf("checkpoint: %v", err)
+			logger.Error("checkpoint failed", "dir", *checkpoint, "err", err)
 		} else {
-			log.Printf("checkpointed %d shards to %s", srv.Shards(), *checkpoint)
+			logger.Info("checkpointed", "shards", srv.Shards(), "dir", *checkpoint)
 		}
 	}
 	var processed, warnings, drifts, replacements int64

@@ -85,6 +85,7 @@ func main() {
 	out := flag.String("out", "", "output file ('-' for stdout; defaults per mode)")
 	cluster := flag.Bool("cluster", false, "benchmark the cluster engine's delta broadcasts instead of the feature path")
 	users := flag.Bool("userstate", false, "benchmark the user-state store (Observe at 1M distinct users under a 100k cap, 16 goroutines)")
+	obsMode := flag.Bool("obs", false, "benchmark the tracing layer: span lifecycle allocs and traced-vs-untraced pipeline overhead")
 	flag.Parse()
 	if *out == "" {
 		*out = "BENCH_featurepath.json"
@@ -94,6 +95,19 @@ func main() {
 		if *users {
 			*out = "BENCH_userstate.json"
 		}
+		if *obsMode {
+			*out = "BENCH_obs.json"
+		}
+	}
+	if *obsMode {
+		if err := obsBench(*out); err != nil {
+			if err == errBelowTarget {
+				os.Exit(2)
+			}
+			fmt.Fprintln(os.Stderr, "benchreport:", err)
+			os.Exit(1)
+		}
+		return
 	}
 	if *cluster {
 		if err := clusterBench(*out); err != nil {

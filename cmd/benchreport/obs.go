@@ -1,0 +1,157 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"redhanded/internal/core"
+	"redhanded/internal/metrics"
+	"redhanded/internal/obs"
+	"redhanded/internal/twitterdata"
+)
+
+// ObsReport is the BENCH_obs.json payload: the cost of the tracing layer on
+// the serving hot path. Two gates back the tentpole's promises:
+//
+//   - ZeroAllocSpan: a full span lifecycle (Begin → SetID → per-stage
+//     timestamps → Finish, including ring append, reservoir offer, and
+//     histogram observes) allocates nothing.
+//   - OverheadOK: the traced pipeline (extract → classify → observe →
+//     verdict, instrumented exactly as internal/serve drives it) is at most
+//     5% slower than the identical untraced pipeline.
+type ObsReport struct {
+	GeneratedUnix int64   `json:"generated_unix"`
+	GoVersion     string  `json:"go_version"`
+	GOOS          string  `json:"goos"`
+	GOARCH        string  `json:"goarch"`
+	NumCPU        int     `json:"num_cpu"`
+	Benchmarks    []Entry `json:"benchmarks"`
+
+	SpanAllocsPerOp int64   `json:"span_allocs_per_op"`
+	SpanNsPerOp     float64 `json:"span_ns_per_op"`
+	OverheadPct     float64 `json:"overhead_pct"` // traced vs untraced pipeline ns/op
+
+	ZeroAllocSpan bool `json:"meets_target_zero_alloc"`
+	OverheadOK    bool `json:"meets_target_overhead"` // <= 5%
+}
+
+// obsOverheadPctMax is the CI gate: tracing may cost at most this much of
+// the untraced pipeline's throughput.
+const obsOverheadPctMax = 5.0
+
+func obsTweetPool() []twitterdata.Tweet {
+	src := twitterdata.NewUnlabeledSource(3, 10)
+	tweets := make([]twitterdata.Tweet, 2000)
+	for i := range tweets {
+		tweets[i] = src.Next()
+	}
+	return tweets
+}
+
+// obsWarmedPipeline returns a pipeline pre-trained on the same labeled
+// stream, so both arms measure the identical steady state.
+func obsWarmedPipeline() *core.Pipeline {
+	p := core.NewPipeline(core.DefaultOptions())
+	p.ProcessAll(twitterdata.GenerateAggression(twitterdata.AggressionConfig{
+		Seed: 2, Days: 10, NormalCount: 2000, AbusiveCount: 1000, HatefulCount: 200,
+	}))
+	return p
+}
+
+func obsBench(out string) error {
+	tweets := obsTweetPool()
+
+	// Arm 1: untraced baseline — the pre-PR hot path.
+	pBase := obsWarmedPipeline()
+	untraced := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			pBase.Process(&tweets[i%len(tweets)])
+		}
+	})
+
+	// Arm 2: traced — the span lifecycle exactly as internal/serve drives
+	// it, with the ring, slow capture, reservoir, and histograms all armed.
+	pTraced := obsWarmedPipeline()
+	tracer := obs.New(obs.Config{
+		Enabled:    true,
+		Shards:     1,
+		SlowBudget: 25 * time.Millisecond,
+		Registry:   metrics.NewRegistry(),
+	})
+	traced := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			tw := &tweets[i%len(tweets)]
+			sp := tracer.Begin(0)
+			sp.SetID(tw.IDStr)
+			pTraced.ProcessTraced(tw, sp)
+			sp.Finish()
+		}
+	})
+
+	// Arm 3: the span lifecycle alone, for the zero-alloc gate — pipeline
+	// cost excluded so a stray allocation cannot hide in the noise.
+	spanOnly := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			sp := tracer.Begin(0)
+			sp.SetID("123456789012345678")
+			sp.BeginStage(obs.StageExtract)
+			sp.BeginStage(obs.StageClassify)
+			sp.BeginStage(obs.StageObserve)
+			sp.BeginStage(obs.StageVerdict)
+			sp.AddExclusive(obs.StageEmit, time.Microsecond)
+			sp.Finish()
+		}
+	})
+
+	rep := ObsReport{
+		GeneratedUnix: time.Now().Unix(),
+		GoVersion:     runtime.Version(),
+		GOOS:          runtime.GOOS,
+		GOARCH:        runtime.GOARCH,
+		NumCPU:        runtime.NumCPU(),
+		Benchmarks: []Entry{
+			entry("PipelineUntraced", untraced),
+			entry("PipelineTraced", traced),
+			entry("SpanLifecycle", spanOnly),
+		},
+		SpanAllocsPerOp: spanOnly.AllocsPerOp(),
+		SpanNsPerOp:     float64(spanOnly.T.Nanoseconds()) / float64(spanOnly.N),
+	}
+	base := float64(untraced.T.Nanoseconds()) / float64(untraced.N)
+	with := float64(traced.T.Nanoseconds()) / float64(traced.N)
+	if base > 0 {
+		rep.OverheadPct = (with - base) / base * 100
+	}
+	rep.ZeroAllocSpan = rep.SpanAllocsPerOp == 0
+	rep.OverheadOK = rep.OverheadPct <= obsOverheadPctMax
+
+	blob, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	blob = append(blob, '\n')
+	if out == "-" {
+		os.Stdout.Write(blob)
+	} else if err := os.WriteFile(out, blob, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("pipeline: %.0f ns/op untraced vs %.0f ns/op traced (%.2f%% overhead, gate %.0f%%)\n",
+		base, with, rep.OverheadPct, obsOverheadPctMax)
+	fmt.Printf("span lifecycle: %.0f ns/op, %d allocs/op (gate 0)\n",
+		rep.SpanNsPerOp, rep.SpanAllocsPerOp)
+	if !rep.ZeroAllocSpan || !rep.OverheadOK {
+		fmt.Fprintln(os.Stderr, "benchreport: WARNING: tracing overhead gate missed")
+		return errBelowTarget
+	}
+	return nil
+}

@@ -13,6 +13,11 @@
 // /v1/classify request. Tweets above the server's queue capacity come back
 // as 429s and are reported as rejected, so driving -rps past capacity
 // measures the backpressure behavior rather than overloading the server.
+//
+// When the server runs with -trace, loadgen pulls GET /v1/trace after the
+// run and prints the server-side per-stage latency breakdown next to the
+// client-observed percentiles — separating queue wait from compute from
+// network.
 package main
 
 import (
@@ -21,21 +26,23 @@ import (
 	"flag"
 	"fmt"
 	"io"
-	"log"
+	"log/slog"
 	"math/rand/v2"
 	"net/http"
+	"os"
 	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"redhanded/internal/obs"
 	"redhanded/internal/serve"
 	"redhanded/internal/twitterdata"
 )
 
+var logger *slog.Logger
+
 func main() {
-	log.SetFlags(0)
-	log.SetPrefix("loadgen: ")
 	var (
 		url      = flag.String("url", "http://localhost:8080", "aggroserve base URL")
 		mode     = flag.String("mode", "ingest", "ingest (NDJSON batches) or classify (synchronous)")
@@ -46,12 +53,16 @@ func main() {
 		pool     = flag.Int("pool", 20000, "distinct tweets in the replay pool")
 		labeled  = flag.Float64("labeled-share", 0.1, "fraction of pool tweets keeping their label (training traffic)")
 		seed     = flag.Uint64("seed", 42, "generation seed")
+
+		logFormat = flag.String("log-format", "text", "log output format: text or json")
+		logLevel  = flag.String("log-level", "info", "log level: debug, info, warn, error")
 	)
 	flag.Parse()
+	logger = obs.NewLogger(os.Stderr, *logFormat, *logLevel)
 
 	lines := buildPool(*pool, *labeled, *seed)
-	log.Printf("pool: %d tweets (%.0f%% labeled), target %.0f tweets/s for %s",
-		len(lines), *labeled*100, *rps, *duration)
+	logger.Info("pool built",
+		"tweets", len(lines), "labeled_share", *labeled, "target_rps", *rps, "duration", duration.String())
 
 	client := &http.Client{Transport: &http.Transport{
 		MaxIdleConnsPerHost: *workers,
@@ -126,6 +137,39 @@ func main() {
 		fmt.Printf("request latency: p50=%s p95=%s p99=%s max=%s\n",
 			pct(all, 0.50), pct(all, 0.95), pct(all, 0.99), all[len(all)-1].Round(time.Microsecond))
 	}
+	printServerTrace(client, *url)
+}
+
+// printServerTrace fetches the server-side stage breakdown from GET
+// /v1/trace and prints it as a table. Quietly skips servers running without
+// -trace (the endpoint feature-detects with enabled=false) or predating the
+// endpoint entirely.
+func printServerTrace(client *http.Client, base string) {
+	resp, err := client.Get(base + "/v1/trace")
+	if err != nil {
+		logger.Debug("trace fetch failed", "err", err)
+		return
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		io.Copy(io.Discard, resp.Body)
+		return
+	}
+	var sum obs.Summary
+	if err := json.NewDecoder(resp.Body).Decode(&sum); err != nil {
+		logger.Debug("trace decode failed", "err", err)
+		return
+	}
+	if !sum.Enabled || len(sum.Stages) == 0 {
+		return
+	}
+	fmt.Printf("\nserver-side stage breakdown (%d spans, %d over the %s slow budget):\n",
+		sum.Spans, sum.SlowSpans, time.Duration(sum.SlowBudgetNanos))
+	fmt.Printf("  %-16s %10s %10s %10s %10s\n", "stage", "count", "p50", "p95", "p99")
+	for _, st := range sum.Stages {
+		fmt.Printf("  %-16s %10d %10s %10s %10s\n", st.Stage, st.Count,
+			obs.DurString(st.P50Nanos), obs.DurString(st.P95Nanos), obs.DurString(st.P99Nanos))
+	}
 }
 
 // buildPool pre-marshals the replay pool: endless firehose-style tweets,
@@ -153,7 +197,8 @@ func buildPool(n int, labeledShare float64, seed uint64) [][]byte {
 		}
 		blob, err := t.Marshal()
 		if err != nil {
-			log.Fatal(err)
+			logger.Error("marshal tweet failed", "err", err)
+			os.Exit(1)
 		}
 		lines = append(lines, blob)
 	}

@@ -9,24 +9,29 @@
 //	datagen -dataset aggression -scale 0.2 -out tweets.jsonl
 //	rhdriver -executors 127.0.0.1:7701,127.0.0.1:7702 -in tweets.jsonl
 //	rhdriver -executors 127.0.0.1:7701,127.0.0.1:7702 -model arf -in tweets.jsonl
+//	rhdriver -executors 127.0.0.1:7701 -in tweets.jsonl -trace -debug-addr 127.0.0.1:6061
+//
+// With -trace each micro-batch gets a driver-side span (queue, executor
+// round-trip, executor compute as echoed over the wire, merge) served from
+// the -debug-addr listener's /v1/trace endpoints alongside net/http/pprof,
+// and a per-stage quantile table is printed with the run summary.
 package main
 
 import (
 	"flag"
 	"fmt"
-	"log"
 	"os"
 	"strings"
 	"time"
 
 	"redhanded/internal/core"
 	"redhanded/internal/engine"
+	"redhanded/internal/metrics"
+	"redhanded/internal/obs"
 	"redhanded/internal/twitterdata"
 )
 
 func main() {
-	log.SetFlags(0)
-	log.SetPrefix("rhdriver: ")
 	var (
 		in        = flag.String("in", "-", "input JSONL path (- for stdin)")
 		executors = flag.String("executors", "", "comma-separated executor addresses")
@@ -40,10 +45,21 @@ func main() {
 		downWait  = flag.Duration("alldown-wait", 5*time.Second, "how long to wait for a reconnect when every executor is down")
 		noDelta   = flag.Bool("no-delta", false, "re-broadcast the full model/vocab every batch (v1 wire behavior)")
 		noPipe    = flag.Bool("no-pipeline", false, "disable next-batch data presend")
+
+		trace     = flag.Bool("trace", false, "record a per-batch span (queue, executor_rtt, executor_compute, merge)")
+		traceSlow = flag.Duration("trace-slow-budget", 250*time.Millisecond, "batch latency budget; slower batches are captured with full stage breakdown (negative disables)")
+		debugAddr = flag.String("debug-addr", "", "optional debug listener with net/http/pprof, /v1/trace, and runtime gauges on /metrics")
+		logFormat = flag.String("log-format", "text", "log output format: text or json")
+		logLevel  = flag.String("log-level", "info", "log level: debug, info, warn, error")
 	)
 	flag.Parse()
+	logger := obs.NewLogger(os.Stderr, *logFormat, *logLevel)
+	fatal := func(msg string, args ...any) {
+		logger.Error(msg, args...)
+		os.Exit(1)
+	}
 	if *executors == "" {
-		log.Fatal("need -executors host:port[,host:port...]")
+		fatal("need -executors host:port[,host:port...]")
 	}
 
 	opts := core.DefaultOptions()
@@ -55,7 +71,7 @@ func main() {
 	case "slr":
 		opts.Model = core.ModelSLR
 	default:
-		log.Fatalf("unknown model %q (use ht, arf, or slr)", *model)
+		fatal("unknown model (use ht, arf, or slr)", "model", *model)
 	}
 	if *classes == 2 {
 		opts.Scheme = core.TwoClass
@@ -65,7 +81,7 @@ func main() {
 	if *in != "-" {
 		f, err := os.Open(*in)
 		if err != nil {
-			log.Fatal(err)
+			fatal("open input failed", "path", *in, "err", err)
 		}
 		defer f.Close()
 		r = f
@@ -75,9 +91,31 @@ func main() {
 		src = engine.NewRateLimitedSource(src, *rate)
 	}
 
+	var tracer *obs.Tracer
+	if *trace {
+		tracer = obs.New(obs.Config{
+			Enabled:    true,
+			SlowBudget: *traceSlow,
+			Registry:   metrics.Default(),
+		})
+	}
+	if *debugAddr != "" {
+		obs.RegisterRuntimeGauges(metrics.Default())
+		ln, stopDebug, err := obs.StartDebugServer(*debugAddr, tracer)
+		if err != nil {
+			fatal("debug listener failed", "addr", *debugAddr, "err", err)
+		}
+		defer stopDebug()
+		logger.Info("debug server listening", "addr", ln.Addr().String(), "trace", *trace)
+	}
+
+	execList := strings.Split(*executors, ",")
+	logger.Info("starting cluster run",
+		"executors", len(execList), "model", opts.Model.String(), "scheme", opts.Scheme.String(),
+		"batch", *batch, "tasks", *tasks, "trace", *trace)
 	p := core.NewPipeline(opts)
 	stats, err := engine.RunCluster(p, src, engine.ClusterConfig{
-		Executors:        strings.Split(*executors, ","),
+		Executors:        execList,
 		BatchSize:        *batch,
 		TasksPerExecutor: *tasks,
 		MaxConnAttempts:  *attempts,
@@ -85,9 +123,10 @@ func main() {
 		AllDownWait:      *downWait,
 		DisableDelta:     *noDelta,
 		DisablePipeline:  *noPipe,
+		Tracer:           tracer,
 	})
 	if err != nil {
-		log.Fatal(err)
+		fatal("cluster run failed", "err", err)
 	}
 
 	rep := p.Summary()
@@ -110,5 +149,14 @@ func main() {
 	if rep.Instances > 0 {
 		fmt.Printf("prequential: accuracy=%.4f precision=%.4f recall=%.4f F1=%.4f\n",
 			rep.Accuracy, rep.Precision, rep.Recall, rep.F1)
+	}
+	if tracer != nil {
+		sum := tracer.Snapshot(0)
+		fmt.Printf("trace: %d batch spans (%d slow, budget %s)\n",
+			sum.Spans, sum.SlowSpans, time.Duration(sum.SlowBudgetNanos))
+		for _, st := range sum.Stages {
+			fmt.Printf("  %-16s p50=%-10s p95=%-10s p99=%s\n",
+				st.Stage, obs.DurString(st.P50Nanos), obs.DurString(st.P95Nanos), obs.DurString(st.P99Nanos))
+		}
 	}
 }

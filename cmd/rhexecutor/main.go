@@ -15,42 +15,46 @@ package main
 
 import (
 	"flag"
-	"log"
 	"os"
 	"os/signal"
 	"syscall"
 
 	"redhanded/internal/engine"
+	"redhanded/internal/obs"
 )
 
 func main() {
-	log.SetFlags(0)
-	log.SetPrefix("rhexecutor: ")
 	var (
-		addr    = flag.String("addr", "127.0.0.1:7701", "listen address")
-		workers = flag.Int("workers", 8, "parallel task slots")
+		addr      = flag.String("addr", "127.0.0.1:7701", "listen address")
+		workers   = flag.Int("workers", 8, "parallel task slots")
+		logFormat = flag.String("log-format", "text", "log output format: text or json")
+		logLevel  = flag.String("log-level", "info", "log level: debug, info, warn, error")
 	)
 	flag.Parse()
+	logger := obs.NewLogger(os.Stderr, *logFormat, *logLevel)
 
 	ex, err := engine.StartExecutor(*addr, *workers)
 	if err != nil {
-		log.Fatal(err)
+		logger.Error("listen failed", "addr", *addr, "err", err)
+		os.Exit(1)
 	}
+	log := logger.With("executor", ex.Addr())
 	ex.OnHello(func(kind string, accepted bool) {
 		if accepted {
-			log.Printf("driver session negotiated model kind %s", kind)
+			log.Info("driver session negotiated", "model_kind", kind)
 		} else {
-			log.Printf("driver session rejected: cannot host model kind %q", kind)
+			log.Warn("driver session rejected: cannot host model kind", "model_kind", kind)
 		}
 	})
-	log.Printf("executor listening on %s with %d workers", ex.Addr(), *workers)
+	log.Info("executor listening", "workers", *workers)
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	<-sig
-	log.Printf("draining after %d shares (%d live sessions)", ex.Handled(), ex.ActiveConns())
+	log.Info("draining", "shares", ex.Handled(), "live_sessions", ex.ActiveConns())
 	if err := ex.Close(); err != nil {
-		log.Fatalf("accept loop had failed: %v", err)
+		log.Error("accept loop had failed", "err", err)
+		os.Exit(1)
 	}
-	log.Printf("drained cleanly after %d shares", ex.Handled())
+	log.Info("drained cleanly", "shares", ex.Handled())
 }

@@ -7,6 +7,7 @@ import (
 	"redhanded/internal/feature"
 	"redhanded/internal/ml"
 	"redhanded/internal/norm"
+	"redhanded/internal/obs"
 	"redhanded/internal/stream"
 	"redhanded/internal/twitterdata"
 	"redhanded/internal/userstate"
@@ -122,11 +123,13 @@ func (p *Pipeline) SubscribeVerdicts(s VerdictSink) {
 
 // observeUser folds one prediction into the user-state store, attaches
 // any verdicts to the result, and fans them out to the verdict sinks.
-// Called with p.mu held.
-func (p *Pipeline) observeUser(tw *twitterdata.Tweet, aggressive bool, confidence float64) (*SessionVerdict, *EscalationVerdict) {
+// Called with p.mu held. The span (nil when tracing is off) separates the
+// store fold (StageObserve) from the sink fan-out (StageVerdict).
+func (p *Pipeline) observeUser(tw *twitterdata.Tweet, aggressive bool, confidence float64, sp *obs.Span) (*SessionVerdict, *EscalationVerdict) {
 	if tw.User.IDStr == "" {
 		return nil, nil
 	}
+	sp.BeginStage(obs.StageObserve)
 	out := p.users.Observe(userstate.Observation{
 		UserID:     tw.User.IDStr,
 		ScreenName: tw.User.ScreenName,
@@ -134,6 +137,7 @@ func (p *Pipeline) observeUser(tw *twitterdata.Tweet, aggressive bool, confidenc
 		Aggressive: aggressive,
 		Confidence: confidence,
 	})
+	sp.BeginStage(obs.StageVerdict)
 	for _, s := range p.verdicts {
 		if out.Session != nil {
 			s.HandleSession(*out.Session)
@@ -226,9 +230,21 @@ func (p *Pipeline) ExtractInstance(tw *twitterdata.Tweet) ml.Instance {
 // concurrent Process calls on one pipeline remain unsupported (engines
 // partition work across pipelines instead).
 func (p *Pipeline) Process(tw *twitterdata.Tweet) Result {
+	return p.ProcessTraced(tw, nil)
+}
+
+// ProcessTraced is Process with stage instrumentation: the span (nil when
+// tracing is off — every span method no-ops) records the time spent in
+// extraction, classification, the user-state fold, and verdict fan-out.
+// The caller owns the span; ProcessTraced leaves the verdict stage open so
+// post-processing cost (reply delivery, bookkeeping) lands there until the
+// caller's Finish.
+func (p *Pipeline) ProcessTraced(tw *twitterdata.Tweet, sp *obs.Span) Result {
 	p.mu.Lock()
 	defer p.mu.Unlock()
+	sp.BeginStage(obs.StageExtract)
 	in := p.ExtractInstance(tw)
+	sp.BeginStage(obs.StageClassify)
 	votes := p.model.Predict(in.X)
 	pred := votes.ArgMax()
 	res := Result{
@@ -251,8 +267,9 @@ func (p *Pipeline) Process(tw *twitterdata.Tweet) Result {
 		p.sampler.Offer(tw, votes)
 	}
 
-	res.Session, res.Escalation = p.observeUser(tw, pred > 0, res.Confidence)
-	if pred > 0 { // any non-normal class is aggressive behavior
+	res.Session, res.Escalation = p.observeUser(tw, pred > 0, res.Confidence, sp)
+	sp.BeginStage(obs.StageVerdict) // no-op unless observeUser skipped (no user ID)
+	if pred > 0 {                   // any non-normal class is aggressive behavior
 		res.Alerted = p.alerter.Consider(tw, p.classes.Name(pred), res.Confidence)
 	}
 
@@ -304,7 +321,7 @@ func (p *Pipeline) AbsorbBatch(tweets []twitterdata.Tweet, outcomes []Outcome) {
 			}
 			p.sampler.Offer(tw, votes)
 		}
-		p.observeUser(tw, o.Pred > 0, o.Conf)
+		p.observeUser(tw, o.Pred > 0, o.Conf, nil)
 		if o.Pred > 0 {
 			p.alerter.Consider(tw, p.classes.Name(o.Pred), o.Conf)
 		}

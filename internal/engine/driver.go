@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"net"
 	"sort"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -14,6 +15,7 @@ import (
 	"redhanded/internal/metrics"
 	"redhanded/internal/ml"
 	"redhanded/internal/norm"
+	"redhanded/internal/obs"
 	"redhanded/internal/stream"
 	"redhanded/internal/twitterdata"
 )
@@ -87,6 +89,12 @@ type ClusterConfig struct {
 	// (default 2m — generous, since a share normally completes in
 	// milliseconds).
 	ShareTimeout time.Duration
+	// Tracer, when non-nil, records one span per micro-batch: queue covers
+	// broadcast serialization and the healthy-node wait, executor_rtt the
+	// share dispatch wall time, executor_compute the executor-reported
+	// share compute (a subset of the RTT — the difference is wire and
+	// queueing cost), and merge the delta decode + merge + absorb.
+	Tracer *obs.Tracer
 }
 
 func (c ClusterConfig) withDefaults() ClusterConfig {
@@ -251,6 +259,13 @@ type clusterRun struct {
 	nodes []*execNode
 	vocab vocabState
 	stop  chan struct{}
+
+	// curTraceID is the in-flight batch span's trace ID, stamped onto data
+	// frames so executor responses can be attributed to the batch that sent
+	// them. runBatch is sequential per run, so a plain field suffices for
+	// sendShare; presend ships the *next* batch's tweets before that
+	// batch's span exists and deliberately carries 0.
+	curTraceID uint64
 
 	// Serialization cache: in the cluster driver every model mutation
 	// flows through ApplyAccumulators, which advances the model's train
@@ -422,6 +437,16 @@ func RunCluster(p *core.Pipeline, src Source, cfg ClusterConfig) (Stats, error) 
 // healthy nodes (failing over as nodes die), pre-send the next batch's
 // tweets, then validate and merge the results in share order.
 func (r *clusterRun) runBatch(seq int64, batch, ahead []twitterdata.Tweet) error {
+	// The batch span: queue covers broadcast serialization plus the
+	// healthy-node wait (everything before dispatch), then executor_rtt,
+	// executor_compute (executor-reported), and merge. Finish is deferred so
+	// a failed batch still records its partial breakdown.
+	sp := r.cfg.Tracer.Begin(0)
+	defer sp.Finish()
+	if sp != nil {
+		sp.SetID("batch-" + strconv.FormatInt(seq, 10))
+		r.curTraceID = sp.TraceID()
+	}
 	bc, err := r.makeBroadcast(seq)
 	if err != nil {
 		return err
@@ -431,6 +456,7 @@ func (r *clusterRun) runBatch(seq int64, batch, ahead []twitterdata.Tweet) error
 		return err
 	}
 	shares := splitSpans(len(batch), len(healthy))
+	sp.BeginStage(obs.StageExecutorRTT)
 
 	results := make([]shareResult, len(shares))
 	errs := make([]error, len(shares))
@@ -455,6 +481,7 @@ func (r *clusterRun) runBatch(seq int64, batch, ahead []twitterdata.Tweet) error
 	}
 	wg.Wait()
 	presendWG.Wait()
+	sp.BeginStage(obs.StageMerge)
 	for _, err := range errs {
 		if err != nil {
 			return err
@@ -510,6 +537,15 @@ func (r *clusterRun) runBatch(seq int64, batch, ahead []twitterdata.Tweet) error
 			results[i] = rerun
 		}
 	}
+
+	// Attribute the executor-reported compute time (summed across shares;
+	// failover re-runs contribute the serving node's final numbers). Old
+	// executors report 0, leaving the stage absent from the breakdown.
+	var execNanos int64
+	for i := range results {
+		execNanos += results[i].resp.ExecNanos
+	}
+	sp.Add(obs.StageExecutorCompute, time.Duration(execNanos))
 
 	// Merge deltas and statistics in share order — deterministic no matter
 	// which node served which share.
@@ -772,7 +808,8 @@ func (r *clusterRun) sendShare(n *execNode, gen int, seq int64, bc *broadcast, s
 	}
 	if forceData || !n.presends[respKey{seq: seq, lo: sp.lo, hi: sp.hi}] {
 		data := wireMsg{Kind: msgData, Seq: seq, Lo: sp.lo, Hi: sp.hi,
-			Tasks: r.cfg.TasksPerExecutor, Tweets: batch[sp.lo:sp.hi]}
+			Tasks: r.cfg.TasksPerExecutor, Tweets: batch[sp.lo:sp.hi],
+			TraceID: r.curTraceID}
 		pre := n.conn.out.Load()
 		if err := r.encodeWithDeadline(n, &data); err != nil {
 			return fmt.Errorf("engine: send share to executor %s: %w", n.addr, err)

@@ -399,7 +399,7 @@ func (s *execSession) drainParked() bool {
 // the response. The inflight window spans through the response encode so
 // Close's drain guarantees the driver sees the result.
 func (s *execSession) processData(msg *wireMsg) bool {
-	resp := batchResponse{Seq: msg.Seq, Lo: msg.Lo, Hi: msg.Hi}
+	resp := batchResponse{Seq: msg.Seq, Lo: msg.Lo, Hi: msg.Hi, TraceID: msg.TraceID}
 	busy := false
 	switch {
 	case s.needResync:
@@ -424,7 +424,10 @@ func (s *execSession) processData(msg *wireMsg) bool {
 		if hook != nil {
 			hook()
 		}
+		start := time.Now()
 		resp = s.runShare(msg)
+		resp.TraceID = msg.TraceID
+		resp.ExecNanos = int64(time.Since(start))
 		if e.corruptDeltas.Load() {
 			for _, blob := range resp.DeltaBlobs {
 				for i := range blob {

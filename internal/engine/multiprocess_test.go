@@ -23,7 +23,9 @@ func TestClusterMultiProcess(t *testing.T) {
 		t.Fatalf("building rhexecutor: %v\n%s", err, out)
 	}
 
-	addrRe := regexp.MustCompile(`listening on (\S+)`)
+	// rhexecutor logs through slog with the bound address as a structured
+	// attr: msg="executor listening" executor=127.0.0.1:NNNNN workers=2.
+	addrRe := regexp.MustCompile(`executor=(\S+)`)
 	var addrs []string
 	for i := 0; i < 2; i++ {
 		cmd := exec.Command(bin, "-addr", "127.0.0.1:0", "-workers", "2")

@@ -88,6 +88,13 @@ type wireMsg struct {
 	Lo, Hi int
 	Tasks  int
 	Tweets []twitterdata.Tweet
+
+	// TraceID carries the driver's batch-span trace context (0 when driver
+	// tracing is off, and on pre-sent frames, which ship before their batch
+	// span exists). gob elides zero fields and ignores unknown ones, so the
+	// field is compatible in both directions with executors that predate it
+	// — the protocol version stays 3.
+	TraceID uint64
 }
 
 // batchResponse is the executor→driver frame: the hello ack (Seq < 0) or
@@ -109,6 +116,15 @@ type batchResponse struct {
 	StatsBlob  []byte
 	Classified []classifiedRec
 	Err        string
+
+	// Trace echo: the data frame's TraceID and the executor-side wall time
+	// spent computing the share (extraction through delta encode). The
+	// driver attributes ExecNanos to the batch span's executor_compute
+	// stage — the share round trip's wall time minus this is wire and
+	// queueing cost. Old executors leave both zero (gob omits them), which
+	// the driver treats as "no attribution available".
+	TraceID   uint64
+	ExecNanos int64
 }
 
 // respKey addresses one share exchange on a connection.

@@ -175,3 +175,64 @@ func TestConcurrentObserve(t *testing.T) {
 		t.Fatalf("sum = %g, want 8.0", h.Sum())
 	}
 }
+
+// TestConcurrentObserveWithReaders exercises the histogram under the access
+// pattern tracing creates: hot-path writers observing while a metrics scrape
+// (WriteText) and quantile readers (the /v1/trace stage table) run
+// concurrently. Run under -race this proves the reader/writer paths are
+// properly synchronized; the final totals prove no observation is lost to a
+// racing snapshot.
+func TestConcurrentObserveWithReaders(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat", "help", []float64{0.001, 0.01, 0.1}, nil)
+	stop := make(chan struct{})
+	var readers sync.WaitGroup
+	for w := 0; w < 3; w++ {
+		readers.Add(1)
+		go func() {
+			defer readers.Done()
+			var sb strings.Builder
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				sb.Reset()
+				if err := r.WriteText(&sb); err != nil {
+					t.Errorf("WriteText: %v", err)
+					return
+				}
+				if q := h.Quantile(0.95); q < 0 {
+					t.Errorf("Quantile(0.95) = %g during concurrent writes", q)
+					return
+				}
+				_ = h.Count()
+				_ = h.Sum()
+			}
+		}()
+	}
+	var writers sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		writers.Add(1)
+		go func(w int) {
+			defer writers.Done()
+			for i := 0; i < 2000; i++ {
+				h.Observe(float64(i%100) / 1000)
+			}
+		}(w)
+	}
+	writers.Wait()
+	close(stop)
+	readers.Wait()
+	if h.Count() != 16000 {
+		t.Fatalf("count = %d, want 16000", h.Count())
+	}
+	var sb strings.Builder
+	if err := r.WriteText(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), `lat_bucket{le="+Inf"} 16000`) {
+		t.Fatalf("final exposition missing complete +Inf bucket:\n%s", sb.String())
+	}
+}

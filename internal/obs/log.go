@@ -1,0 +1,32 @@
+package obs
+
+import (
+	"io"
+	"log/slog"
+	"strings"
+)
+
+// NewLogger builds the structured logger the cmd/ binaries share. format is
+// "text" or "json" (the -log-format flag); anything else falls back to
+// text. level accepts "debug", "info", "warn", "error" (default info).
+func NewLogger(w io.Writer, format, level string) *slog.Logger {
+	var lv slog.Level
+	switch strings.ToLower(level) {
+	case "debug":
+		lv = slog.LevelDebug
+	case "warn":
+		lv = slog.LevelWarn
+	case "error":
+		lv = slog.LevelError
+	default:
+		lv = slog.LevelInfo
+	}
+	opts := &slog.HandlerOptions{Level: lv}
+	var h slog.Handler
+	if strings.EqualFold(format, "json") {
+		h = slog.NewJSONHandler(w, opts)
+	} else {
+		h = slog.NewTextHandler(w, opts)
+	}
+	return slog.New(h)
+}

@@ -1,0 +1,82 @@
+package obs
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"redhanded/internal/metrics"
+)
+
+// Shard producers finishing spans while snapshot/slow readers poll — the
+// exact contention profile of /v1/trace scrapes against a loaded server.
+// Run with -race; the word-encoded rings must stay warning-free.
+func TestConcurrentProducersAndReaders(t *testing.T) {
+	const shards = 4
+	tr := New(Config{
+		Enabled:    true,
+		Shards:     shards,
+		RingSize:   32, // small ring to force constant wraparound
+		SlowBudget: time.Nanosecond,
+		SlowCap:    8,
+		Registry:   metrics.NewRegistry(),
+	})
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for s := 0; s < shards; s++ {
+		wg.Add(1)
+		go func(shard int) {
+			defer wg.Done()
+			for i := 0; i < 2000; i++ {
+				sp := tr.Begin(shard)
+				sp.SetID("race-tweet")
+				sp.BeginStage(StageQueue)
+				sp.BeginStage(StageExtract)
+				sp.BeginStage(StageClassify)
+				sp.AddExclusive(StageEmit, time.Microsecond)
+				sp.EndStage()
+				sp.Finish()
+			}
+		}(s)
+	}
+	for r := 0; r < 3; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				sum := tr.Snapshot(16)
+				for _, e := range sum.Recent {
+					if e.ID != "race-tweet" {
+						t.Errorf("torn entry surfaced: %+v", e)
+						return
+					}
+				}
+				for _, e := range tr.SlowTraces().Traces {
+					if e.ID != "race-tweet" {
+						t.Errorf("torn slow entry surfaced: %+v", e)
+						return
+					}
+				}
+			}
+		}()
+	}
+	// Poll until every producer's spans have landed, then stop the readers.
+	for tr.Spans() < int64(shards*2000) {
+		time.Sleep(time.Millisecond)
+	}
+	close(stop)
+	wg.Wait()
+
+	if got := tr.Spans(); got != shards*2000 {
+		t.Fatalf("Spans = %d, want %d", got, shards*2000)
+	}
+	if tr.SlowSpans() == 0 {
+		t.Fatal("1ns budget should have captured slow spans")
+	}
+}

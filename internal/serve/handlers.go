@@ -90,6 +90,8 @@ func (s *Server) routes() *http.ServeMux {
 	handle("GET /v1/alerts", "/v1/alerts", s.handleAlerts)
 	handle("GET /v1/users/{id}", "/v1/users", s.handleUser)
 	handle("GET /v1/stats", "/v1/stats", s.handleStats)
+	handle("GET /v1/trace", "/v1/trace", s.handleTrace)
+	handle("GET /v1/trace/slow", "/v1/trace/slow", s.handleTraceSlow)
 	handle("GET /healthz", "/healthz", s.handleHealthz)
 	mux.Handle("GET /metrics", s.metricsHandler())
 	return mux
@@ -289,6 +291,25 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 		})
 	}
 	s.writeJSON(w, http.StatusOK, st)
+}
+
+// handleTrace reports the tracing layer's stage statistics, exemplars,
+// and recent spans. With tracing disabled it answers {"enabled": false}
+// rather than 404, so clients can feature-detect.
+func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	recent := 0
+	if v := r.URL.Query().Get("recent"); v != "" {
+		if n, err := strconv.Atoi(v); err == nil {
+			recent = n
+		}
+	}
+	s.writeJSON(w, http.StatusOK, s.tracer.Snapshot(recent))
+}
+
+// handleTraceSlow reports the full stage breakdown of every captured
+// over-budget ("slow verdict") span.
+func (s *Server) handleTraceSlow(w http.ResponseWriter, _ *http.Request) {
+	s.writeJSON(w, http.StatusOK, s.tracer.SlowTraces())
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {

@@ -28,6 +28,7 @@ import (
 
 	"redhanded/internal/core"
 	"redhanded/internal/metrics"
+	"redhanded/internal/obs"
 	"redhanded/internal/twitterdata"
 )
 
@@ -50,6 +51,11 @@ type Options struct {
 	MaxBatchBytes int64
 	// Registry receives the server's metrics (default metrics.Default()).
 	Registry *metrics.Registry
+	// Trace configures the per-tweet stage tracing layer (internal/obs).
+	// Trace.Shards is overridden with the server's shard count and
+	// Trace.Registry defaults to the server registry; when Trace.Enabled is
+	// false the tracer is nil and every span operation is a no-op.
+	Trace obs.Config
 }
 
 // DefaultServerOptions returns the paper-default pipeline behind 4 shards.
@@ -80,10 +86,13 @@ func (o Options) withDefaults() Options {
 }
 
 // job is one queued unit of work. Synchronous classify requests carry a
-// reply channel (buffered, so the shard loop never blocks on it).
+// reply channel (buffered, so the shard loop never blocks on it). The span
+// (nil when tracing is off) is begun at enqueue so its queue stage covers
+// the wait for the shard goroutine; ownership transfers with the job.
 type job struct {
 	tweet twitterdata.Tweet
 	reply chan core.Result
+	span  *obs.Span
 }
 
 // shard is one pipeline partition: a bounded queue drained by a single
@@ -94,19 +103,54 @@ type shard struct {
 	queue     chan job
 	process   *metrics.Histogram
 	processed *metrics.Counter
+	// span is the trace span of the job currently being processed; the
+	// emit-timing sink reads it to attribute SSE publish time. Only the
+	// shard goroutine touches it (the sinks run synchronously inside
+	// Process on that goroutine).
+	span *obs.Span
 }
 
 func (s *shard) run(wg *sync.WaitGroup) {
 	defer wg.Done()
 	for j := range s.queue {
 		start := time.Now()
-		res := s.p.Process(&j.tweet)
-		s.process.Observe(time.Since(start).Seconds())
-		s.processed.Inc()
+		s.span = j.span
+		res := s.p.ProcessTraced(&j.tweet, j.span)
+		s.span = nil
 		if j.reply != nil {
 			j.reply <- res
 		}
+		j.span.Finish()
+		s.process.Observe(time.Since(start).Seconds())
+		s.processed.Inc()
 	}
+}
+
+// emitTimer wraps the SSE hub as the shard's alert/verdict sink so the
+// time spent publishing lands in the span's emit stage, carved out of the
+// enclosing verdict stage. With tracing off the shard subscribes the hub
+// directly and this wrapper is not in the path.
+type emitTimer struct {
+	sh  *shard
+	hub *alertHub
+}
+
+func (e *emitTimer) HandleAlert(a core.Alert) {
+	start := time.Now()
+	e.hub.HandleAlert(a)
+	e.sh.span.AddExclusive(obs.StageEmit, time.Since(start))
+}
+
+func (e *emitTimer) HandleSession(v core.SessionVerdict) {
+	start := time.Now()
+	e.hub.HandleSession(v)
+	e.sh.span.AddExclusive(obs.StageEmit, time.Since(start))
+}
+
+func (e *emitTimer) HandleEscalation(v core.EscalationVerdict) {
+	start := time.Now()
+	e.hub.HandleEscalation(v)
+	e.sh.span.AddExclusive(obs.StageEmit, time.Since(start))
 }
 
 // Server fronts the sharded pipelines over HTTP. It implements
@@ -115,6 +159,7 @@ type Server struct {
 	opts   Options
 	shards []*shard
 	hub    *alertHub
+	tracer *obs.Tracer // nil when tracing is disabled
 	mux    *http.ServeMux
 	start  time.Time
 	// draining is closed by Drain so long-lived handlers (the SSE alert
@@ -185,6 +230,14 @@ func newServer(opts Options, start bool) *Server {
 			"End-to-end /v1/classify request latency by terminal outcome.",
 			nil, metrics.Labels{"outcome": outcome})
 	}
+	if opts.Trace.Enabled {
+		cfg := opts.Trace
+		cfg.Shards = opts.Shards
+		if cfg.Registry == nil {
+			cfg.Registry = reg
+		}
+		s.tracer = obs.New(cfg)
+	}
 	for i := 0; i < opts.Shards; i++ {
 		labels := metrics.Labels{"shard": fmt.Sprint(i)}
 		sh := &shard{
@@ -196,8 +249,14 @@ func newServer(opts Options, start bool) *Server {
 			processed: reg.Counter("redhanded_shard_processed_total",
 				"Tweets processed by the shard loop since server start.", labels),
 		}
-		sh.p.Alerter().Subscribe(s.hub)
-		sh.p.SubscribeVerdicts(s.hub)
+		if s.tracer != nil {
+			et := &emitTimer{sh: sh, hub: s.hub}
+			sh.p.Alerter().Subscribe(et)
+			sh.p.SubscribeVerdicts(et)
+		} else {
+			sh.p.Alerter().Subscribe(s.hub)
+			sh.p.SubscribeVerdicts(s.hub)
+		}
 		q := sh.queue
 		// The closure captures only the channel; a replacement server with
 		// the same shard count takes the series over via re-registration.
@@ -240,7 +299,10 @@ var errServerClosed = fmt.Errorf("serve: server is draining")
 
 // offer enqueues a job on the tweet's shard without blocking, returning
 // the shard it routed to. A false return with a nil error means the queue
-// is full (backpressure).
+// is full (backpressure). Tracing starts here: the span's queue stage
+// opens at enqueue, and spans for tweets the server sheds are aborted
+// unrecorded (a 429 never reached the pipeline, so it has no stage
+// breakdown to report).
 func (s *Server) offer(j job) (sh *shard, ok bool, err error) {
 	s.enqueueMu.RLock()
 	defer s.enqueueMu.RUnlock()
@@ -248,13 +310,21 @@ func (s *Server) offer(j job) (sh *shard, ok bool, err error) {
 		return nil, false, errServerClosed
 	}
 	sh = s.shardOf(&j.tweet)
+	if s.tracer != nil {
+		j.span = s.tracer.Begin(sh.id)
+		j.span.SetID(j.tweet.IDStr)
+	}
 	select {
 	case sh.queue <- j:
 		return sh, true, nil
 	default:
+		s.tracer.Abort(j.span)
 		return sh, false, nil
 	}
 }
+
+// Tracer exposes the server's tracing layer (nil when disabled).
+func (s *Server) Tracer() *obs.Tracer { return s.tracer }
 
 // Shards returns the shard count.
 func (s *Server) Shards() int { return len(s.shards) }

@@ -373,7 +373,7 @@ func TestSuspendedSurviveEvictionPressure(t *testing.T) {
 	for i := 0; i < 10; i++ {
 		for k := 0; k < 3; k++ {
 			s.Observe(Observation{
-				UserID: fmt.Sprintf("banned%d", i), At: base.Add(time.Duration(i)*time.Second),
+				UserID: fmt.Sprintf("banned%d", i), At: base.Add(time.Duration(i) * time.Second),
 				Aggressive: true, Confidence: 0.9, Offense: true, SuspendAfter: 3,
 			})
 		}
