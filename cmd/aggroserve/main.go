@@ -8,7 +8,14 @@
 //
 //	aggroserve -addr :8080 -shards 4 -queue 2048
 //	aggroserve -model slr -classes 2 -checkpoint /var/lib/aggro -restore
+//	aggroserve -log-dir /var/lib/aggro/log -fsync interval -replay
 //	aggroserve -trace -trace-slow-budget 25ms -debug-addr 127.0.0.1:6060
+//
+// With -log-dir every accepted tweet is appended to a partitioned
+// write-ahead log before it is enqueued (-fsync selects the durability
+// policy), and -replay re-applies unapplied records on startup — after
+// -restore, the combination resumes exactly where a crashed process
+// stopped, losing at most records the filesystem had not committed.
 //
 // With -trace every tweet is stamped with a span at ingest and its per-stage
 // timings (queue wait, feature extraction, classification, user-state
@@ -34,6 +41,7 @@ import (
 	"time"
 
 	"redhanded/internal/core"
+	"redhanded/internal/ingestlog"
 	"redhanded/internal/metrics"
 	"redhanded/internal/norm"
 	"redhanded/internal/obs"
@@ -55,6 +63,11 @@ func main() {
 		checkpoint = flag.String("checkpoint", "", "checkpoint directory written on graceful shutdown")
 		restore    = flag.Bool("restore", false, "restore shard state from -checkpoint before serving")
 		drainWait  = flag.Duration("drain-timeout", 30*time.Second, "max time to drain shard queues on shutdown")
+
+		logDir     = flag.String("log-dir", "", "durable ingest log directory; accepted tweets are write-ahead logged per shard")
+		fsyncMode  = flag.String("fsync", "interval", "ingest log durability: off, interval, always")
+		fsyncEvery = flag.Duration("fsync-interval", 100*time.Millisecond, "fsync cadence under -fsync interval")
+		replay     = flag.Bool("replay", false, "replay unapplied ingest-log records before serving (requires -log-dir)")
 
 		maxUsers = flag.Int("max-users", 0, "user-state record cap across all shards, CLOCK-evicted (0 = unbounded)")
 		userTTL  = flag.Duration("user-ttl", 24*time.Hour, "retire user records idle this long (event time; amortized into the hot path)")
@@ -114,11 +127,34 @@ func main() {
 		fatal("unknown normalization", "norm", *normMode)
 	}
 
+	var ilog *ingestlog.Log
+	if *logDir != "" {
+		policy, err := ingestlog.ParseFsyncPolicy(*fsyncMode)
+		if err != nil {
+			fatal("bad -fsync", "err", err)
+		}
+		ilog, err = ingestlog.Open(ingestlog.Options{
+			Dir:        *logDir,
+			Partitions: *shards,
+			Fsync:      policy,
+			FsyncEvery: *fsyncEvery,
+			Registry:   metrics.Default(),
+		})
+		if err != nil {
+			fatal("ingest log open failed", "dir", *logDir, "err", err)
+		}
+		defer ilog.Close()
+		logger.Info("ingest log open", "dir", *logDir, "partitions", *shards, "fsync", policy.String())
+	} else if *replay {
+		fatal("-replay requires -log-dir")
+	}
+
 	srv := serve.NewServer(serve.Options{
 		Pipeline:   opts,
 		Shards:     *shards,
 		QueueDepth: *queue,
 		RetryAfter: *retryAfter,
+		Log:        ilog,
 		Trace: obs.Config{
 			Enabled:    *trace,
 			RingSize:   *traceRing,
@@ -133,6 +169,18 @@ func main() {
 			fatal("restore failed", "dir", *checkpoint, "err", err)
 		}
 		logger.Info("restored checkpoint", "shards", srv.Shards(), "dir", *checkpoint)
+	}
+	if *replay {
+		// Replay before serving: apply every log record past each shard's
+		// restored offset (with no -restore, the whole log), so the first
+		// live tweet lands on the exact state the crashed process had.
+		start := time.Now()
+		n, err := srv.Replay()
+		if err != nil {
+			fatal("replay failed", "dir", *logDir, "err", err)
+		}
+		logger.Info("replayed ingest log", "records", n, "dir", *logDir,
+			"took", time.Since(start).Round(time.Millisecond).String())
 	}
 
 	if *debugAddr != "" {

@@ -1,0 +1,255 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"redhanded/internal/feature"
+	"redhanded/internal/ingestlog"
+	"redhanded/internal/text"
+	"redhanded/internal/twitterdata"
+)
+
+// IngestlogReport is the BENCH_ingestlog.json payload: append throughput
+// under each fsync policy, the mmap'd segment-read hot path (which must
+// not allocate), and disk replay measured two ways — feeding the
+// single-pass text scanner (the replay fast path the serving layer's
+// recovery uses for log-only records is bounded by full extraction, but
+// the scan path is the framework's throughput ceiling), and feeding full
+// feature extraction.
+type IngestlogReport struct {
+	GeneratedUnix int64   `json:"generated_unix"`
+	GoVersion     string  `json:"go_version"`
+	GOOS          string  `json:"goos"`
+	GOARCH        string  `json:"goarch"`
+	NumCPU        int     `json:"num_cpu"`
+	Records       int     `json:"records"`
+	SegmentBytes  int64   `json:"segment_bytes"`
+	Benchmarks    []Entry `json:"benchmarks"`
+
+	// ReplayScanTweetsPerS is the headline: segment read + zero-copy
+	// decode + text.Scratch scan, straight off the mmap'd bytes.
+	ReplayScanTweetsPerS float64 `json:"replay_scan_tweets_per_sec"`
+	// ReplayExtractTweetsPerS runs the same records through full feature
+	// extraction; ScanShare is how much of the in-memory scan ceiling the
+	// disk replay retains (1.0 = disk adds nothing).
+	ReplayExtractTweetsPerS float64 `json:"replay_extract_tweets_per_sec"`
+	ScanShare               float64 `json:"replay_scan_share_of_ceiling"`
+	// MeetsTargetReplay: scan-path replay sustains >= 150k tweets/s.
+	// MeetsTargetAllocs: the segment-read hot path performs 0 allocs/op.
+	MeetsTargetReplay bool `json:"meets_target_replay"`
+	MeetsTargetAllocs bool `json:"meets_target_read_allocs"`
+}
+
+const (
+	ingestlogRecords   = 20_000
+	ingestlogSegBytes  = 4 << 20
+	replayTargetPerSec = 150_000
+)
+
+// buildBenchLog writes n generator tweets into a fresh single-partition
+// log under dir and returns the encoded payload sizes' total.
+func buildBenchLog(dir string, n int, fsync ingestlog.FsyncPolicy) error {
+	l, err := ingestlog.Open(ingestlog.Options{
+		Dir: dir, Partitions: 1, SegmentBytes: ingestlogSegBytes, Fsync: fsync,
+	})
+	if err != nil {
+		return err
+	}
+	g := twitterdata.NewGenerator(1, 10)
+	var buf []byte
+	for i := 0; i < n; i++ {
+		tw := g.Tweet(i%3, i%10)
+		buf = ingestlog.AppendTweet(buf[:0], &tw)
+		if _, err := l.Append(0, buf); err != nil {
+			l.Close()
+			return err
+		}
+	}
+	return l.Close()
+}
+
+// benchAppend measures append throughput under one fsync policy.
+func benchAppend(fsync ingestlog.FsyncPolicy) (testing.BenchmarkResult, error) {
+	dir, err := os.MkdirTemp("", "benchlog-append-*")
+	if err != nil {
+		return testing.BenchmarkResult{}, err
+	}
+	defer os.RemoveAll(dir)
+	l, err := ingestlog.Open(ingestlog.Options{
+		Dir: dir, Partitions: 1, SegmentBytes: ingestlogSegBytes,
+		Fsync: fsync, MaxUnsynced: -1, // measure writes, not backpressure
+	})
+	if err != nil {
+		return testing.BenchmarkResult{}, err
+	}
+	defer l.Close()
+	g := twitterdata.NewGenerator(1, 10)
+	tweets := make([]twitterdata.Tweet, 1000)
+	for i := range tweets {
+		tweets[i] = g.Tweet(i%3, i%10)
+	}
+	var buf []byte
+	res := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			buf = ingestlog.AppendTweet(buf[:0], &tweets[i%len(tweets)])
+			if _, err := l.Append(0, buf); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	return res, nil
+}
+
+// replayBench iterates the log's records repeatedly, handing each decoded
+// record to consume (zero-copy decode: strings alias the mapped segment).
+func replayBench(dir string, consume func(*twitterdata.Tweet)) (testing.BenchmarkResult, error) {
+	r, err := ingestlog.OpenPartitionReader(dir, 0)
+	if err != nil {
+		return testing.BenchmarkResult{}, err
+	}
+	defer r.Close()
+	var tw twitterdata.Tweet
+	res := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			payload, _, err := r.Next()
+			if err == io.EOF {
+				if err := r.SeekTo(0); err != nil {
+					b.Fatal(err)
+				}
+				continue
+			}
+			if err != nil {
+				b.Fatal(err)
+			}
+			if err := ingestlog.DecodeTweet(payload, &tw, false); err != nil {
+				b.Fatal(err)
+			}
+			consume(&tw)
+		}
+	})
+	return res, nil
+}
+
+func ingestlogBench(out string) error {
+	dir, err := os.MkdirTemp("", "benchlog-read-*")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+	if err := buildBenchLog(dir, ingestlogRecords, ingestlog.FsyncOff); err != nil {
+		return err
+	}
+
+	appendOff, err := benchAppend(ingestlog.FsyncOff)
+	if err != nil {
+		return err
+	}
+	appendInterval, err := benchAppend(ingestlog.FsyncInterval)
+	if err != nil {
+		return err
+	}
+	appendAlways, err := benchAppend(ingestlog.FsyncAlways)
+	if err != nil {
+		return err
+	}
+
+	// Segment-read hot path alone: frame walk + checksum over mmap.
+	segRead := func() testing.BenchmarkResult {
+		r, err := ingestlog.OpenPartitionReader(dir, 0)
+		if err != nil {
+			panic(err)
+		}
+		defer r.Close()
+		return testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				_, _, err := r.Next()
+				if err == io.EOF {
+					if err := r.SeekTo(0); err != nil {
+						b.Fatal(err)
+					}
+					continue
+				}
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}()
+
+	var sc text.Scratch
+	replayScan, err := replayBench(dir, func(tw *twitterdata.Tweet) { sc.Scan(tw.Text) })
+	if err != nil {
+		return err
+	}
+	ext := feature.NewExtractor(feature.DefaultConfig())
+	dst := make([]float64, feature.NumFeatures)
+	replayExtract, err := replayBench(dir, func(tw *twitterdata.Tweet) { ext.ExtractInto(dst, tw) })
+	if err != nil {
+		return err
+	}
+
+	// The in-memory scan ceiling over the same tweets, for the disk-vs-RAM
+	// share.
+	tweets := benchTweets(2000)
+	scanCeiling := testing.Benchmark(func(b *testing.B) {
+		var sc text.Scratch
+		for i := 0; i < b.N; i++ {
+			sc.Scan(tweets[i%len(tweets)].Text)
+		}
+	})
+
+	rep := IngestlogReport{
+		GeneratedUnix: time.Now().Unix(),
+		GoVersion:     runtime.Version(),
+		GOOS:          runtime.GOOS,
+		GOARCH:        runtime.GOARCH,
+		NumCPU:        runtime.NumCPU(),
+		Records:       ingestlogRecords,
+		SegmentBytes:  ingestlogSegBytes,
+		Benchmarks: []Entry{
+			entry("IngestlogAppendFsyncOff", appendOff),
+			entry("IngestlogAppendFsyncInterval", appendInterval),
+			entry("IngestlogAppendFsyncAlways", appendAlways),
+			entry("IngestlogSegmentRead", segRead),
+			entry("IngestlogReplayScan", replayScan),
+			entry("IngestlogReplayExtract", replayExtract),
+			entry("ScanCeilingInMemory", scanCeiling),
+		},
+	}
+	rep.ReplayScanTweetsPerS = entry("", replayScan).TweetsPerS
+	rep.ReplayExtractTweetsPerS = entry("", replayExtract).TweetsPerS
+	if ceil := entry("", scanCeiling).TweetsPerS; ceil > 0 {
+		rep.ScanShare = rep.ReplayScanTweetsPerS / ceil
+	}
+	rep.MeetsTargetReplay = rep.ReplayScanTweetsPerS >= replayTargetPerSec
+	rep.MeetsTargetAllocs = segRead.AllocsPerOp() == 0
+
+	blob, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	blob = append(blob, '\n')
+	if out == "-" {
+		os.Stdout.Write(blob)
+	} else if err := os.WriteFile(out, blob, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("ingestlog: append %.0f/s (off) %.0f/s (interval) %.0f/s (always); read %d allocs/op; replay %.0f tweets/s scan (%.0f%% of RAM ceiling), %.0f tweets/s full extract\n",
+		entry("", appendOff).TweetsPerS, entry("", appendInterval).TweetsPerS, entry("", appendAlways).TweetsPerS,
+		segRead.AllocsPerOp(), rep.ReplayScanTweetsPerS, 100*rep.ScanShare, rep.ReplayExtractTweetsPerS)
+	if !rep.MeetsTargetReplay || !rep.MeetsTargetAllocs {
+		fmt.Fprintf(os.Stderr, "benchreport: WARNING: replay %.0f tweets/s (target %d) or read allocs %d (target 0) missed\n",
+			rep.ReplayScanTweetsPerS, replayTargetPerSec, segRead.AllocsPerOp())
+		return errBelowTarget
+	}
+	return nil
+}

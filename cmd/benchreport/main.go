@@ -6,6 +6,7 @@
 //
 //	go run ./cmd/benchreport [-out BENCH_featurepath.json]
 //	go run ./cmd/benchreport -cluster [-out BENCH_cluster.json]
+//	go run ./cmd/benchreport -ingestlog [-out BENCH_ingestlog.json]
 //
 // The default mode benchmarks the text→feature fast path; -cluster spins
 // up an in-process 3-executor cluster and measures the steady-state
@@ -86,6 +87,7 @@ func main() {
 	cluster := flag.Bool("cluster", false, "benchmark the cluster engine's delta broadcasts instead of the feature path")
 	users := flag.Bool("userstate", false, "benchmark the user-state store (Observe at 1M distinct users under a 100k cap, 16 goroutines)")
 	obsMode := flag.Bool("obs", false, "benchmark the tracing layer: span lifecycle allocs and traced-vs-untraced pipeline overhead")
+	ilog := flag.Bool("ingestlog", false, "benchmark the durable ingest log: append per fsync policy, segment reads, and disk replay")
 	flag.Parse()
 	if *out == "" {
 		*out = "BENCH_featurepath.json"
@@ -98,6 +100,19 @@ func main() {
 		if *obsMode {
 			*out = "BENCH_obs.json"
 		}
+		if *ilog {
+			*out = "BENCH_ingestlog.json"
+		}
+	}
+	if *ilog {
+		if err := ingestlogBench(*out); err != nil {
+			if err == errBelowTarget {
+				os.Exit(2)
+			}
+			fmt.Fprintln(os.Stderr, "benchreport:", err)
+			os.Exit(1)
+		}
+		return
 	}
 	if *obsMode {
 		if err := obsBench(*out); err != nil {

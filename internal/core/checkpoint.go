@@ -36,6 +36,10 @@ type checkpointState struct {
 	// encoding. Empty in checkpoints written before the store existed;
 	// restoring such a checkpoint leaves the store fresh.
 	UserStateBlob []byte
+	// LogOffset is the applied ingest-log offset plus one, so that gob's
+	// zero-value elision makes checkpoints written before the ingest log
+	// existed (field absent, decodes as 0) restore to the fresh state -1.
+	LogOffset int64
 }
 
 // Checkpoint serializes the pipeline's learned state.
@@ -73,6 +77,7 @@ func (p *Pipeline) Checkpoint(w io.Writer) error {
 		BoWBlob:       bowBlob,
 		UserStateBlob: usersBlob,
 		Processed:     p.processed,
+		LogOffset:     p.logOffset + 1,
 		EvalK:         p.evaluator.Matrix().NumClasses(),
 		PredCounts:    append([]int64(nil), p.predCounts...),
 	}
@@ -131,6 +136,7 @@ func (p *Pipeline) Restore(r io.Reader) error {
 		}
 	}
 	p.processed = st.Processed
+	p.logOffset = st.LogOffset - 1
 	copy(p.predCounts, st.PredCounts)
 	k := st.EvalK
 	p.evaluator.Matrix().Reset()

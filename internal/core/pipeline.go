@@ -58,6 +58,14 @@ type Pipeline struct {
 	bowSizes   []eval.Point // Fig. 10 series
 	processed  int64
 
+	// logOffset is the ingest-log offset of the last tweet applied via
+	// ProcessLogged (-1 when nothing log-backed has been processed).
+	// Updated under mu in the same critical section as the tweet's
+	// effects, so a checkpoint always captures model state and applied
+	// offset as one consistent cut — the invariant exactly-once replay
+	// rests on.
+	logOffset int64
+
 	// Distribution of predicted labels over unlabeled traffic (the
 	// evaluation step's "interesting statistics").
 	predCounts []int64
@@ -83,6 +91,7 @@ func NewPipeline(opts Options) *Pipeline {
 		users:      users,
 		sampler:    NewBoostedSampler(DefaultSamplerConfig(opts.Seed)),
 		predCounts: make([]int64, k),
+		logOffset:  -1,
 	}
 }
 
@@ -242,6 +251,32 @@ func (p *Pipeline) Process(tw *twitterdata.Tweet) Result {
 func (p *Pipeline) ProcessTraced(tw *twitterdata.Tweet, sp *obs.Span) Result {
 	p.mu.Lock()
 	defer p.mu.Unlock()
+	return p.processLocked(tw, sp)
+}
+
+// ProcessLogged is ProcessTraced for a tweet replayed from or appended to
+// the durable ingest log: it additionally records the tweet's log offset,
+// in the same critical section as the tweet's effects. Offsets must
+// arrive in order — the caller (a serve shard, which owns its partition)
+// guarantees that.
+func (p *Pipeline) ProcessLogged(tw *twitterdata.Tweet, offset int64, sp *obs.Span) Result {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	res := p.processLocked(tw, sp)
+	p.logOffset = offset
+	return res
+}
+
+// LogOffset returns the ingest-log offset of the last tweet applied via
+// ProcessLogged, or -1. After Checkpoint, replaying offsets (LogOffset,
+// end] reproduces the uninterrupted run.
+func (p *Pipeline) LogOffset() int64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.logOffset
+}
+
+func (p *Pipeline) processLocked(tw *twitterdata.Tweet, sp *obs.Span) Result {
 	sp.BeginStage(obs.StageExtract)
 	in := p.ExtractInstance(tw)
 	sp.BeginStage(obs.StageClassify)

@@ -1,0 +1,147 @@
+package ingestlog
+
+import (
+	"io"
+	"testing"
+
+	"redhanded/internal/feature"
+	"redhanded/internal/text"
+	"redhanded/internal/twitterdata"
+)
+
+// buildTweetLog fills a single-partition log with n generator tweets and
+// returns its directory.
+func buildTweetLog(b *testing.B, n int) string {
+	b.Helper()
+	dir := b.TempDir()
+	l, err := Open(Options{Dir: dir, Partitions: 1, SegmentBytes: 8 << 20, Fsync: FsyncOff})
+	if err != nil {
+		b.Fatal(err)
+	}
+	g := twitterdata.NewGenerator(1, 10)
+	var buf []byte
+	for i := 0; i < n; i++ {
+		tw := g.Tweet(i%3, i%10)
+		buf = AppendTweet(buf[:0], &tw)
+		if _, err := l.Append(0, buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if err := l.Close(); err != nil {
+		b.Fatal(err)
+	}
+	return dir
+}
+
+func BenchmarkIngestlogAppend(b *testing.B) {
+	dir := b.TempDir()
+	l, err := Open(Options{Dir: dir, Partitions: 1, SegmentBytes: 64 << 20, Fsync: FsyncOff})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer l.Close()
+	g := twitterdata.NewGenerator(1, 10)
+	tweets := make([]twitterdata.Tweet, 1000)
+	for i := range tweets {
+		tweets[i] = g.Tweet(i%3, i%10)
+	}
+	var buf []byte
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf = AppendTweet(buf[:0], &tweets[i%len(tweets)])
+		if _, err := l.Append(0, buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkIngestlogSegmentRead is the segment-read hot path: frame
+// parse + checksum over mmap'd bytes. It must not allocate.
+func BenchmarkIngestlogSegmentRead(b *testing.B) {
+	dir := buildTweetLog(b, 5000)
+	r, err := OpenPartitionReader(dir, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer r.Close()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, _, err := r.Next()
+		if err == io.EOF {
+			if err := r.SeekTo(0); err != nil {
+				b.Fatal(err)
+			}
+			continue
+		}
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkIngestlogReplayScan is the replay-into-scan-path headline:
+// segment read + zero-copy decode + the single-pass text scanner, i.e.
+// how fast disk replay can feed the zero-alloc scan path.
+func BenchmarkIngestlogReplayScan(b *testing.B) {
+	dir := buildTweetLog(b, 5000)
+	r, err := OpenPartitionReader(dir, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer r.Close()
+	var sc text.Scratch
+	var tw twitterdata.Tweet
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		payload, _, err := r.Next()
+		if err == io.EOF {
+			if err := r.SeekTo(0); err != nil {
+				b.Fatal(err)
+			}
+			continue
+		}
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := DecodeTweet(payload, &tw, false); err != nil {
+			b.Fatal(err)
+		}
+		sc.Scan(tw.Text)
+	}
+}
+
+// BenchmarkIngestlogReplayExtract is the full replay fast path: segment
+// read, zero-copy decode, and feature extraction straight off the
+// mapped bytes.
+func BenchmarkIngestlogReplayExtract(b *testing.B) {
+	dir := buildTweetLog(b, 5000)
+	r, err := OpenPartitionReader(dir, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer r.Close()
+	ext := feature.NewExtractor(feature.DefaultConfig())
+	dst := make([]float64, feature.NumFeatures)
+	var tw twitterdata.Tweet
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		payload, _, err := r.Next()
+		if err == io.EOF {
+			if err := r.SeekTo(0); err != nil {
+				b.Fatal(err)
+			}
+			continue
+		}
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := DecodeTweet(payload, &tw, false); err != nil {
+			b.Fatal(err)
+		}
+		ext.ExtractInto(dst, &tw)
+	}
+}

@@ -1,0 +1,148 @@
+package ingestlog
+
+import (
+	"encoding/binary"
+	"fmt"
+	"unsafe"
+
+	"redhanded/internal/twitterdata"
+)
+
+// Record codec: tweets are stored in a compact binary encoding rather
+// than their NDJSON wire form, so replay can decode straight out of the
+// mmap'd segment — string fields become zero-copy views into the mapped
+// bytes and flow through text.Scratch / feature.ExtractInto without a
+// single per-tweet allocation.
+//
+// Layout (all varints are encoding/binary varints):
+//
+//	version   byte (1)
+//	IDStr, Text, CreatedAt, Label       uvarint length + bytes
+//	Day                                 varint
+//	User.IDStr, ScreenName, CreatedAt   uvarint length + bytes
+//	Followers, Friends, Statuses, Listed varints
+
+const codecVersion = 1
+
+// AppendTweet appends the encoded record to dst and returns the extended
+// slice (append-style, so callers reuse one buffer across appends).
+func AppendTweet(dst []byte, tw *twitterdata.Tweet) []byte {
+	dst = append(dst, codecVersion)
+	dst = appendLenBytes(dst, tw.IDStr)
+	dst = appendLenBytes(dst, tw.Text)
+	dst = appendLenBytes(dst, tw.CreatedAt)
+	dst = appendLenBytes(dst, tw.Label)
+	dst = binary.AppendVarint(dst, int64(tw.Day))
+	dst = appendLenBytes(dst, tw.User.IDStr)
+	dst = appendLenBytes(dst, tw.User.ScreenName)
+	dst = appendLenBytes(dst, tw.User.CreatedAt)
+	dst = binary.AppendVarint(dst, int64(tw.User.FollowersCount))
+	dst = binary.AppendVarint(dst, int64(tw.User.FriendsCount))
+	dst = binary.AppendVarint(dst, int64(tw.User.StatusesCount))
+	dst = binary.AppendVarint(dst, int64(tw.User.ListedCount))
+	return dst
+}
+
+func appendLenBytes(dst []byte, s string) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(s)))
+	return append(dst, s...)
+}
+
+// DecodeTweet decodes a record into tw, replacing every field. With
+// copyStrings false the string fields are unsafe views into payload —
+// zero-copy, zero-alloc — and stay valid only while the backing segment
+// remains mapped; use it for read-path work that retains nothing
+// (feature extraction, benchmarks). Any consumer that stores strings
+// beyond the call (the pipeline: user state, alert text) must pass
+// copyStrings true.
+//
+// The payload is fully bounds-checked: arbitrary bytes produce an error,
+// never a panic, even though records normally arrive checksum-verified.
+func DecodeTweet(payload []byte, tw *twitterdata.Tweet, copyStrings bool) error {
+	d := decoder{buf: payload, copy: copyStrings}
+	if v, err := d.byte(); err != nil {
+		return err
+	} else if v != codecVersion {
+		return fmt.Errorf("ingestlog: unsupported record version %d", v)
+	}
+	var err error
+	if tw.IDStr, err = d.str(); err != nil {
+		return err
+	}
+	if tw.Text, err = d.str(); err != nil {
+		return err
+	}
+	if tw.CreatedAt, err = d.str(); err != nil {
+		return err
+	}
+	if tw.Label, err = d.str(); err != nil {
+		return err
+	}
+	if tw.Day, err = d.int(); err != nil {
+		return err
+	}
+	if tw.User.IDStr, err = d.str(); err != nil {
+		return err
+	}
+	if tw.User.ScreenName, err = d.str(); err != nil {
+		return err
+	}
+	if tw.User.CreatedAt, err = d.str(); err != nil {
+		return err
+	}
+	if tw.User.FollowersCount, err = d.int(); err != nil {
+		return err
+	}
+	if tw.User.FriendsCount, err = d.int(); err != nil {
+		return err
+	}
+	if tw.User.StatusesCount, err = d.int(); err != nil {
+		return err
+	}
+	if tw.User.ListedCount, err = d.int(); err != nil {
+		return err
+	}
+	if len(d.buf) != 0 {
+		return fmt.Errorf("ingestlog: %d trailing bytes after record", len(d.buf))
+	}
+	return nil
+}
+
+type decoder struct {
+	buf  []byte
+	copy bool
+}
+
+func (d *decoder) byte() (byte, error) {
+	if len(d.buf) < 1 {
+		return 0, fmt.Errorf("ingestlog: truncated record")
+	}
+	b := d.buf[0]
+	d.buf = d.buf[1:]
+	return b, nil
+}
+
+func (d *decoder) str() (string, error) {
+	n, w := binary.Uvarint(d.buf)
+	if w <= 0 || n > uint64(len(d.buf)-w) {
+		return "", fmt.Errorf("ingestlog: truncated record string")
+	}
+	b := d.buf[w : w+int(n)]
+	d.buf = d.buf[w+int(n):]
+	if len(b) == 0 {
+		return "", nil
+	}
+	if d.copy {
+		return string(b), nil
+	}
+	return unsafe.String(&b[0], len(b)), nil
+}
+
+func (d *decoder) int() (int, error) {
+	v, w := binary.Varint(d.buf)
+	if w <= 0 {
+		return 0, fmt.Errorf("ingestlog: truncated record varint")
+	}
+	d.buf = d.buf[w:]
+	return int(v), nil
+}

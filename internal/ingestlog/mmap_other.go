@@ -1,0 +1,18 @@
+//go:build !linux
+
+package ingestlog
+
+import (
+	"io"
+	"os"
+)
+
+// mmapFile on non-Linux platforms reads the file into memory: same
+// interface, no zero-copy. The Linux build is the production path.
+func mmapFile(f *os.File, size int64) ([]byte, func() error, error) {
+	data, err := io.ReadAll(io.LimitReader(f, size))
+	if err != nil {
+		return nil, nil, err
+	}
+	return data, func() error { return nil }, nil
+}

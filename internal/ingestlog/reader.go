@@ -1,0 +1,210 @@
+package ingestlog
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+)
+
+// CorruptError reports a record whose frame failed validation somewhere
+// other than the log's tail — a committed record that rotted on disk.
+// Offset is the first offset the reader could not deliver; a caller that
+// chooses to continue can Seek past it (or to the next segment base) and
+// resume, having accounted for the loss.
+type CorruptError struct {
+	Path   string // segment file
+	Pos    int64  // byte position of the invalid frame
+	Offset int64  // offset of the first undelivered record
+}
+
+func (e *CorruptError) Error() string {
+	return fmt.Sprintf("ingestlog: corrupt record at %s+%d (resume offset %d)", e.Path, e.Pos, e.Offset)
+}
+
+// readerSegment is one mapped segment image.
+type readerSegment struct {
+	data  []byte
+	base  int64
+	path  string
+	unmap func() error
+}
+
+// Reader iterates one partition's records in offset order. Segments are
+// memory-mapped at open, so Next returns zero-copy sub-slices of the
+// mapped region — valid until Close — and performs no allocation: the
+// hot path is a bounds check, a length read, and an inline FNV-1a over
+// the payload.
+//
+// A torn frame at the very end of the last segment is the uncommitted
+// tail a crash leaves behind: the reader treats it as end-of-log. An
+// invalid frame anywhere else is corruption and surfaces as
+// *CorruptError with the resume offset.
+//
+// The reader snapshots segment sizes at open; records appended
+// afterwards are not visible. It must not be used concurrently.
+type Reader struct {
+	segs []readerSegment
+	idx  int   // current segment
+	pos  int64 // byte position within segs[idx].data
+	off  int64 // offset of the next record Next will return
+}
+
+// OpenReader opens a reader over one partition of the log, positioned at
+// offset 0.
+func (l *Log) OpenReader(partition int) (*Reader, error) {
+	return OpenPartitionReader(l.opts.Dir, partition)
+}
+
+// OpenPartitionReader opens a reader over partition `partition` of the
+// log rooted at dir. It validates every segment header up front; a tail
+// segment whose header is torn (crash during creation, before any
+// record) is skipped.
+func OpenPartitionReader(dir string, partition int) (*Reader, error) {
+	pdir := partDir(dir, partition)
+	names, err := segmentFiles(pdir)
+	if err != nil {
+		return nil, err
+	}
+	r := &Reader{}
+	for i, name := range names {
+		path := filepath.Join(pdir, name)
+		f, err := os.Open(path)
+		if err != nil {
+			r.Close()
+			return nil, fmt.Errorf("ingestlog: %w", err)
+		}
+		fi, err := f.Stat()
+		if err != nil {
+			f.Close()
+			r.Close()
+			return nil, fmt.Errorf("ingestlog: %w", err)
+		}
+		data, unmap, err := mmapFile(f, fi.Size())
+		f.Close() // the mapping outlives the descriptor
+		if err != nil {
+			r.Close()
+			return nil, fmt.Errorf("ingestlog: map %s: %w", path, err)
+		}
+		part, base, herr := parseSegmentHeader(data)
+		if herr != nil {
+			unmap()
+			if i == len(names)-1 {
+				continue // torn tail header: no committed records in it
+			}
+			r.Close()
+			return nil, fmt.Errorf("ingestlog: segment %s: %w", path, herr)
+		}
+		if part != partition {
+			unmap()
+			r.Close()
+			return nil, fmt.Errorf("ingestlog: segment %s belongs to partition %d, found under %d", path, part, partition)
+		}
+		r.segs = append(r.segs, readerSegment{data: data, base: base, path: path, unmap: unmap})
+	}
+	if len(r.segs) > 0 {
+		r.off = r.segs[0].base
+	}
+	r.pos = segmentHdrLen
+	return r, nil
+}
+
+// Next returns the next record's payload and offset. The payload aliases
+// the mapped segment and is valid until Close; callers that retain it
+// must copy. io.EOF signals a clean end of log (the torn tail a crash
+// leaves on the last segment included).
+func (r *Reader) Next() (payload []byte, offset int64, err error) {
+	for {
+		if r.idx >= len(r.segs) {
+			return nil, 0, io.EOF
+		}
+		seg := &r.segs[r.idx]
+		payload, next, ok := frameAt(seg.data, r.pos)
+		if ok {
+			offset = r.off
+			r.pos = next
+			r.off++
+			return payload, offset, nil
+		}
+		if r.pos >= int64(len(seg.data)) || r.idx == len(r.segs)-1 {
+			// Clean end of segment, or the torn tail of the last one.
+			if r.idx == len(r.segs)-1 {
+				// Park at the end so repeated Next calls stay EOF.
+				r.pos = int64(len(seg.data))
+				return nil, 0, io.EOF
+			}
+			if err := r.advanceSegment(seg); err != nil {
+				return nil, 0, err
+			}
+			continue
+		}
+		// Invalid frame mid-log: a committed record rotted.
+		return nil, 0, &CorruptError{Path: seg.path, Pos: r.pos, Offset: r.off}
+	}
+}
+
+// advanceSegment moves to the next segment, checking offset continuity:
+// the next base must equal the offset the previous segment ended at, or
+// records are missing between files.
+func (r *Reader) advanceSegment(seg *readerSegment) error {
+	next := &r.segs[r.idx+1]
+	if next.base != r.off {
+		return &CorruptError{Path: next.path, Pos: segmentHdrLen, Offset: r.off}
+	}
+	r.idx++
+	r.pos = segmentHdrLen
+	return nil
+}
+
+// NextOffset returns the offset of the record the next Next call would
+// deliver — after io.EOF, the offset a recovered log resumes appending
+// at, which makes it the resume point for a consumer that drained the
+// reader.
+func (r *Reader) NextOffset() int64 { return r.off }
+
+// SeekTo positions the reader so the next record returned has the given
+// offset. Seeking past the end is allowed (Next then returns io.EOF);
+// seeking below the first segment's base is an error. Seek walks frames
+// from the containing segment's base, so it validates the prefix it
+// skips.
+func (r *Reader) SeekTo(offset int64) error {
+	if len(r.segs) == 0 {
+		if offset == 0 {
+			return nil
+		}
+		return fmt.Errorf("ingestlog: seek %d in empty partition", offset)
+	}
+	if offset < r.segs[0].base {
+		return fmt.Errorf("ingestlog: offset %d below first segment base %d", offset, r.segs[0].base)
+	}
+	idx := 0
+	for idx+1 < len(r.segs) && r.segs[idx+1].base <= offset {
+		idx++
+	}
+	r.idx = idx
+	r.pos = segmentHdrLen
+	r.off = r.segs[idx].base
+	for r.off < offset {
+		if _, _, err := r.Next(); err != nil {
+			if err == io.EOF {
+				return nil // seek past end: subsequent Next returns EOF
+			}
+			return err
+		}
+	}
+	return nil
+}
+
+// Close unmaps every segment. Payloads returned by Next become invalid.
+func (r *Reader) Close() error {
+	var first error
+	for _, s := range r.segs {
+		if s.unmap != nil {
+			if err := s.unmap(); err != nil && first == nil {
+				first = err
+			}
+		}
+	}
+	r.segs = nil
+	return first
+}

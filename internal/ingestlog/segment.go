@@ -1,0 +1,191 @@
+package ingestlog
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+)
+
+// Segment header layout (16 bytes):
+//
+//	magic   "RHIL" (4 bytes)
+//	version uint16 (big-endian)
+//	part    uint16 (partition the segment belongs to)
+//	base    uint64 (offset of the segment's first record)
+
+const (
+	segmentMagic   = "RHIL"
+	segmentVersion = 1
+	segmentHdrLen  = 16
+	segmentExt     = ".rhl"
+	// maxRecordLen rejects absurd length prefixes before trusting them;
+	// one tweet record is a few hundred bytes, so 16 MiB is generous and
+	// still catches a corrupt prefix immediately.
+	maxRecordLen = 16 << 20
+)
+
+func segmentName(base int64) string { return fmt.Sprintf("seg-%016x%s", base, segmentExt) }
+
+func putSegmentHeader(dst []byte, part int, base int64) {
+	copy(dst[:4], segmentMagic)
+	binary.BigEndian.PutUint16(dst[4:6], segmentVersion)
+	binary.BigEndian.PutUint16(dst[6:8], uint16(part))
+	binary.BigEndian.PutUint64(dst[8:16], uint64(base))
+}
+
+// parseSegmentHeader validates the 16-byte header and returns the
+// partition and base offset.
+func parseSegmentHeader(b []byte) (part int, base int64, err error) {
+	if len(b) < segmentHdrLen {
+		return 0, 0, fmt.Errorf("ingestlog: segment header truncated (%d bytes)", len(b))
+	}
+	if string(b[:4]) != segmentMagic {
+		return 0, 0, fmt.Errorf("ingestlog: bad segment magic %q", b[:4])
+	}
+	if v := binary.BigEndian.Uint16(b[4:6]); v != segmentVersion {
+		return 0, 0, fmt.Errorf("ingestlog: unsupported segment version %d", v)
+	}
+	part = int(binary.BigEndian.Uint16(b[6:8]))
+	base = int64(binary.BigEndian.Uint64(b[8:16]))
+	return part, base, nil
+}
+
+// segmentWriter is the active tail segment of one partition.
+type segmentWriter struct {
+	f       *os.File
+	path    string
+	base    int64 // offset of the first record
+	records int64 // records committed to this segment
+	size    int64 // file size (header + committed frames)
+	buf     []byte
+}
+
+// createSegment writes a fresh segment with its header. The header is
+// flushed (and the directory entry synced) before any record lands, so a
+// crash can tear at most the header of the newest, record-less segment.
+func createSegment(dir string, part int, base int64) (*segmentWriter, error) {
+	path := filepath.Join(dir, segmentName(base))
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("ingestlog: create segment: %w", err)
+	}
+	var hdr [segmentHdrLen]byte
+	putSegmentHeader(hdr[:], part, base)
+	if _, err := f.Write(hdr[:]); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("ingestlog: write segment header: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("ingestlog: sync segment header: %w", err)
+	}
+	return &segmentWriter{f: f, path: path, base: base, size: segmentHdrLen}, nil
+}
+
+// append frames one payload onto the segment, returning the bytes
+// written. A short write leaves a torn frame that recovery truncates.
+func (s *segmentWriter) append(payload []byte) (int, error) {
+	n := int(frameSize(len(payload)))
+	if cap(s.buf) < n {
+		s.buf = make([]byte, n, n*2)
+	}
+	s.buf = s.buf[:n]
+	putFrame(s.buf, payload)
+	if _, err := s.f.Write(s.buf); err != nil {
+		return 0, err
+	}
+	s.records++
+	s.size += int64(n)
+	return n, nil
+}
+
+func (s *segmentWriter) sync() error { return s.f.Sync() }
+
+// seal fsyncs and closes the segment.
+func (s *segmentWriter) seal() error {
+	err := s.f.Sync()
+	if cerr := s.f.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// scanSegment walks the frames of a segment image, returning the number
+// of committed records and the byte position just past the last valid
+// frame. Frames after that position (a torn tail or corruption) are not
+// counted; scanning stops at the first invalid frame.
+func scanSegment(data []byte) (records int64, end int64) {
+	pos := int64(segmentHdrLen)
+	for {
+		rec, next, ok := frameAt(data, pos)
+		if !ok {
+			return records, pos
+		}
+		_ = rec
+		records++
+		pos = next
+	}
+}
+
+// frameAt decodes the frame starting at pos, returning the payload and
+// the next frame's position. ok is false when the bytes at pos do not
+// form a complete, checksum-valid frame.
+func frameAt(data []byte, pos int64) (payload []byte, next int64, ok bool) {
+	if pos < segmentHdrLen || pos+4 > int64(len(data)) {
+		return nil, pos, false
+	}
+	n := int64(binary.BigEndian.Uint32(data[pos:]))
+	if n > maxRecordLen {
+		return nil, pos, false
+	}
+	body := pos + 4
+	if body+n+8 > int64(len(data)) {
+		return nil, pos, false
+	}
+	payload = data[body : body+n]
+	if fnv64a(payload) != binary.BigEndian.Uint64(data[body+n:]) {
+		return nil, pos, false
+	}
+	return payload, body + n + 8, true
+}
+
+// recoverSegment opens a tail segment for append, truncating any torn
+// frame at its end. It returns nil (no error) when the header itself is
+// torn — the segment never committed a record and the caller drops it.
+func recoverSegment(path string, part int) (*segmentWriter, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("ingestlog: recover segment: %w", err)
+	}
+	hp, base, err := parseSegmentHeader(data)
+	if err != nil {
+		return nil, nil // torn header: drop the segment
+	}
+	if hp != part {
+		return nil, fmt.Errorf("ingestlog: segment %s belongs to partition %d, found under %d", path, hp, part)
+	}
+	records, end := scanSegment(data)
+	f, err := os.OpenFile(path, os.O_WRONLY, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("ingestlog: recover segment: %w", err)
+	}
+	if end < int64(len(data)) {
+		// Torn or corrupt tail: truncate to the last committed frame so
+		// the next append produces a clean log.
+		if err := f.Truncate(end); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("ingestlog: truncate torn tail: %w", err)
+		}
+		if err := f.Sync(); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("ingestlog: recover segment: %w", err)
+		}
+	}
+	if _, err := f.Seek(end, io.SeekStart); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("ingestlog: recover segment: %w", err)
+	}
+	return &segmentWriter{f: f, path: path, base: base, records: records, size: end}, nil
+}

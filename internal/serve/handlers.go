@@ -11,6 +11,7 @@ import (
 
 	"redhanded/internal/core"
 	"redhanded/internal/eval"
+	"redhanded/internal/ingestlog"
 	"redhanded/internal/metrics"
 	"redhanded/internal/stream"
 	"redhanded/internal/twitterdata"
@@ -51,6 +52,31 @@ type ShardStats struct {
 	// warning/drift/replacement counters for the ARF); absent for models
 	// without drift detectors.
 	Drift *stream.DriftStats `json:"drift,omitempty"`
+	// IngestLog describes the shard's write-ahead log partition; absent
+	// when the server runs without a log.
+	IngestLog *ShardLogStats `json:"ingest_log,omitempty"`
+}
+
+// ShardLogStats is one shard's ingest-log partition state in /v1/stats.
+type ShardLogStats struct {
+	Segments int   `json:"segments"`
+	Bytes    int64 `json:"bytes"`
+	// Appended is the last offset committed to the partition, Applied the
+	// last offset the shard pipeline has processed (both -1 when none);
+	// Lag is the gap — records that exist only in the log and would be
+	// replayed after a crash right now.
+	Appended int64 `json:"appended_offset"`
+	Applied  int64 `json:"applied_offset"`
+	Lag      int64 `json:"lag"`
+}
+
+// IngestLogStats is the aggregate ingest-log section of /v1/stats.
+type IngestLogStats struct {
+	Dir      string `json:"dir"`
+	Fsync    string `json:"fsync"`
+	Segments int    `json:"segments"`
+	Bytes    int64  `json:"bytes"`
+	Lag      int64  `json:"lag"`
 }
 
 // Stats is the GET /v1/stats payload.
@@ -69,10 +95,11 @@ type Stats struct {
 	Escalations     int64 `json:"escalations"`
 	// Aggregate drift telemetry across shards (models with drift
 	// detectors only).
-	Warnings         int64        `json:"drift_warnings,omitempty"`
-	Drifts           int64        `json:"drifts,omitempty"`
-	TreeReplacements int64        `json:"tree_replacements,omitempty"`
-	PerShard         []ShardStats `json:"per_shard"`
+	Warnings         int64           `json:"drift_warnings,omitempty"`
+	Drifts           int64           `json:"drifts,omitempty"`
+	TreeReplacements int64           `json:"tree_replacements,omitempty"`
+	IngestLog        *IngestLogStats `json:"ingest_log,omitempty"`
+	PerShard         []ShardStats    `json:"per_shard"`
 }
 
 func (s *Server) routes() *http.ServeMux {
@@ -258,6 +285,11 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 		Rejected:      s.rejected.Value(),
 		Subscribers:   s.hub.Subscribers(),
 	}
+	var logStats []ingestlog.PartitionStats
+	if l := s.opts.Log; l != nil {
+		logStats = l.Stats()
+		st.IngestLog = &IngestLogStats{Dir: l.Dir(), Fsync: l.Fsync().String()}
+	}
 	for _, sh := range s.shards {
 		raised := sh.p.Alerter().Raised()
 		processed := sh.p.Processed()
@@ -276,7 +308,7 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 		st.UserEvictions += capEv + ttlEv
 		st.SessionVerdicts += users.SessionVerdicts()
 		st.Escalations += users.Escalations()
-		st.PerShard = append(st.PerShard, ShardStats{
+		entry := ShardStats{
 			Shard:           sh.id,
 			Processed:       processed,
 			QueueDepth:      len(sh.queue),
@@ -288,7 +320,22 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 			Escalations:     users.Escalations(),
 			Report:          sh.p.Summary(),
 			Drift:           drift,
-		})
+		}
+		if logStats != nil {
+			ps := logStats[sh.id]
+			applied := sh.p.LogOffset()
+			entry.IngestLog = &ShardLogStats{
+				Segments: ps.Segments,
+				Bytes:    ps.Bytes,
+				Appended: ps.Appended,
+				Applied:  applied,
+				Lag:      ps.Appended - applied,
+			}
+			st.IngestLog.Segments += ps.Segments
+			st.IngestLog.Bytes += ps.Bytes
+			st.IngestLog.Lag += ps.Appended - applied
+		}
+		st.PerShard = append(st.PerShard, entry)
 	}
 	s.writeJSON(w, http.StatusOK, st)
 }

@@ -1,0 +1,132 @@
+package serve
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+	"sync/atomic"
+
+	"redhanded/internal/ingestlog"
+	"redhanded/internal/twitterdata"
+)
+
+// Write-ahead ingestion and replay. With Options.Log set, a tweet is
+// accepted in two steps under the shard's ingestMu: append to the
+// shard's log partition, then enqueue. The mutex makes the pair atomic
+// with respect to other producers, so queue order equals log order, and
+// the capacity check before the append guarantees a logged tweet always
+// reaches the pipeline:
+//
+//   - queue full  -> 429 before anything is written. A client retry
+//     cannot double-append, because the shed tweet never entered the log.
+//   - append fails -> the tweet is not enqueued. ErrBackpressure (fsync
+//     budget exhausted) is shed as 429 like a full queue; a hard I/O
+//     error surfaces as 503.
+//   - append succeeds -> the enqueue cannot block (capacity was checked
+//     under the mutex and only mutex holders send) and cannot be shed.
+//
+// Exactly-once replay follows from the pipeline recording each applied
+// offset inside the same critical section as the tweet's effects: a
+// checkpoint is a consistent cut (state, offset), and Replay applies
+// precisely the records after it, in log order, on the shard that
+// originally owned them.
+
+// errReplaying rejects live traffic while Replay owns the pipelines.
+var errReplaying = errors.New("serve: server is replaying the ingest log")
+
+// offerLogged is the WAL ingestion path. The caller holds enqueueMu.RLock,
+// which excludes Drain closing the queue mid-send.
+func (s *Server) offerLogged(sh *shard, j job) (*shard, bool, error) {
+	sh.ingestMu.Lock()
+	defer sh.ingestMu.Unlock()
+	if len(sh.queue) == cap(sh.queue) {
+		s.tracer.Abort(j.span)
+		return sh, false, nil
+	}
+	sh.encBuf = ingestlog.AppendTweet(sh.encBuf[:0], &j.tweet)
+	off, err := s.opts.Log.Append(sh.id, sh.encBuf)
+	if err != nil {
+		s.tracer.Abort(j.span)
+		if errors.Is(err, ingestlog.ErrBackpressure) {
+			return sh, false, nil
+		}
+		return sh, false, fmt.Errorf("serve: ingest log: %w", err)
+	}
+	j.offset, j.logged = off, true
+	sh.lastEnqueued.Store(off)
+	sh.queue <- j
+	return sh, true, nil
+}
+
+// Log exposes the server's ingest log (nil when ingestion is not
+// write-ahead).
+func (s *Server) Log() *ingestlog.Log { return s.opts.Log }
+
+// Replay applies every log record each shard's pipeline has not applied
+// yet — after a restore, the records between the checkpoint's cut and
+// the crash. It returns the number of records applied. Call it before
+// serving traffic: offers are rejected with 503 for the duration so live
+// tweets cannot interleave with the replayed prefix.
+//
+// Replay reads the partitions concurrently (one goroutine per shard,
+// mirroring live operation) through mmap'd segment readers; records
+// decode with copied strings because the pipeline retains them (user
+// state IDs, alert text) beyond the segment mapping's lifetime.
+func (s *Server) Replay() (int64, error) {
+	if s.opts.Log == nil {
+		return 0, nil
+	}
+	if !s.replaying.CompareAndSwap(false, true) {
+		return 0, errors.New("serve: replay already in progress")
+	}
+	defer s.replaying.Store(false)
+	// Flush in-flight offers: anyone who read replaying==false holds the
+	// read lock; taking the write side waits them out, so no append can
+	// land between the flag and the reads below. (Replay is meant to run
+	// before traffic is served at all — this only hardens the contract.)
+	s.enqueueMu.Lock()
+	s.enqueueMu.Unlock() //nolint:staticcheck // empty critical section is the barrier
+	var total atomic.Int64
+	errs := make([]error, len(s.shards))
+	var wg sync.WaitGroup
+	for i, sh := range s.shards {
+		wg.Add(1)
+		go func(i int, sh *shard) {
+			defer wg.Done()
+			n, err := s.replayShard(sh)
+			total.Add(n)
+			errs[i] = err
+		}(i, sh)
+	}
+	wg.Wait()
+	return total.Load(), errors.Join(errs...)
+}
+
+func (s *Server) replayShard(sh *shard) (int64, error) {
+	r, err := s.opts.Log.OpenReader(sh.id)
+	if err != nil {
+		return 0, fmt.Errorf("serve: replay shard %d: %w", sh.id, err)
+	}
+	defer r.Close()
+	if err := r.SeekTo(sh.p.LogOffset() + 1); err != nil {
+		return 0, fmt.Errorf("serve: replay shard %d: %w", sh.id, err)
+	}
+	var n int64
+	var tw twitterdata.Tweet
+	for {
+		payload, off, err := r.Next()
+		if err == io.EOF {
+			return n, nil
+		}
+		if err != nil {
+			return n, fmt.Errorf("serve: replay shard %d: %w", sh.id, err)
+		}
+		if err := ingestlog.DecodeTweet(payload, &tw, true); err != nil {
+			return n, fmt.Errorf("serve: replay shard %d offset %d: %w", sh.id, off, err)
+		}
+		sh.p.ProcessLogged(&tw, off, nil)
+		sh.lastEnqueued.Store(off)
+		n++
+	}
+}

@@ -27,6 +27,7 @@ import (
 	"time"
 
 	"redhanded/internal/core"
+	"redhanded/internal/ingestlog"
 	"redhanded/internal/metrics"
 	"redhanded/internal/obs"
 	"redhanded/internal/twitterdata"
@@ -56,6 +57,13 @@ type Options struct {
 	// Trace.Registry defaults to the server registry; when Trace.Enabled is
 	// false the tracer is nil and every span operation is a no-op.
 	Trace obs.Config
+	// Log, when set, turns ingestion into a write-ahead path: every
+	// accepted tweet is appended to its shard's log partition before it is
+	// enqueued, and Replay restores unapplied records after a crash. The
+	// log's partition count must equal Shards (the two route with the same
+	// hash); NewServer panics on a mismatch since running with broken
+	// affinity would corrupt replay. The server does not close the log.
+	Log *ingestlog.Log
 }
 
 // DefaultServerOptions returns the paper-default pipeline behind 4 shards.
@@ -93,6 +101,11 @@ type job struct {
 	tweet twitterdata.Tweet
 	reply chan core.Result
 	span  *obs.Span
+	// offset is the tweet's ingest-log offset when the server runs with a
+	// WAL (logged true); the shard loop then applies it via ProcessLogged
+	// so the pipeline's applied offset advances with the tweet's effects.
+	offset int64
+	logged bool
 }
 
 // shard is one pipeline partition: a bounded queue drained by a single
@@ -108,6 +121,19 @@ type shard struct {
 	// shard goroutine touches it (the sinks run synchronously inside
 	// Process on that goroutine).
 	span *obs.Span
+
+	// WAL state (log-enabled servers only). ingestMu serializes the
+	// append-then-enqueue pair so log order equals queue order, and the
+	// queue-capacity check under it guarantees the enqueue after a
+	// successful append can never block or be shed — a logged tweet is
+	// always applied. encBuf is the append-path encode buffer (guarded by
+	// ingestMu). lastEnqueued is the highest log offset handed to the
+	// queue or replayed (-1 initially); Drain's barrier compares it
+	// against the pipeline's applied offset to prove nothing logged was
+	// lost between queue and pipeline.
+	ingestMu     sync.Mutex
+	encBuf       []byte
+	lastEnqueued atomic.Int64
 }
 
 func (s *shard) run(wg *sync.WaitGroup) {
@@ -115,7 +141,12 @@ func (s *shard) run(wg *sync.WaitGroup) {
 	for j := range s.queue {
 		start := time.Now()
 		s.span = j.span
-		res := s.p.ProcessTraced(&j.tweet, j.span)
+		var res core.Result
+		if j.logged {
+			res = s.p.ProcessLogged(&j.tweet, j.offset, j.span)
+		} else {
+			res = s.p.ProcessTraced(&j.tweet, j.span)
+		}
 		s.span = nil
 		if j.reply != nil {
 			j.reply <- res
@@ -170,6 +201,10 @@ type Server struct {
 	// holds the read side, Drain the write side.
 	enqueueMu sync.RWMutex
 	closed    atomic.Bool
+	// replaying is set while Replay feeds the pipelines directly from the
+	// log; offers are rejected so live traffic cannot interleave with
+	// (and be reordered against) the replayed prefix.
+	replaying atomic.Bool
 	wg        sync.WaitGroup
 
 	accepted  *metrics.Counter
@@ -202,6 +237,12 @@ func NewServer(opts Options) *Server {
 // server to exercise backpressure deterministically).
 func newServer(opts Options, start bool) *Server {
 	opts = opts.withDefaults()
+	if opts.Log != nil && opts.Log.Partitions() != opts.Shards {
+		// Misaligned routing would replay users into the wrong shard's
+		// pipeline; this is a deployment error, not a runtime condition.
+		panic(fmt.Sprintf("serve: ingest log has %d partitions, server has %d shards",
+			opts.Log.Partitions(), opts.Shards))
+	}
 	// The configured user cap is a per-server budget: divide it across the
 	// shard pipelines (each owns an independent userstate store) so the
 	// process-wide record count stays within Pipeline.Users.MaxUsers.
@@ -265,6 +306,13 @@ func newServer(opts Options, start bool) *Server {
 		users := sh.p.Users()
 		reg.GaugeFunc("redhanded_userstate_active_users", "Tracked user records per shard.",
 			labels, func() float64 { return float64(users.Len()) })
+		sh.lastEnqueued.Store(-1)
+		if l := opts.Log; l != nil {
+			part, p := sh.id, sh.p
+			reg.GaugeFunc("redhanded_ingestlog_replay_lag",
+				"Records appended to the shard's log partition but not yet applied by its pipeline.",
+				labels, func() float64 { return float64(l.AppendedOffset(part) - p.LogOffset()) })
+		}
 		s.shards = append(s.shards, sh)
 	}
 	s.mux = s.routes()
@@ -309,10 +357,16 @@ func (s *Server) offer(j job) (sh *shard, ok bool, err error) {
 	if s.closed.Load() {
 		return nil, false, errServerClosed
 	}
+	if s.replaying.Load() {
+		return nil, false, errReplaying
+	}
 	sh = s.shardOf(&j.tweet)
 	if s.tracer != nil {
 		j.span = s.tracer.Begin(sh.id)
 		j.span.SetID(j.tweet.IDStr)
+	}
+	if s.opts.Log != nil {
+		return s.offerLogged(sh, j)
 	}
 	select {
 	case sh.queue <- j:
@@ -363,6 +417,18 @@ func (s *Server) Drain(ctx context.Context) error {
 	}()
 	select {
 	case <-done:
+		// Log-offset-aware barrier: the shard loops have exited, so every
+		// offset handed to a queue must now be applied. A shortfall means a
+		// logged tweet was lost between queue and pipeline — checkpointing
+		// that state would silently skip it on replay, so fail loudly
+		// instead. (Without a WAL both sides stay -1 and the check is
+		// vacuous; queue drainage is all the old barrier could prove.)
+		for _, sh := range s.shards {
+			if want := sh.lastEnqueued.Load(); sh.p.LogOffset() < want {
+				return fmt.Errorf("serve: drain: shard %d applied log offset %d, but offset %d was enqueued",
+					sh.id, sh.p.LogOffset(), want)
+			}
+		}
 		return nil
 	case <-ctx.Done():
 		return fmt.Errorf("serve: drain: %w", ctx.Err())
@@ -382,6 +448,9 @@ func (s *Server) UnregisterMetrics() {
 		s.opts.Registry.Unregister("redhanded_shard_process_seconds", labels)
 		s.opts.Registry.Unregister("redhanded_shard_processed_total", labels)
 		s.opts.Registry.Unregister("redhanded_userstate_active_users", labels)
+		if s.opts.Log != nil {
+			s.opts.Registry.Unregister("redhanded_ingestlog_replay_lag", labels)
+		}
 	}
 }
 
