@@ -88,7 +88,18 @@ func main() {
 	users := flag.Bool("userstate", false, "benchmark the user-state store (Observe at 1M distinct users under a 100k cap, 16 goroutines)")
 	obsMode := flag.Bool("obs", false, "benchmark the tracing layer: span lifecycle allocs and traced-vs-untraced pipeline overhead")
 	ilog := flag.Bool("ingestlog", false, "benchmark the durable ingest log: append per fsync policy, segment reads, and disk replay")
+	verify := flag.Bool("verify-noalloc", false, "cross-check //redvet:noalloc gate annotations against the benchmark alloc gates (no benchmarks run)")
 	flag.Parse()
+	if *verify {
+		if err := verifyNoalloc(); err != nil {
+			if err == errBelowTarget {
+				os.Exit(2)
+			}
+			fmt.Fprintln(os.Stderr, "benchreport:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if *out == "" {
 		*out = "BENCH_featurepath.json"
 		if *cluster {

@@ -1,0 +1,130 @@
+// Package analysis implements redvet, the repo-native static-analysis
+// suite. It proves at build time the hot-path invariants the benchmarks
+// only measure: zero-allocation extraction and tracing, lock-stripe
+// ordering, wire codec symmetry, and hot-path hygiene. The driver is
+// dependency-free: go/ast + go/parser + go/types over `go list -json
+// -export`, so the module keeps zero external dependencies.
+package analysis
+
+import (
+	"fmt"
+	"go/token"
+	"sort"
+	"strings"
+)
+
+// Diagnostic is one finding, rendered as "file:line: [check] message".
+type Diagnostic struct {
+	Pos   token.Position
+	Check string
+	Msg   string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d: [%s] %s", d.Pos.Filename, d.Pos.Line, d.Check, d.Msg)
+}
+
+// Analyzer is one named check.
+type Analyzer struct {
+	Name string
+	Doc  string
+	Run  func(*Pass)
+}
+
+// All lists every registered check in diagnostic order.
+var All = []*Analyzer{
+	NoAlloc,
+	LockOrder,
+	WireCompat,
+	HotPathHygiene,
+	FieldAlign,
+}
+
+// ByName resolves a comma-separated check list ("noalloc,lockorder").
+func ByName(names string) ([]*Analyzer, error) {
+	if names == "" {
+		return All, nil
+	}
+	var out []*Analyzer
+	for _, n := range strings.Split(names, ",") {
+		n = strings.TrimSpace(n)
+		found := false
+		for _, a := range All {
+			if a.Name == n {
+				out = append(out, a)
+				found = true
+				break
+			}
+		}
+		if !found {
+			return nil, fmt.Errorf("unknown check %q", n)
+		}
+	}
+	return out, nil
+}
+
+// Pass hands one package plus the repo-wide annotation index to a check.
+type Pass struct {
+	Prog     *Program
+	Pkg      *Package
+	Index    *Index
+	Analyzer *Analyzer
+	diags    *[]Diagnostic
+}
+
+// Reportf records a diagnostic at pos for this pass's check.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Pos:   p.Prog.Fset.Position(pos),
+		Check: p.Analyzer.Name,
+		Msg:   fmt.Sprintf(format, args...),
+	})
+}
+
+// Run executes the given checks over every package in prog, applies
+// //redvet:ignore suppression, and returns the surviving diagnostics
+// sorted by position. Malformed directives surface as "directive"
+// diagnostics and are never suppressible.
+func Run(prog *Program, checks []*Analyzer) []Diagnostic {
+	index := BuildIndex(prog)
+	var diags []Diagnostic
+	for _, pkg := range prog.Pkgs {
+		for _, a := range checks {
+			pass := &Pass{Prog: prog, Pkg: pkg, Index: index, Analyzer: a, diags: &diags}
+			a.Run(pass)
+		}
+	}
+	diags = index.filterIgnored(diags)
+	diags = append(diags, index.DirectiveErrors...)
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Check != b.Check {
+			return a.Check < b.Check
+		}
+		return a.Msg < b.Msg
+	})
+	return diags
+}
+
+// filterIgnored drops diagnostics covered by a //redvet:ignore directive
+// on the same line or the line directly above.
+func (ix *Index) filterIgnored(diags []Diagnostic) []Diagnostic {
+	out := diags[:0]
+	for _, d := range diags {
+		ig := ix.Ignores[fileLine{d.Pos.Filename, d.Pos.Line}]
+		if ig == "" {
+			ig = ix.Ignores[fileLine{d.Pos.Filename, d.Pos.Line - 1}]
+		}
+		if ig == d.Check || ig == "all" {
+			continue
+		}
+		out = append(out, d)
+	}
+	return out
+}

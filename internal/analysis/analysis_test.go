@@ -1,0 +1,217 @@
+package analysis
+
+import (
+	"os"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// The fixture harness: each package under testdata/src seeds violations
+// for one check, and `// want "regex"` comments on the violating lines
+// state the diagnostics the analyzer must produce there. Every want
+// must be matched by a diagnostic on its line, and every diagnostic
+// must be claimed by a want — missing and surplus findings both fail.
+//
+// Directive errors (check "directive") cannot carry a want comment —
+// the directive comment owns the whole line — so each fixture declares
+// them as message substrings instead.
+
+var (
+	wantLineRE = regexp.MustCompile(`//\s*want\s+(.+)$`)
+	wantArgRE  = regexp.MustCompile(`"([^"]*)"`)
+)
+
+func TestFixtures(t *testing.T) {
+	tests := []struct {
+		fixture    string
+		checks     string
+		directives []string // expected "directive" diagnostics (substrings)
+	}{
+		{fixture: "noalloc", checks: "noalloc"},
+		{fixture: "lockorder", checks: "lockorder"},
+		{fixture: "wirecompat", checks: "wirecompat"},
+		{fixture: "hotpath", checks: "hotpathhygiene"},
+		{fixture: "fieldalign", checks: "fieldalign"},
+		{fixture: "ignore", checks: "noalloc", directives: []string{
+			"ignore needs a check name and a reason",
+			`unknown or unattached directive "frobnicate"`,
+		}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.fixture, func(t *testing.T) {
+			runFixtureTest(t, tt.fixture, tt.checks, tt.directives)
+		})
+	}
+}
+
+func runFixtureTest(t *testing.T, fixture, checks string, directives []string) {
+	t.Helper()
+	prog, err := Load(".", []string{"./testdata/src/" + fixture})
+	if err != nil {
+		t.Fatalf("loading fixture %s: %v", fixture, err)
+	}
+	as, err := ByName(checks)
+	if err != nil {
+		t.Fatalf("resolving checks %q: %v", checks, err)
+	}
+	diags := Run(prog, as)
+
+	type key struct {
+		file string
+		line int
+	}
+	type want struct {
+		re      *regexp.Regexp
+		matched bool
+	}
+	wants := make(map[key][]*want)
+	for _, pkg := range prog.Pkgs {
+		for _, path := range pkg.GoFiles {
+			data, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("reading fixture file: %v", err)
+			}
+			for i, text := range strings.Split(string(data), "\n") {
+				m := wantLineRE.FindStringSubmatch(text)
+				if m == nil {
+					continue
+				}
+				k := key{path, i + 1}
+				for _, arg := range wantArgRE.FindAllStringSubmatch(m[1], -1) {
+					re, err := regexp.Compile(arg[1])
+					if err != nil {
+						t.Fatalf("%s:%d: bad want pattern %q: %v", path, i+1, arg[1], err)
+					}
+					wants[k] = append(wants[k], &want{re: re})
+				}
+			}
+		}
+	}
+
+	var directiveDiags []Diagnostic
+	for _, d := range diags {
+		if d.Check == "directive" {
+			directiveDiags = append(directiveDiags, d)
+			continue
+		}
+		claimed := false
+		for _, w := range wants[key{d.Pos.Filename, d.Pos.Line}] {
+			if !w.matched && w.re.MatchString(d.Msg) {
+				w.matched = true
+				claimed = true
+				break
+			}
+		}
+		if !claimed {
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+	for k, ws := range wants {
+		for _, w := range ws {
+			if !w.matched {
+				t.Errorf("%s:%d: no diagnostic matched want %q", k.file, k.line, w.re)
+			}
+		}
+	}
+
+	for _, sub := range directives {
+		found := false
+		for _, d := range directiveDiags {
+			if strings.Contains(d.Msg, sub) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("no directive error containing %q (got %v)", sub, directiveDiags)
+		}
+	}
+	if len(directiveDiags) != len(directives) {
+		t.Errorf("got %d directive errors, want %d: %v", len(directiveDiags), len(directives), directiveDiags)
+	}
+}
+
+// TestIgnoreRemovalDetected proves the suppression is load-bearing: the
+// same fixture with its reasoned ignore directives stripped must
+// produce strictly more findings.
+func TestIgnoreRemovalDetected(t *testing.T) {
+	prog, err := Load(".", []string{"./testdata/src/ignore"})
+	if err != nil {
+		t.Fatalf("loading fixture: %v", err)
+	}
+	as, _ := ByName("noalloc")
+	baseline := 0
+	for _, d := range Run(prog, as) {
+		if d.Check == "noalloc" {
+			baseline++
+		}
+	}
+	// Strip the Ignores index and re-run the raw check: every seeded
+	// make() must now surface.
+	index := BuildIndex(prog)
+	index.Ignores = map[fileLine]string{}
+	var diags []Diagnostic
+	for _, pkg := range prog.Pkgs {
+		pass := &Pass{Prog: prog, Pkg: pkg, Index: index, Analyzer: NoAlloc, diags: &diags}
+		NoAlloc.Run(pass)
+	}
+	unsuppressed := len(index.filterIgnored(diags))
+	if unsuppressed <= baseline {
+		t.Fatalf("stripping ignores found %d noalloc diagnostics, baseline %d: suppression is not load-bearing", unsuppressed, baseline)
+	}
+}
+
+// TestByName rejects unknown checks and preserves order.
+func TestByName(t *testing.T) {
+	as, err := ByName("lockorder,noalloc")
+	if err != nil || len(as) != 2 || as[0].Name != "lockorder" || as[1].Name != "noalloc" {
+		t.Fatalf("ByName(lockorder,noalloc) = %v, %v", as, err)
+	}
+	if _, err := ByName("nosuchcheck"); err == nil {
+		t.Fatal("ByName accepted an unknown check")
+	}
+	all, err := ByName("")
+	if err != nil || len(all) != len(All) {
+		t.Fatalf("ByName(\"\") = %v, %v", all, err)
+	}
+}
+
+// TestRepoClean is the self-test the CI job runs: the repo's own
+// annotated hot paths must be clean under every check.
+func TestRepoClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("repo-wide load skipped in -short mode")
+	}
+	prog, err := Load("../..", []string{"./..."})
+	if err != nil {
+		t.Fatalf("loading repo: %v", err)
+	}
+	diags := Run(prog, All)
+	for _, d := range diags {
+		t.Errorf("repo not redvet-clean: %s", d)
+	}
+	// The annotation surface the suite proves things about must exist:
+	// a repo where the directives were deleted would pass vacuously.
+	index := BuildIndex(prog)
+	if len(index.Regions) < 10 {
+		t.Errorf("only %d noalloc regions indexed; annotations missing", len(index.Regions))
+	}
+	if len(index.WireTypes) < 4 {
+		t.Errorf("only %d wire types indexed; annotations missing", len(index.WireTypes))
+	}
+	if len(index.PackedTypes) < 2 {
+		t.Errorf("only %d packed types indexed; annotations missing", len(index.PackedTypes))
+	}
+	gates := make(map[string]bool)
+	for _, r := range index.Regions {
+		if r.Gate != "" {
+			gates[r.Gate] = true
+		}
+	}
+	for _, g := range []string{"FeaturePathFast", "FeaturePathScan", "UserstateObserveHot", "SpanLifecycle", "SegmentRead"} {
+		if !gates[g] {
+			t.Errorf("no noalloc region carries gate=%s", g)
+		}
+	}
+}

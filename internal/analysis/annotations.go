@@ -1,0 +1,311 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// The annotation grammar. Directives are ordinary comments:
+//
+//	//redvet:noalloc [gate=BenchName]   on a func doc, or on the line
+//	                                    above a statement (region form)
+//	//redvet:wire                       on a wire struct type decl
+//	//redvet:wirepair decode=FuncName   on an encode func; symmetry is
+//	                                    checked against the named decoder
+//	//redvet:packed                     on a struct whose layout must be
+//	                                    padding-optimal
+//	//redvet:lockorder A < B            package-scope: lock field A may
+//	                                    be held while acquiring field B
+//	//redvet:ignore <check> <reason>    suppress <check> on this line or
+//	                                    the line below; reason mandatory
+const directivePrefix = "//redvet:"
+
+// Region is one noalloc-annotated function body or statement.
+type Region struct {
+	Pkg       *Package
+	File      string
+	Node      ast.Node      // FuncDecl body or the annotated statement
+	Func      *ast.FuncDecl // enclosing function
+	FuncName  string        // "pkgpath.(*Recv).Name" / "pkgpath.Name"
+	Gate      string        // gate=... attribute, "" if absent
+	FuncLevel bool          // whole function vs statement region
+}
+
+// WirePair names an encode function and its paired decode function.
+type WirePair struct {
+	Pkg    *Package
+	Encode *ast.FuncDecl
+	Decode string
+}
+
+// PackedType is one //redvet:packed struct declaration.
+type PackedType struct {
+	Pkg  *Package
+	Spec *ast.TypeSpec
+}
+
+type fileLine struct {
+	File string
+	Line int
+}
+
+// Index is the repo-wide annotation index, built once per Run so checks
+// in one package can see annotations declared in another (wire structs
+// are referenced cross-package).
+type Index struct {
+	Regions         []Region
+	WireTypes       map[string]bool // qualified "pkgpath.Name"
+	WireDecls       []PackedType    // wire structs declared in targets
+	WirePairs       []WirePair
+	PackedTypes     []PackedType
+	LockOrder       map[string]bool     // "heldField<nextField"
+	Ignores         map[fileLine]string // position -> suppressed check
+	DirectiveErrors []Diagnostic
+}
+
+// RegionsFor returns the noalloc regions declared in pkg.
+func (ix *Index) RegionsFor(pkg *Package) []Region {
+	var out []Region
+	for _, r := range ix.Regions {
+		if r.Pkg == pkg {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+type rawDirective struct {
+	kind string // "noalloc", "wire", ...
+	args string
+	pos  token.Pos
+	file string
+	line int
+}
+
+// BuildIndex scans every target package for redvet directives and
+// resolves each one to the declaration or statement it governs.
+func BuildIndex(prog *Program) *Index {
+	ix := &Index{
+		WireTypes: make(map[string]bool),
+		LockOrder: make(map[string]bool),
+		Ignores:   make(map[fileLine]string),
+	}
+	for _, pkg := range prog.Pkgs {
+		for _, f := range pkg.Files {
+			ix.indexFile(prog, pkg, f)
+		}
+	}
+	return ix
+}
+
+func (ix *Index) indexFile(prog *Program, pkg *Package, f *ast.File) {
+	byComment := make(map[*ast.Comment]rawDirective)
+	var all []rawDirective
+	consumed := make(map[token.Pos]bool)
+
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			if !strings.HasPrefix(c.Text, directivePrefix) {
+				continue
+			}
+			rest := strings.TrimPrefix(c.Text, directivePrefix)
+			kind, args, _ := strings.Cut(rest, " ")
+			p := prog.Fset.Position(c.Pos())
+			d := rawDirective{kind: kind, args: strings.TrimSpace(args), pos: c.Pos(), file: p.Filename, line: p.Line}
+			byComment[c] = d
+			all = append(all, d)
+		}
+	}
+	if len(all) == 0 {
+		return
+	}
+
+	errf := func(d rawDirective, format string, args ...any) {
+		ix.DirectiveErrors = append(ix.DirectiveErrors, Diagnostic{
+			Pos:   prog.Fset.Position(d.pos),
+			Check: "directive",
+			Msg:   fmt.Sprintf(format, args...),
+		})
+	}
+
+	// Position-scope directives need no declaration to attach to.
+	for _, d := range all {
+		switch d.kind {
+		case "ignore":
+			check, reason, _ := strings.Cut(d.args, " ")
+			if check == "" || strings.TrimSpace(reason) == "" {
+				errf(d, "ignore needs a check name and a reason: //redvet:ignore <check> <reason>")
+			} else {
+				ix.Ignores[fileLine{d.file, d.line}] = check
+			}
+			consumed[d.pos] = true
+		case "lockorder":
+			held, next, ok := strings.Cut(d.args, "<")
+			held, next = strings.TrimSpace(held), strings.TrimSpace(next)
+			if !ok || held == "" || next == "" {
+				errf(d, "lockorder wants //redvet:lockorder <heldField> < <nextField>")
+			} else {
+				ix.LockOrder[held+"<"+next] = true
+			}
+			consumed[d.pos] = true
+		}
+	}
+
+	// Doc-scope directives attach to the decl whose doc comment holds them.
+	docDirectives := func(doc *ast.CommentGroup) []rawDirective {
+		if doc == nil {
+			return nil
+		}
+		var out []rawDirective
+		for _, c := range doc.List {
+			if d, ok := byComment[c]; ok && !consumed[d.pos] {
+				out = append(out, d)
+			}
+		}
+		return out
+	}
+
+	for _, decl := range f.Decls {
+		switch decl := decl.(type) {
+		case *ast.FuncDecl:
+			for _, d := range docDirectives(decl.Doc) {
+				switch d.kind {
+				case "noalloc":
+					if decl.Body == nil {
+						errf(d, "noalloc on a function with no body")
+						break
+					}
+					ix.Regions = append(ix.Regions, Region{
+						Pkg: pkg, File: d.file, Node: decl.Body, Func: decl,
+						FuncName: qualifiedFuncName(pkg, decl), Gate: attr(d.args, "gate"),
+						FuncLevel: true,
+					})
+				case "wirepair":
+					dec := attr(d.args, "decode")
+					if dec == "" {
+						errf(d, "wirepair wants //redvet:wirepair decode=<FuncName>")
+						break
+					}
+					ix.WirePairs = append(ix.WirePairs, WirePair{Pkg: pkg, Encode: decl, Decode: dec})
+				default:
+					errf(d, "directive %q cannot annotate a function", d.kind)
+				}
+				consumed[d.pos] = true
+			}
+		case *ast.GenDecl:
+			if decl.Tok != token.TYPE {
+				continue
+			}
+			for _, spec := range decl.Specs {
+				ts, ok := spec.(*ast.TypeSpec)
+				if !ok {
+					continue
+				}
+				docs := docDirectives(ts.Doc)
+				if len(decl.Specs) == 1 {
+					docs = append(docs, docDirectives(decl.Doc)...)
+				}
+				for _, d := range docs {
+					switch d.kind {
+					case "wire":
+						if _, isStruct := ts.Type.(*ast.StructType); !isStruct {
+							errf(d, "wire annotates struct types only")
+							break
+						}
+						ix.WireTypes[pkg.ImportPath+"."+ts.Name.Name] = true
+						ix.WireDecls = append(ix.WireDecls, PackedType{Pkg: pkg, Spec: ts})
+					case "packed":
+						if _, isStruct := ts.Type.(*ast.StructType); !isStruct {
+							errf(d, "packed annotates struct types only")
+							break
+						}
+						ix.PackedTypes = append(ix.PackedTypes, PackedType{Pkg: pkg, Spec: ts})
+					default:
+						errf(d, "directive %q cannot annotate a type", d.kind)
+					}
+					consumed[d.pos] = true
+				}
+			}
+		}
+	}
+
+	// Remaining noalloc directives are statement regions: they govern the
+	// statement starting on the next line.
+	for _, d := range all {
+		if consumed[d.pos] {
+			continue
+		}
+		if d.kind != "noalloc" {
+			errf(d, "unknown or unattached directive %q", d.kind)
+			continue
+		}
+		stmt, fn := findStmtAtLine(prog, f, d.file, d.line+1)
+		if stmt == nil {
+			errf(d, "noalloc region directive must sit directly above a statement")
+			continue
+		}
+		ix.Regions = append(ix.Regions, Region{
+			Pkg: pkg, File: d.file, Node: stmt, Func: fn,
+			FuncName: qualifiedFuncName(pkg, fn), Gate: attr(d.args, "gate"),
+		})
+	}
+}
+
+// findStmtAtLine locates the outermost statement starting on line.
+func findStmtAtLine(prog *Program, f *ast.File, file string, line int) (ast.Stmt, *ast.FuncDecl) {
+	var found ast.Stmt
+	var inFunc *ast.FuncDecl
+	for _, decl := range f.Decls {
+		fd, ok := decl.(*ast.FuncDecl)
+		if !ok || fd.Body == nil {
+			continue
+		}
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			if found != nil {
+				return false
+			}
+			if s, ok := n.(ast.Stmt); ok {
+				p := prog.Fset.Position(s.Pos())
+				if p.Filename == file && p.Line == line {
+					found, inFunc = s, fd
+					return false
+				}
+			}
+			return true
+		})
+		if found != nil {
+			break
+		}
+	}
+	return found, inFunc
+}
+
+func qualifiedFuncName(pkg *Package, fd *ast.FuncDecl) string {
+	if fd == nil {
+		return pkg.ImportPath + ".?"
+	}
+	name := fd.Name.Name
+	if fd.Recv != nil && len(fd.Recv.List) == 1 {
+		switch t := fd.Recv.List[0].Type.(type) {
+		case *ast.StarExpr:
+			if id, ok := t.X.(*ast.Ident); ok {
+				name = "(*" + id.Name + ")." + name
+			}
+		case *ast.Ident:
+			name = "(" + t.Name + ")." + name
+		}
+	}
+	return pkg.ImportPath + "." + name
+}
+
+// attr extracts key=value from a directive argument string.
+func attr(args, key string) string {
+	for _, f := range strings.Fields(args) {
+		if v, ok := strings.CutPrefix(f, key+"="); ok {
+			return v
+		}
+	}
+	return ""
+}

@@ -1,0 +1,124 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"runtime"
+)
+
+// Program is a loaded, type-checked set of target packages sharing one
+// FileSet. It is produced by Load and consumed by the analyzers.
+type Program struct {
+	Dir      string // module/working directory patterns were resolved in
+	Patterns []string
+	Fset     *token.FileSet
+	Pkgs     []*Package
+	Sizes    types.Sizes
+}
+
+// Package is one type-checked target package.
+type Package struct {
+	ImportPath string
+	Dir        string
+	GoFiles    []string // absolute paths, same order as Files
+	Files      []*ast.File
+	Types      *types.Package
+	Info       *types.Info
+}
+
+// listPkg is the subset of `go list -json` output the driver needs.
+type listPkg struct {
+	ImportPath string
+	Dir        string
+	Export     string
+	GoFiles    []string
+	DepOnly    bool
+	Error      *struct{ Err string }
+}
+
+// Load resolves patterns with `go list -json -export -deps` and
+// type-checks every non-dependency package from source, resolving
+// imports through the compiler export data `go list` just produced.
+// This keeps the module dependency-free: no go/packages, no x/tools.
+func Load(dir string, patterns []string) (*Program, error) {
+	args := append([]string{"list", "-json", "-export", "-deps"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var out, errb bytes.Buffer
+	cmd.Stdout, cmd.Stderr = &out, &errb
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("go list %v: %v\n%s", patterns, err, errb.String())
+	}
+
+	exports := make(map[string]string)
+	var targets []listPkg
+	dec := json.NewDecoder(&out)
+	for {
+		var p listPkg
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("decoding go list output: %v", err)
+		}
+		if p.Error != nil {
+			return nil, fmt.Errorf("go list: %s: %s", p.ImportPath, p.Error.Err)
+		}
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+		if !p.DepOnly {
+			targets = append(targets, p)
+		}
+	}
+
+	fset := token.NewFileSet()
+	imp := importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
+		e, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(e)
+	})
+	sizes := types.SizesFor("gc", runtime.GOARCH)
+	if sizes == nil {
+		sizes = types.SizesFor("gc", "amd64")
+	}
+
+	prog := &Program{Dir: dir, Patterns: patterns, Fset: fset, Sizes: sizes}
+	for _, t := range targets {
+		pkg := &Package{ImportPath: t.ImportPath, Dir: t.Dir}
+		for _, g := range t.GoFiles {
+			abs := filepath.Join(t.Dir, g)
+			f, err := parser.ParseFile(fset, abs, nil, parser.ParseComments)
+			if err != nil {
+				return nil, fmt.Errorf("parsing %s: %v", abs, err)
+			}
+			pkg.GoFiles = append(pkg.GoFiles, abs)
+			pkg.Files = append(pkg.Files, f)
+		}
+		conf := types.Config{Importer: imp, Sizes: sizes}
+		pkg.Info = &types.Info{
+			Types:      make(map[ast.Expr]types.TypeAndValue),
+			Defs:       make(map[*ast.Ident]types.Object),
+			Uses:       make(map[*ast.Ident]types.Object),
+			Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		}
+		tp, err := conf.Check(t.ImportPath, fset, pkg.Files, pkg.Info)
+		if err != nil {
+			return nil, fmt.Errorf("type-checking %s: %v", t.ImportPath, err)
+		}
+		pkg.Types = tp
+		prog.Pkgs = append(prog.Pkgs, pkg)
+	}
+	return prog, nil
+}

@@ -1,0 +1,99 @@
+package analysis
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"go/token"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+// escapeLine matches one compiler escape-analysis diagnostic:
+// "internal/text/fast.go:76:6: message".
+var escapeLine = regexp.MustCompile(`^(.+\.go):(\d+):(\d+): (.*)$`)
+
+// EscapeCheck is the opt-in `-escape` mode: it runs the real compiler's
+// escape analysis (`go build -gcflags=-m`) over the program's patterns
+// and reports any value the compiler moves to the heap from inside a
+// //redvet:noalloc region. This cross-checks the syntactic noalloc
+// analyzer against ground truth: the syntactic check explains *why*
+// something allocates, the compiler check catches what syntax misses.
+func EscapeCheck(prog *Program, index *Index) ([]Diagnostic, error) {
+	args := append([]string{"build", "-gcflags=-m"}, prog.Patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = prog.Dir
+	var out bytes.Buffer
+	cmd.Stdout, cmd.Stderr = &out, &out
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("go build -gcflags=-m: %v\n%s", err, out.String())
+	}
+
+	// Precompute region line spans keyed by absolute file path. Each span
+	// carries the region's cold (error-path) line ranges: the compiler
+	// reports fmt.Errorf boxing and error-struct literals as heap escapes,
+	// but the syntactic check exempts those paths, and escape mode must
+	// honor the same carve-out or every error return fails the gate.
+	type lineRange struct{ lo, hi int }
+	type span struct {
+		lo, hi int
+		fn     string
+		cold   []lineRange
+	}
+	regions := make(map[string][]span)
+	for _, r := range index.Regions {
+		start := prog.Fset.Position(r.Node.Pos())
+		end := prog.Fset.Position(r.Node.End())
+		s := span{lo: start.Line, hi: end.Line, fn: r.FuncName}
+		for _, iv := range coldIntervalsInfo(r.Pkg.Info, r) {
+			s.cold = append(s.cold, lineRange{
+				prog.Fset.Position(iv.lo).Line,
+				prog.Fset.Position(iv.hi).Line,
+			})
+		}
+		regions[start.Filename] = append(regions[start.Filename], s)
+	}
+
+	var diags []Diagnostic
+	sc := bufio.NewScanner(&out)
+	sc.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
+	for sc.Scan() {
+		m := escapeLine.FindStringSubmatch(sc.Text())
+		if m == nil {
+			continue
+		}
+		msg := m[4]
+		if !strings.Contains(msg, "escapes to heap") && !strings.Contains(msg, "moved to heap") {
+			continue
+		}
+		file := m[1]
+		if !filepath.IsAbs(file) {
+			file = filepath.Join(prog.Dir, file)
+		}
+		line, _ := strconv.Atoi(m[2])
+		for _, s := range regions[file] {
+			if line >= s.lo && line <= s.hi {
+				cold := false
+				for _, cr := range s.cold {
+					if line >= cr.lo && line <= cr.hi {
+						cold = true
+						break
+					}
+				}
+				if cold {
+					break
+				}
+				diags = append(diags, Diagnostic{
+					Pos:   token.Position{Filename: file, Line: line},
+					Check: "noalloc",
+					Msg:   fmt.Sprintf("compiler escape analysis: %s (inside noalloc %s)", msg, s.fn),
+				})
+				break
+			}
+		}
+	}
+	return index.filterIgnored(diags), nil
+}

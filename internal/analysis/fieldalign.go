@@ -1,0 +1,72 @@
+package analysis
+
+import (
+	"go/types"
+	"sort"
+)
+
+// FieldAlign proves that //redvet:packed structs — the per-user record
+// the CLOCK cache holds ~100k of, the span carried through the tracer,
+// anything multiplied by a large population — carry no padding a field
+// reordering would remove. Sizes come from the same gc sizing model the
+// compiler uses, so the check agrees with unsafe.Sizeof pin tests.
+var FieldAlign = &Analyzer{
+	Name: "fieldalign",
+	Doc:  "packed structs must have padding-optimal field order",
+	Run:  runFieldAlign,
+}
+
+func runFieldAlign(pass *Pass) {
+	for _, pt := range pass.Index.PackedTypes {
+		if pt.Pkg != pass.Pkg {
+			continue
+		}
+		obj := pass.Pkg.Info.Defs[pt.Spec.Name]
+		if obj == nil {
+			continue
+		}
+		st, ok := obj.Type().Underlying().(*types.Struct)
+		if !ok || st.NumFields() == 0 {
+			continue
+		}
+		cur := pass.Prog.Sizes.Sizeof(st)
+		opt := optimalStructSize(pass.Prog.Sizes, st)
+		if cur > opt {
+			pass.Reportf(pt.Spec.Pos(), "packed struct %s is %d bytes; reordering fields by alignment reaches %d (%d bytes of removable padding)",
+				pt.Spec.Name.Name, cur, opt, cur-opt)
+		}
+	}
+}
+
+// optimalStructSize computes the struct size under the padding-minimal
+// field order: descending alignment, then descending size.
+func optimalStructSize(sizes types.Sizes, st *types.Struct) int64 {
+	type field struct{ size, align int64 }
+	fields := make([]field, 0, st.NumFields())
+	for i := 0; i < st.NumFields(); i++ {
+		t := st.Field(i).Type()
+		fields = append(fields, field{size: sizes.Sizeof(t), align: sizes.Alignof(t)})
+	}
+	sort.SliceStable(fields, func(i, j int) bool {
+		if fields[i].align != fields[j].align {
+			return fields[i].align > fields[j].align
+		}
+		return fields[i].size > fields[j].size
+	})
+	var off, maxAlign int64 = 0, 1
+	for _, f := range fields {
+		if f.align > maxAlign {
+			maxAlign = f.align
+		}
+		off = roundUp(off, f.align)
+		off += f.size
+	}
+	return roundUp(off, maxAlign)
+}
+
+func roundUp(x, a int64) int64 {
+	if a <= 1 {
+		return x
+	}
+	return (x + a - 1) / a * a
+}

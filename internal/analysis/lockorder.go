@@ -1,0 +1,310 @@
+package analysis
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// LockOrder walks every function body with a syntactic lock-state
+// machine and enforces the stripe discipline the sharded subsystems
+// (userstate, serve, ingestlog) are built on:
+//
+//   - a mutex is never held across a channel send, an fsync-class call
+//     (Sync/SyncAll/Fsync/sync), a Process* pipeline entry, Wait, or
+//     Sleep — those block for unbounded time with the stripe pinned;
+//   - a second lock of the same field family on a different receiver is
+//     a stripe-order violation (two shards' `mu` at once deadlocks under
+//     inversion); locks of different fields need a declared
+//     `//redvet:lockorder A < B`;
+//   - a return while a lock is held without a pending defer-unlock is a
+//     missing-unlock on a multi-return path.
+//
+// The analysis is per-function and branch-pragmatic: state forks into
+// copies at branches, and cross-function holds are out of scope.
+var LockOrder = &Analyzer{
+	Name: "lockorder",
+	Doc:  "stripe-ordered mutexes; no blocking calls or sends while holding a lock",
+	Run:  runLockOrder,
+}
+
+type heldLock struct {
+	key      string // full receiver expression, e.g. "sh.mu"
+	field    string // last path component, the lock family, e.g. "mu"
+	deferred bool   // a defer ...Unlock() is pending
+}
+
+type lockState struct {
+	pass *Pass
+	held []heldLock
+}
+
+func (s *lockState) clone() *lockState {
+	cp := &lockState{pass: s.pass}
+	cp.held = append(cp.held, s.held...)
+	return cp
+}
+
+func runLockOrder(pass *Pass) {
+	for _, f := range pass.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				if n.Body != nil {
+					st := &lockState{pass: pass}
+					st.walkStmts(n.Body.List)
+					st.checkFuncExit(n.Body)
+				}
+				return false // FuncLits inside are visited by walkStmts
+			}
+			return true
+		})
+	}
+}
+
+// lockCall classifies a call expression as a mutex operation. It
+// returns the receiver expression string, the field name, and the
+// method ("Lock", "RLock", "Unlock", "RUnlock", "TryLock", "TryRLock").
+func (s *lockState) lockCall(e ast.Expr) (key, field, method string, ok bool) {
+	call, isCall := ast.Unparen(e).(*ast.CallExpr)
+	if !isCall {
+		return "", "", "", false
+	}
+	sel, isSel := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !isSel {
+		return "", "", "", false
+	}
+	switch sel.Sel.Name {
+	case "Lock", "RLock", "Unlock", "RUnlock", "TryLock", "TryRLock":
+	default:
+		return "", "", "", false
+	}
+	if p, n := namedPkgPath(s.pass.Pkg.Info.TypeOf(sel.X)); p != "sync" || (n != "Mutex" && n != "RWMutex") {
+		return "", "", "", false
+	}
+	key = exprString(sel.X)
+	field = key
+	if i := strings.LastIndex(key, "."); i >= 0 {
+		field = key[i+1:]
+	}
+	return key, field, sel.Sel.Name, true
+}
+
+func (s *lockState) acquire(pos ast.Node, key, field string) {
+	for _, h := range s.held {
+		switch {
+		case h.key == key:
+			s.pass.Reportf(pos.Pos(), "%s locked twice on the same path", key)
+		case h.field == field:
+			s.pass.Reportf(pos.Pos(), "acquiring %s while holding %s: two locks of the same stripe family %q (shard-order inversion deadlocks)", key, h.key, field)
+		case !s.pass.Index.LockOrder[h.field+"<"+field]:
+			s.pass.Reportf(pos.Pos(), "acquiring %s while holding %s without a declared order (add //redvet:lockorder %s < %s if intended)", key, h.key, h.field, field)
+		}
+	}
+	s.held = append(s.held, heldLock{key: key, field: field})
+}
+
+func (s *lockState) release(key string) {
+	for i := len(s.held) - 1; i >= 0; i-- {
+		if s.held[i].key == key {
+			s.held = append(s.held[:i], s.held[i+1:]...)
+			return
+		}
+	}
+}
+
+func (s *lockState) markDeferred(key string) {
+	for i := len(s.held) - 1; i >= 0; i-- {
+		if s.held[i].key == key {
+			s.held[i].deferred = true
+			return
+		}
+	}
+}
+
+func (s *lockState) walkStmts(stmts []ast.Stmt) {
+	for _, stmt := range stmts {
+		s.walkStmt(stmt)
+	}
+}
+
+func (s *lockState) walkStmt(stmt ast.Stmt) {
+	switch st := stmt.(type) {
+	case *ast.ExprStmt:
+		if key, field, method, ok := s.lockCall(st.X); ok {
+			switch method {
+			case "Lock", "RLock", "TryLock", "TryRLock":
+				s.acquire(st, key, field)
+			case "Unlock", "RUnlock":
+				s.release(key)
+			}
+			return
+		}
+		s.scanBlocking(st.X)
+	case *ast.DeferStmt:
+		if key, _, method, ok := s.lockCall(st.Call); ok && (method == "Unlock" || method == "RUnlock") {
+			s.markDeferred(key)
+		}
+	case *ast.SendStmt:
+		for _, h := range s.held {
+			s.pass.Reportf(st.Pos(), "channel send while holding %s (the stripe blocks on a full channel)", h.key)
+		}
+		s.scanBlocking(st.Value)
+	case *ast.GoStmt:
+		// The spawned goroutine holds nothing; its body is analyzed as
+		// its own function below via the FuncLit scan.
+		s.walkFuncLits(st.Call)
+	case *ast.ReturnStmt:
+		for _, h := range s.held {
+			if !h.deferred {
+				s.pass.Reportf(st.Pos(), "return while holding %s with no defer-unlock (multi-return leak)", h.key)
+			}
+		}
+		for _, r := range st.Results {
+			s.scanBlocking(r)
+		}
+	case *ast.IfStmt:
+		if st.Init != nil {
+			s.walkStmt(st.Init)
+		}
+		s.scanBlocking(st.Cond)
+		s.clone().walkStmts(st.Body.List)
+		if st.Else != nil {
+			s.clone().walkStmt(st.Else)
+		}
+	case *ast.ForStmt:
+		if st.Init != nil {
+			s.walkStmt(st.Init)
+		}
+		if st.Cond != nil {
+			s.scanBlocking(st.Cond)
+		}
+		s.clone().walkStmts(st.Body.List)
+	case *ast.RangeStmt:
+		s.scanBlocking(st.X)
+		s.clone().walkStmts(st.Body.List)
+	case *ast.SwitchStmt:
+		if st.Init != nil {
+			s.walkStmt(st.Init)
+		}
+		for _, c := range st.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				s.clone().walkStmts(cc.Body)
+			}
+		}
+	case *ast.TypeSwitchStmt:
+		for _, c := range st.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				s.clone().walkStmts(cc.Body)
+			}
+		}
+	case *ast.SelectStmt:
+		// A select with a default clause is the non-blocking send/receive
+		// idiom and is safe under a lock; only a defaultless select pins
+		// the stripe until a peer is ready.
+		nonBlocking := false
+		for _, c := range st.Body.List {
+			if cc, ok := c.(*ast.CommClause); ok && cc.Comm == nil {
+				nonBlocking = true
+			}
+		}
+		for _, c := range st.Body.List {
+			cc, ok := c.(*ast.CommClause)
+			if !ok {
+				continue
+			}
+			if send, ok := cc.Comm.(*ast.SendStmt); ok && !nonBlocking {
+				for _, h := range s.held {
+					s.pass.Reportf(send.Pos(), "select send while holding %s", h.key)
+				}
+			}
+			s.clone().walkStmts(cc.Body)
+		}
+	case *ast.BlockStmt:
+		s.walkStmts(st.List)
+	case *ast.LabeledStmt:
+		s.walkStmt(st.Stmt)
+	case *ast.AssignStmt:
+		for _, r := range st.Rhs {
+			if key, field, method, ok := s.lockCall(r); ok && (method == "TryLock" || method == "TryRLock") {
+				s.acquire(st, key, field)
+				continue
+			}
+			s.scanBlocking(r)
+		}
+	case *ast.DeclStmt:
+		s.scanBlocking(st)
+	}
+}
+
+// walkFuncLits analyzes any function literal under n as a fresh
+// function without flagging the surrounding expression.
+func (s *lockState) walkFuncLits(n ast.Node) {
+	ast.Inspect(n, func(m ast.Node) bool {
+		if fl, ok := m.(*ast.FuncLit); ok {
+			fresh := &lockState{pass: s.pass}
+			fresh.walkStmts(fl.Body.List)
+			fresh.checkFuncExit(fl.Body)
+			return false
+		}
+		return true
+	})
+}
+
+// blockingCallName reports whether a method/function name is in the
+// class that must never run under a stripe lock.
+func blockingCallName(name string) bool {
+	switch name {
+	case "Sync", "SyncAll", "Fsync", "sync", "fsync", "Sleep", "Wait":
+		return true
+	}
+	return strings.HasPrefix(name, "Process")
+}
+
+// scanBlocking flags blocking-class calls inside an expression while any
+// lock is held, and analyzes function literals as fresh functions.
+func (s *lockState) scanBlocking(n ast.Node) {
+	if n == nil {
+		return
+	}
+	ast.Inspect(n, func(m ast.Node) bool {
+		switch m := m.(type) {
+		case *ast.FuncLit:
+			fresh := &lockState{pass: s.pass}
+			fresh.walkStmts(m.Body.List)
+			fresh.checkFuncExit(m.Body)
+			return false
+		case *ast.CallExpr:
+			if len(s.held) == 0 {
+				return true
+			}
+			_, name := calleePkgFunc(s.pass.Pkg.Info, m)
+			if name == "" {
+				if sel, ok := ast.Unparen(m.Fun).(*ast.SelectorExpr); ok {
+					name = sel.Sel.Name
+				}
+			}
+			if blockingCallName(name) {
+				for _, h := range s.held {
+					s.pass.Reportf(m.Pos(), "call to %s while holding %s (fsync/pipeline-class calls block with the stripe pinned)", name, h.key)
+					break
+				}
+			}
+		}
+		return true
+	})
+}
+
+// checkFuncExit flags locks still held (and not deferred) when control
+// falls off the end of the function body.
+func (s *lockState) checkFuncExit(body *ast.BlockStmt) {
+	if len(body.List) > 0 {
+		if _, endsInReturn := body.List[len(body.List)-1].(*ast.ReturnStmt); endsInReturn {
+			return // already checked at the return site
+		}
+	}
+	for _, h := range s.held {
+		if !h.deferred {
+			s.pass.Reportf(body.End(), "function exits with %s held and no defer-unlock", h.key)
+		}
+	}
+}

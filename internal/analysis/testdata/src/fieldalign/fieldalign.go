@@ -1,0 +1,22 @@
+// Package fieldalign seeds a //redvet:packed struct whose field order
+// wastes padding (bool/int64 interleaving costs 8 bytes on 64-bit) next
+// to the reordered layout that is padding-optimal.
+package fieldalign
+
+//redvet:packed
+type badLayout struct { // want "removable padding"
+	a bool
+	b int64
+	c bool
+	d int64
+}
+
+//redvet:packed
+type goodLayout struct {
+	b int64
+	d int64
+	a bool
+	c bool
+}
+
+func use() (badLayout, goodLayout) { return badLayout{}, goodLayout{} }

@@ -1,0 +1,43 @@
+// Package ignore exercises the suppression grammar: a reasoned
+// //redvet:ignore suppresses (line-above and same-line forms), naming
+// the wrong check does not, the catch-all "all" form does, a missing
+// reason is a hard directive error, and unknown directives are reported.
+package ignore
+
+//redvet:noalloc
+func suppressedAbove() []byte {
+	//redvet:ignore noalloc fixture demonstrates the line-above form
+	b := make([]byte, 8)
+	return b[:0]
+}
+
+//redvet:noalloc
+func suppressedSameLine() []byte {
+	b := make([]byte, 8) //redvet:ignore noalloc fixture demonstrates the same-line form
+	return b[:0]
+}
+
+//redvet:noalloc
+func suppressedAll() []byte {
+	//redvet:ignore all fixture demonstrates the catch-all form
+	b := make([]byte, 8)
+	return b[:0]
+}
+
+//redvet:noalloc
+func wrongCheck() []byte {
+	//redvet:ignore lockorder naming another check leaves noalloc live
+	b := make([]byte, 8) // want "make allocates"
+	return b[:0]
+}
+
+//redvet:noalloc
+func missingReason() []byte {
+	//redvet:ignore noalloc
+	b := make([]byte, 8) // want "make allocates"
+	return b[:0]
+}
+
+//redvet:frobnicate detached directives with unknown kinds are reported
+
+func anchor() {}

@@ -1,0 +1,107 @@
+// Package lockorder seeds stripe-discipline violations for the
+// lockorder analyzer: double-lock, same-family stripe inversion,
+// undeclared cross-family order, sends and fsync-class calls under a
+// lock, and multi-return unlock leaks — plus the sanctioned idioms
+// (declared order, non-blocking select send, defer-unlock).
+package lockorder
+
+import "sync"
+
+type shard struct {
+	mu  sync.Mutex
+	wmu sync.Mutex
+	ch  chan int
+	n   int
+}
+
+type table struct {
+	shards [4]shard
+	global sync.Mutex
+}
+
+type file struct{}
+
+func (file) Sync() error { return nil }
+
+type pipe struct{}
+
+func (*pipe) ProcessBatch() {}
+
+//redvet:lockorder global < mu
+
+func doubleLock(s *shard) {
+	s.mu.Lock()
+	s.mu.Lock() // want "locked twice on the same path"
+	s.mu.Unlock()
+	s.mu.Unlock()
+}
+
+func stripeViolation(t *table) {
+	t.shards[0].mu.Lock()
+	t.shards[1].mu.Lock() // want "same stripe family"
+	t.shards[1].mu.Unlock()
+	t.shards[0].mu.Unlock()
+}
+
+func undeclaredOrder(s *shard) {
+	s.mu.Lock()
+	s.wmu.Lock() // want "without a declared order"
+	s.wmu.Unlock()
+	s.mu.Unlock()
+}
+
+func declaredOrderOK(t *table) {
+	t.global.Lock()
+	t.shards[0].mu.Lock()
+	t.shards[0].mu.Unlock()
+	t.global.Unlock()
+}
+
+func sendUnderLock(s *shard) {
+	s.mu.Lock()
+	s.ch <- 1 // want "channel send while holding"
+	s.mu.Unlock()
+}
+
+func nonBlockingSendOK(s *shard) {
+	s.mu.Lock()
+	select {
+	case s.ch <- 1:
+	default:
+	}
+	s.mu.Unlock()
+}
+
+func fsyncUnderLock(s *shard, f file) {
+	s.mu.Lock()
+	f.Sync() // want "call to Sync while holding"
+	s.mu.Unlock()
+}
+
+func processUnderLock(s *shard, p *pipe) {
+	s.mu.Lock()
+	p.ProcessBatch() // want "call to ProcessBatch while holding"
+	s.mu.Unlock()
+}
+
+func leakyReturn(s *shard) int {
+	s.mu.Lock()
+	if s.n > 0 {
+		return s.n // want "return while holding"
+	}
+	s.mu.Unlock()
+	return 0
+}
+
+func deferOK(s *shard) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.n > 0 {
+		return s.n
+	}
+	return 0
+}
+
+func fallOffEnd(s *shard) {
+	s.mu.Lock()
+} // want "exits with s.mu held"

@@ -1,0 +1,61 @@
+// Package wirecompat seeds wire-format violations: an unkeyed literal
+// of a //redvet:wire struct, wire structs with fields gob cannot
+// round-trip, and a //redvet:wirepair whose encoder and decoder touch
+// different field sets.
+package wirecompat
+
+//redvet:wire
+type frame struct {
+	Kind uint8
+	Seq  int64
+	Name string
+}
+
+//redvet:wire
+type badWire struct { // want "has chan type" "has func type" "is an interface"
+	C chan int
+	F func()
+	I interface{}
+}
+
+func makeFrames() []frame {
+	good := frame{Kind: 1, Seq: 2, Name: "x"}
+	bad := frame{1, 2, "y"} // want "unkeyed literal of wire struct"
+	return []frame{good, bad}
+}
+
+type record struct {
+	A int64
+	B string
+	C int64
+}
+
+// appendRecord writes A and B but decodeRecord also reads C: the field
+// sets diverge, which is exactly the replay-corruption shape the
+// symmetry check exists to catch.
+//
+//redvet:wirepair decode=decodeRecord
+func appendRecord(dst []byte, r *record) []byte { // want "reads field C but appendRecord never writes it"
+	dst = append(dst, byte(r.A))
+	dst = append(dst, r.B...)
+	return dst
+}
+
+func decodeRecord(b []byte, r *record) {
+	r.A = int64(b[0])
+	r.B = string(b[1:2])
+	r.C = int64(b[2])
+}
+
+//redvet:wirepair decode=decodeSym
+func encodeSym(dst []byte, r *record) []byte {
+	dst = append(dst, byte(r.A), byte(r.C))
+	dst = append(dst, r.B...)
+	return dst
+}
+
+func decodeSym(b []byte, r *record) {
+	r.A = int64(b[0])
+	r.C = int64(b[1])
+	r.B = string(b[2:])
+}

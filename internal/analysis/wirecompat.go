@@ -1,0 +1,252 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// WireCompat guards the wire formats: structs annotated //redvet:wire
+// (gob frames in engine/transport, the tweet model, checkpoint DTOs)
+// must be constructed with keyed literals everywhere in the repo —
+// field order is wire-sensitive — and must not carry fields gob cannot
+// round-trip. For //redvet:wirepair annotations, the set of fields the
+// encoder writes must exactly equal the set the paired decoder reads:
+// the symmetry is enforced structurally by diffing rooted field-access
+// paths, so adding a field to one side without the other fails the
+// build instead of corrupting replay.
+var WireCompat = &Analyzer{
+	Name: "wirecompat",
+	Doc:  "keyed wire-struct literals; encodable field types; encode/decode field-set symmetry",
+	Run:  runWireCompat,
+}
+
+func runWireCompat(pass *Pass) {
+	checkKeyedLiterals(pass)
+	checkWireFields(pass)
+	checkWirePairs(pass)
+}
+
+// checkKeyedLiterals flags positional composite literals of any wire
+// struct, wherever the literal appears.
+func checkKeyedLiterals(pass *Pass) {
+	info := pass.Pkg.Info
+	for _, f := range pass.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			lit, ok := n.(*ast.CompositeLit)
+			if !ok || len(lit.Elts) == 0 {
+				return true
+			}
+			p, name := namedPkgPath(info.TypeOf(lit))
+			if p == "" || !pass.Index.WireTypes[p+"."+name] {
+				return true
+			}
+			if _, keyed := lit.Elts[0].(*ast.KeyValueExpr); !keyed {
+				pass.Reportf(lit.Pos(), "unkeyed literal of wire struct %s.%s: field order is wire-format-sensitive, use keyed fields", p, name)
+			}
+			return true
+		})
+	}
+}
+
+// checkWireFields validates field types of wire structs declared here.
+func checkWireFields(pass *Pass) {
+	for _, wd := range pass.Index.WireDecls {
+		if wd.Pkg != pass.Pkg {
+			continue
+		}
+		obj := pass.Pkg.Info.Defs[wd.Spec.Name]
+		if obj == nil {
+			continue
+		}
+		st, ok := obj.Type().Underlying().(*types.Struct)
+		if !ok {
+			continue
+		}
+		for i := 0; i < st.NumFields(); i++ {
+			fld := st.Field(i)
+			switch fld.Type().Underlying().(type) {
+			case *types.Chan:
+				pass.Reportf(wd.Spec.Pos(), "wire struct %s field %s has chan type: gob cannot encode it", wd.Spec.Name.Name, fld.Name())
+			case *types.Signature:
+				pass.Reportf(wd.Spec.Pos(), "wire struct %s field %s has func type: gob cannot encode it", wd.Spec.Name.Name, fld.Name())
+			case *types.Interface:
+				pass.Reportf(wd.Spec.Pos(), "wire struct %s field %s is an interface: gob needs concrete registration and zero-elision breaks", wd.Spec.Name.Name, fld.Name())
+			}
+		}
+	}
+}
+
+// checkWirePairs enforces encode/decode field-access symmetry.
+func checkWirePairs(pass *Pass) {
+	for _, wp := range pass.Index.WirePairs {
+		if wp.Pkg != pass.Pkg {
+			continue
+		}
+		decode := findFunc(pass.Pkg, wp.Decode)
+		if decode == nil {
+			pass.Reportf(wp.Encode.Pos(), "wirepair decoder %s not found in package %s", wp.Decode, pass.Pkg.ImportPath)
+			continue
+		}
+		target := sharedStructParam(pass.Pkg.Info, wp.Encode, decode)
+		if target == nil {
+			pass.Reportf(wp.Encode.Pos(), "wirepair %s/%s share no struct-pointer parameter to compare", wp.Encode.Name.Name, wp.Decode)
+			continue
+		}
+		encFields := fieldAccessSet(pass.Pkg.Info, wp.Encode, target)
+		decFields := fieldAccessSet(pass.Pkg.Info, decode, target)
+		for _, f := range setDiff(encFields, decFields) {
+			pass.Reportf(wp.Encode.Pos(), "%s writes field %s but decoder %s never reads it (wire asymmetry)", wp.Encode.Name.Name, f, wp.Decode)
+		}
+		for _, f := range setDiff(decFields, encFields) {
+			pass.Reportf(wp.Encode.Pos(), "decoder %s reads field %s but %s never writes it (wire asymmetry)", wp.Decode, f, wp.Encode.Name.Name)
+		}
+	}
+}
+
+func findFunc(pkg *Package, name string) *ast.FuncDecl {
+	for _, f := range pkg.Files {
+		for _, d := range f.Decls {
+			if fd, ok := d.(*ast.FuncDecl); ok && fd.Recv == nil && fd.Name.Name == name {
+				return fd
+			}
+		}
+	}
+	return nil
+}
+
+// sharedStructParam finds the first named struct type that appears as a
+// pointer parameter of both functions.
+func sharedStructParam(info *types.Info, a, b *ast.FuncDecl) *types.Named {
+	bTypes := make(map[string]bool)
+	for _, n := range paramStructs(info, b) {
+		bTypes[qualifiedTypeName(n)] = true
+	}
+	for _, n := range paramStructs(info, a) {
+		if bTypes[qualifiedTypeName(n)] {
+			return n
+		}
+	}
+	return nil
+}
+
+func paramStructs(info *types.Info, fd *ast.FuncDecl) []*types.Named {
+	var out []*types.Named
+	if fd.Type.Params == nil {
+		return out
+	}
+	for _, field := range fd.Type.Params.List {
+		t := info.TypeOf(field.Type)
+		ptr, ok := t.(*types.Pointer)
+		if !ok {
+			continue
+		}
+		if n, ok := ptr.Elem().(*types.Named); ok {
+			if _, isStruct := n.Underlying().(*types.Struct); isStruct {
+				out = append(out, n)
+			}
+		}
+	}
+	return out
+}
+
+func qualifiedTypeName(n *types.Named) string {
+	obj := n.Obj()
+	if obj.Pkg() == nil {
+		return obj.Name()
+	}
+	return obj.Pkg().Path() + "." + obj.Name()
+}
+
+// fieldAccessSet collects every rooted field path ("IDStr",
+// "User.FollowersCount") the function reads or writes on values of the
+// target type, including accesses through local variables of the
+// target's struct-typed field types. Intermediate prefixes ("User") are
+// dropped so only leaf accesses compare.
+func fieldAccessSet(info *types.Info, fd *ast.FuncDecl, target *types.Named) []string {
+	// prefixOf maps a qualified struct type name to the path prefix an
+	// access rooted at that type contributes.
+	prefixOf := map[string]string{qualifiedTypeName(target): ""}
+	if st, ok := target.Underlying().(*types.Struct); ok {
+		for i := 0; i < st.NumFields(); i++ {
+			fld := st.Field(i)
+			t := fld.Type()
+			if p, ok := t.(*types.Pointer); ok {
+				t = p.Elem()
+			}
+			if n, ok := t.(*types.Named); ok {
+				if _, isStruct := n.Underlying().(*types.Struct); isStruct {
+					prefixOf[qualifiedTypeName(n)] = fld.Name() + "."
+				}
+			}
+		}
+	}
+
+	set := make(map[string]bool)
+	var fieldPath func(sel *ast.SelectorExpr) (string, bool)
+	fieldPath = func(sel *ast.SelectorExpr) (string, bool) {
+		s, ok := info.Selections[sel]
+		if !ok || s.Kind() != types.FieldVal {
+			return "", false
+		}
+		if inner, ok := ast.Unparen(sel.X).(*ast.SelectorExpr); ok {
+			if p, ok := fieldPath(inner); ok {
+				return p + "." + sel.Sel.Name, true
+			}
+		}
+		rp, rn := namedPkgPath(info.TypeOf(sel.X))
+		if rp == "" && rn == "" {
+			return "", false
+		}
+		qualified := rn
+		if rp != "" {
+			qualified = rp + "." + rn
+		}
+		pre, ok := prefixOf[qualified]
+		if !ok {
+			return "", false
+		}
+		return pre + sel.Sel.Name, true
+	}
+
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if sel, ok := n.(*ast.SelectorExpr); ok {
+			if p, ok := fieldPath(sel); ok {
+				set[p] = true
+			}
+		}
+		return true
+	})
+
+	// Drop intermediate prefixes: "User" when "User.IDStr" exists.
+	var out []string
+	for p := range set {
+		isPrefix := false
+		for q := range set {
+			if q != p && strings.HasPrefix(q, p+".") {
+				isPrefix = true
+				break
+			}
+		}
+		if !isPrefix {
+			out = append(out, p)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+func setDiff(a, b []string) []string {
+	bset := make(map[string]bool, len(b))
+	for _, x := range b {
+		bset[x] = true
+	}
+	var out []string
+	for _, x := range a {
+		if !bset[x] {
+			out = append(out, x)
+		}
+	}
+	return out
+}

@@ -55,6 +55,9 @@ func SparkLocalConfig(cores int) MicroBatchConfig {
 }
 
 // classifiedRec is one prediction outcome produced by a task.
+// It rides inside batchResponse, so it is wire-format-sensitive too.
+//
+//redvet:wire
 type classifiedRec struct {
 	Idx   int // position within the batch
 	Label int

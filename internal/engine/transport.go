@@ -52,6 +52,8 @@ const (
 
 // wireMsg is every driver→executor frame. gob omits zero-valued fields, so
 // a data frame costs nothing for the broadcast fields and vice versa.
+//
+//redvet:wire
 type wireMsg struct {
 	Kind uint8
 	Seq  int64
@@ -99,6 +101,8 @@ type wireMsg struct {
 
 // batchResponse is the executor→driver frame: the hello ack (Seq < 0) or
 // one share's results.
+//
+//redvet:wire
 type batchResponse struct {
 	Seq    int64
 	Lo, Hi int

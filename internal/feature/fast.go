@@ -37,8 +37,11 @@ var extractPool = sync.Pool{New: func() any { return new(extractScratch) }}
 // single-pass fast path; the Preprocess=OFF ablation falls back to the
 // legacy multi-pass implementation, whose raw-text tokenization the
 // scanner intentionally does not model.
+//
+//redvet:noalloc gate=FeaturePathFast
 func (e *Extractor) ExtractInto(dst []float64, tw *twitterdata.Tweet) []float64 {
 	if len(dst) != NumFeatures {
+		//redvet:ignore noalloc resize fallback for mis-sized callers; steady-state callers pass a right-sized reused vector and never reach this
 		dst = make([]float64, NumFeatures)
 	}
 	if !e.cfg.Preprocess {
@@ -51,6 +54,7 @@ func (e *Extractor) ExtractInto(dst []float64, tw *twitterdata.Tweet) []float64 
 	return dst
 }
 
+//redvet:noalloc gate=FeaturePathFast
 func (e *Extractor) extractFast(x []float64, tw *twitterdata.Tweet, sc *extractScratch) {
 	ts := &sc.ts
 	ts.Scan(tw.Text)
@@ -124,6 +128,7 @@ func (e *Extractor) extractFast(x []float64, tw *twitterdata.Tweet, sc *extractS
 
 		if snap != nil && snap.stem {
 			// Stemming allocates; it is off in every default config.
+			//redvet:ignore noalloc the stemmer is string-based and opt-in; the default BoW path below stays allocation-free
 			if snap.containsString(stem.Stem(string(lower))) {
 				bowScore++
 			}

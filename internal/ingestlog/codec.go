@@ -26,6 +26,8 @@ const codecVersion = 1
 
 // AppendTweet appends the encoded record to dst and returns the extended
 // slice (append-style, so callers reuse one buffer across appends).
+//
+//redvet:wirepair decode=DecodeTweet
 func AppendTweet(dst []byte, tw *twitterdata.Tweet) []byte {
 	dst = append(dst, codecVersion)
 	dst = appendLenBytes(dst, tw.IDStr)
@@ -58,6 +60,8 @@ func appendLenBytes(dst []byte, s string) []byte {
 //
 // The payload is fully bounds-checked: arbitrary bytes produce an error,
 // never a panic, even though records normally arrive checksum-verified.
+//
+//redvet:noalloc gate=SegmentRead
 func DecodeTweet(payload []byte, tw *twitterdata.Tweet, copyStrings bool) error {
 	d := decoder{buf: payload, copy: copyStrings}
 	if v, err := d.byte(); err != nil {
@@ -113,6 +117,7 @@ type decoder struct {
 	copy bool
 }
 
+//redvet:noalloc gate=SegmentRead
 func (d *decoder) byte() (byte, error) {
 	if len(d.buf) < 1 {
 		return 0, fmt.Errorf("ingestlog: truncated record")
@@ -122,6 +127,7 @@ func (d *decoder) byte() (byte, error) {
 	return b, nil
 }
 
+//redvet:noalloc gate=SegmentRead
 func (d *decoder) str() (string, error) {
 	n, w := binary.Uvarint(d.buf)
 	if w <= 0 || n > uint64(len(d.buf)-w) {
@@ -133,11 +139,13 @@ func (d *decoder) str() (string, error) {
 		return "", nil
 	}
 	if d.copy {
+		//redvet:ignore noalloc the copyStrings=true variant exists for consumers that retain strings past the mmap lifetime; the replay/bench path passes false and takes the unsafe view below
 		return string(b), nil
 	}
 	return unsafe.String(&b[0], len(b)), nil
 }
 
+//redvet:noalloc gate=SegmentRead
 func (d *decoder) int() (int, error) {
 	v, w := binary.Varint(d.buf)
 	if w <= 0 {

@@ -113,6 +113,8 @@ func OpenPartitionReader(dir string, partition int) (*Reader, error) {
 // the mapped segment and is valid until Close; callers that retain it
 // must copy. io.EOF signals a clean end of log (the torn tail a crash
 // leaves on the last segment included).
+//
+//redvet:noalloc gate=SegmentRead
 func (r *Reader) Next() (payload []byte, offset int64, err error) {
 	for {
 		if r.idx >= len(r.segs) {

@@ -116,6 +116,8 @@ func (s *segmentWriter) seal() error {
 // of committed records and the byte position just past the last valid
 // frame. Frames after that position (a torn tail or corruption) are not
 // counted; scanning stops at the first invalid frame.
+//
+//redvet:noalloc gate=SegmentRead
 func scanSegment(data []byte) (records int64, end int64) {
 	pos := int64(segmentHdrLen)
 	for {
@@ -132,6 +134,8 @@ func scanSegment(data []byte) (records int64, end int64) {
 // frameAt decodes the frame starting at pos, returning the payload and
 // the next frame's position. ok is false when the bytes at pos do not
 // form a complete, checksum-valid frame.
+//
+//redvet:noalloc gate=SegmentRead
 func frameAt(data []byte, pos int64) (payload []byte, next int64, ok bool) {
 	if pos < segmentHdrLen || pos+4 > int64(len(data)) {
 		return nil, pos, false

@@ -1,0 +1,28 @@
+package ingestlog
+
+import (
+	"encoding/binary"
+	"testing"
+)
+
+// The 16-byte segment header is on-disk format: logs written by one
+// build must replay under every later build. The pin plus the
+// round-trip below make a header change a deliberate versioned event
+// (bump segmentVersion) instead of a silent layout drift.
+func TestSegmentHeaderPinned(t *testing.T) {
+	if segmentHdrLen != 16 {
+		t.Fatalf("segmentHdrLen = %d, pinned at 16: the header is durable wire format; bump segmentVersion for layout changes", segmentHdrLen)
+	}
+	var hdr [segmentHdrLen]byte
+	putSegmentHeader(hdr[:], 3, 0x0123456789ab)
+	if string(hdr[:4]) != segmentMagic {
+		t.Fatalf("header magic = %q, want %q", hdr[:4], segmentMagic)
+	}
+	if v := binary.BigEndian.Uint16(hdr[4:6]); v != segmentVersion {
+		t.Fatalf("header version = %d, want %d", v, segmentVersion)
+	}
+	part, base, err := parseSegmentHeader(hdr[:])
+	if err != nil || part != 3 || base != 0x0123456789ab {
+		t.Fatalf("parseSegmentHeader round trip = (%d, %#x, %v), want (3, 0x0123456789ab, nil)", part, base, err)
+	}
+}

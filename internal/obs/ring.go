@@ -33,6 +33,8 @@ type Entry struct {
 
 // encodeEntry serializes a finished span into w. The buffer lives on the
 // caller's stack; producers copy it word-wise into their slabs.
+//
+//redvet:noalloc gate=SpanLifecycle
 func encodeEntry(w *[entryWords]uint64, sp *Span, epochUnix, total int64, slow bool) {
 	w[0] = sp.traceID
 	w[1] = uint64(epochUnix + sp.start)
@@ -99,6 +101,8 @@ func newRing(size int) *ring {
 }
 
 // append publishes one entry. Single producer only.
+//
+//redvet:noalloc gate=SpanLifecycle
 func (r *ring) append(w *[entryWords]uint64) {
 	h := r.head.Load()
 	off := (h & r.mask) * uint64(entryWords)
@@ -167,6 +171,7 @@ func newSlowRing(capacity int) *slowRing {
 	return &slowRing{cap: n, buf: make([]atomic.Uint64, n*uint64(slowSlotWords))}
 }
 
+//redvet:noalloc gate=SpanLifecycle
 func (r *slowRing) append(w *[entryWords]uint64) {
 	idx := r.head.Add(1) - 1
 	off := (idx % r.cap) * uint64(slowSlotWords)
@@ -232,6 +237,8 @@ func newReservoir(k int, seed uint64) *reservoir {
 }
 
 // next steps the xorshift64* generator.
+//
+//redvet:noalloc gate=SpanLifecycle
 func (rv *reservoir) next() uint64 {
 	x := rv.rng
 	x ^= x >> 12
@@ -242,6 +249,8 @@ func (rv *reservoir) next() uint64 {
 }
 
 // offer considers one entry for the reservoir. Single producer only.
+//
+//redvet:noalloc gate=SpanLifecycle
 func (rv *reservoir) offer(w *[entryWords]uint64) {
 	rv.count++
 	var slot uint64

@@ -55,6 +55,7 @@ func (s *Server) offerLogged(sh *shard, j job) (*shard, bool, error) {
 	}
 	j.offset, j.logged = off, true
 	sh.lastEnqueued.Store(off)
+	//redvet:ignore lockorder cannot block: queue capacity was checked under this same ingestMu and the shard goroutine never enqueues, so the send always has room; the mutex is what makes log order equal queue order
 	sh.queue <- j
 	return sh, true, nil
 }

@@ -73,6 +73,8 @@ const (
 )
 
 // Reset clears the scratch for reuse, dropping oversized buffers.
+//
+//redvet:noalloc gate=FeaturePathScan
 func (s *Scratch) Reset() {
 	s.Stats = ScanStats{}
 	s.sentHasLetter = false
@@ -116,6 +118,8 @@ func (s *Scratch) WordInfo(i int) (letters, uppers int, elongated bool) {
 }
 
 // Scan processes one tweet text. Any previous scan state is discarded.
+//
+//redvet:noalloc gate=FeaturePathScan
 func (s *Scratch) Scan(src string) {
 	s.Reset()
 	i, n := 0, len(src)
@@ -144,6 +148,8 @@ func (s *Scratch) Scan(src string) {
 }
 
 // field processes one whitespace-delimited token of the raw text.
+//
+//redvet:noalloc gate=FeaturePathScan
 func (s *Scratch) field(f string) {
 	// Entity classification mirrors IsMentionToken / IsHashtagToken /
 	// IsURLToken; the three are mutually exclusive by first byte.

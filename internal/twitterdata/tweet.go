@@ -29,6 +29,8 @@ const (
 
 // User carries the profile fields the feature extractor consumes, mirroring
 // the Twitter API payload.
+//
+//redvet:wire
 type User struct {
 	IDStr          string `json:"id_str"`
 	ScreenName     string `json:"screen_name"`
@@ -40,7 +42,12 @@ type User struct {
 }
 
 // Tweet is one stream element: the JSON payload of the Twitter Streaming
-// API plus, for the labeled stream, a class-label attribute.
+// API plus, for the labeled stream, a class-label attribute. It is wire
+// format three ways — the JSONL dataset files, the gob cluster frames,
+// and the ingestlog binary codec — so literals must stay keyed and the
+// ingestlog encode/decode pair is symmetry-checked against its fields.
+//
+//redvet:wire
 type Tweet struct {
 	IDStr     string `json:"id_str"`
 	Text      string `json:"text"`

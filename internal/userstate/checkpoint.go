@@ -39,6 +39,8 @@ const (
 )
 
 // counterState is the header frame payload.
+//
+//redvet:wire
 type counterState struct {
 	Verdicts     int64
 	Escalations  int64
@@ -48,6 +50,8 @@ type counterState struct {
 }
 
 // recordState is the gob DTO for one user record.
+//
+//redvet:wire
 type recordState struct {
 	ID                          string
 	ScreenName                  string
@@ -64,6 +68,7 @@ type recordState struct {
 	Ref                         bool
 }
 
+//redvet:wire
 type entryState struct {
 	At         int64
 	Aggressive bool
@@ -71,6 +76,8 @@ type entryState struct {
 }
 
 // shardState is the gob DTO for one shard, records in CLOCK ring order.
+//
+//redvet:wire
 type shardState struct {
 	Hand    int
 	MaxTime int64

@@ -1,0 +1,19 @@
+package userstate
+
+import (
+	"testing"
+	"unsafe"
+)
+
+// The store holds up to Config.MaxUsers of these (100k by default), so
+// every byte of padding multiplies by the population: 200 vs the prior
+// 208-byte layout is 0.8 MB at the default cap. The field order is
+// checked by redvet's fieldalign analyzer; this pin makes a regression
+// a visible diff. On a field change: re-pack (largest alignment first),
+// re-run `go run ./cmd/redvet ./...`, and update the pin together.
+func TestRecordSizePinned(t *testing.T) {
+	const want = 200 // bytes on 64-bit, padding-optimal under the gc sizing model
+	if got := unsafe.Sizeof(record{}); got != want {
+		t.Fatalf("unsafe.Sizeof(record{}) = %d, pinned at %d: re-pack the fields and update the pin", got, want)
+	}
+}

@@ -318,6 +318,13 @@ type entry struct {
 }
 
 // record is one user's state. All times are unix nanos (0 = unset).
+// The CLOCK cache holds up to MaxUsers (default 100k) of these, so the
+// field order is alignment-packed: word-sized fields first, the two
+// byte-wide flags together at the tail. The fieldalign check and the
+// TestRecordSizePinned pin enforce it (two stray interior bools
+// previously cost 8 bytes per record — 0.8 MB at the default cap).
+//
+//redvet:packed
 type record struct {
 	id         string
 	screenName string
@@ -327,8 +334,7 @@ type record struct {
 	lastVerdict int64
 
 	// Offense history (the alerting step's repeated-offense bookkeeping).
-	offenses  int
-	suspended bool
+	offenses int
 
 	// Behavioral aggregates.
 	firstSeen, lastSeen int64
@@ -342,8 +348,10 @@ type record struct {
 	lastEscalation      int64
 
 	// CLOCK bookkeeping.
-	ref     bool
 	ringIdx int
+
+	suspended bool // offense history: suspension latch
+	ref       bool // CLOCK reference bit
 }
 
 // shard is one lock stripe: a map for lookup plus a CLOCK ring (slice +
@@ -437,19 +445,24 @@ func fromNanos(n int64) time.Time {
 // Observe folds one classified tweet into its author's record, returning
 // any session/escalation verdicts it triggered. Empty user IDs are
 // ignored (zero Outcome).
+//
+//redvet:noalloc gate=UserstateObserveHot
 func (s *Store) Observe(o Observation) Outcome {
 	if o.UserID == "" {
 		return Outcome{}
 	}
 	sh := s.shardFor(o.UserID)
+	//redvet:ignore hotpathhygiene lock-wait contention is the one latency this subsystem must self-report; two clock reads bracketing the acquire are the instrument, not an accident
 	t0 := time.Now()
 	sh.mu.Lock()
+	//redvet:ignore hotpathhygiene see t0 above: the pair feeds the redhanded_userstate_lock_wait histogram
 	lockWait.Observe(time.Since(t0).Seconds())
 	out := s.observeLocked(sh, o)
 	sh.mu.Unlock()
 	return out
 }
 
+//redvet:noalloc gate=UserstateObserveHot
 func (s *Store) observeLocked(sh *shard, o Observation) Outcome {
 	at := nanos(o.At)
 	hasTime := at != 0
