@@ -59,6 +59,7 @@ func main() {
 		threshold  = flag.Float64("alert-threshold", 0.5, "alert confidence threshold")
 		shards     = flag.Int("shards", 4, "pipeline shards (user affinity is hash(userID) % shards)")
 		queue      = flag.Int("queue", 2048, "per-shard queue depth before 429 backpressure")
+		drainBatch = flag.Int("drain-batch", 32, "max queued tweets a shard drains per lock acquisition (1 = per-tweet)")
 		retryAfter = flag.Duration("retry-after", time.Second, "Retry-After hint on 429 responses")
 		checkpoint = flag.String("checkpoint", "", "checkpoint directory written on graceful shutdown")
 		restore    = flag.Bool("restore", false, "restore shard state from -checkpoint before serving")
@@ -153,6 +154,7 @@ func main() {
 		Pipeline:   opts,
 		Shards:     *shards,
 		QueueDepth: *queue,
+		DrainBatch: *drainBatch,
 		RetryAfter: *retryAfter,
 		Log:        ilog,
 		Trace: obs.Config{

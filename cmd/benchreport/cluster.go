@@ -36,6 +36,8 @@ type ClusterReport struct {
 	GOOS          string `json:"goos"`
 	GOARCH        string `json:"goarch"`
 	NumCPU        int    `json:"num_cpu"`
+	GOMAXPROCS    int    `json:"gomaxprocs"`
+	CPUModel      string `json:"cpu_model"`
 
 	Executors     int   `json:"executors"`
 	BatchSize     int   `json:"batch_size"`
@@ -152,6 +154,8 @@ func clusterBench(out string) error {
 		GOOS:            runtime.GOOS,
 		GOARCH:          runtime.GOARCH,
 		NumCPU:          runtime.NumCPU(),
+		GOMAXPROCS:      runtime.GOMAXPROCS(0),
+		CPUModel:        cpuModel(),
 		Executors:       clusterExecutors,
 		BatchSize:       clusterBatch,
 		WarmupTweets:    len(warmup),

@@ -1,0 +1,30 @@
+package main
+
+import (
+	"os"
+	"runtime"
+	"strings"
+)
+
+// cpuModel best-effort-identifies the host CPU so two BENCH_*.json files
+// can be ruled comparable (or not) without out-of-band notes. Linux
+// exposes it in /proc/cpuinfo; elsewhere (or on stripped containers) the
+// architecture stands in.
+func cpuModel() string {
+	if data, err := os.ReadFile("/proc/cpuinfo"); err == nil {
+		for _, line := range strings.Split(string(data), "\n") {
+			// x86 says "model name", arm64 often only "Hardware".
+			if rest, ok := strings.CutPrefix(line, "model name"); ok {
+				if i := strings.IndexByte(rest, ':'); i >= 0 {
+					return strings.TrimSpace(rest[i+1:])
+				}
+			}
+			if rest, ok := strings.CutPrefix(line, "Hardware"); ok {
+				if i := strings.IndexByte(rest, ':'); i >= 0 {
+					return strings.TrimSpace(rest[i+1:])
+				}
+			}
+		}
+	}
+	return runtime.GOARCH + " (cpu model unavailable)"
+}

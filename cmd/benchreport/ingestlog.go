@@ -28,6 +28,8 @@ type IngestlogReport struct {
 	GOOS          string  `json:"goos"`
 	GOARCH        string  `json:"goarch"`
 	NumCPU        int     `json:"num_cpu"`
+	GOMAXPROCS    int     `json:"gomaxprocs"`
+	CPUModel      string  `json:"cpu_model"`
 	Records       int     `json:"records"`
 	SegmentBytes  int64   `json:"segment_bytes"`
 	Benchmarks    []Entry `json:"benchmarks"`
@@ -213,6 +215,8 @@ func ingestlogBench(out string) error {
 		GOOS:          runtime.GOOS,
 		GOARCH:        runtime.GOARCH,
 		NumCPU:        runtime.NumCPU(),
+		GOMAXPROCS:    runtime.GOMAXPROCS(0),
+		CPUModel:      cpuModel(),
 		Records:       ingestlogRecords,
 		SegmentBytes:  ingestlogSegBytes,
 		Benchmarks: []Entry{

@@ -44,6 +44,8 @@ type Report struct {
 	GOOS          string  `json:"goos"`
 	GOARCH        string  `json:"goarch"`
 	NumCPU        int     `json:"num_cpu"`
+	GOMAXPROCS    int     `json:"gomaxprocs"`
+	CPUModel      string  `json:"cpu_model"`
 	Benchmarks    []Entry `json:"benchmarks"`
 	// Headline ratios: fast path vs the multi-pass legacy reference.
 	ExtractSpeedup     float64 `json:"extract_speedup"`
@@ -88,6 +90,7 @@ func main() {
 	users := flag.Bool("userstate", false, "benchmark the user-state store (Observe at 1M distinct users under a 100k cap, 16 goroutines)")
 	obsMode := flag.Bool("obs", false, "benchmark the tracing layer: span lifecycle allocs and traced-vs-untraced pipeline overhead")
 	ilog := flag.Bool("ingestlog", false, "benchmark the durable ingest log: append per fsync policy, segment reads, and disk replay")
+	snap := flag.Bool("snapshot", false, "benchmark compiled inference snapshots: zero-alloc classify, speedup vs the locked path, incremental rebuild")
 	verify := flag.Bool("verify-noalloc", false, "cross-check //redvet:noalloc gate annotations against the benchmark alloc gates (no benchmarks run)")
 	flag.Parse()
 	if *verify {
@@ -114,6 +117,19 @@ func main() {
 		if *ilog {
 			*out = "BENCH_ingestlog.json"
 		}
+		if *snap {
+			*out = "BENCH_snapshot.json"
+		}
+	}
+	if *snap {
+		if err := snapshotBench(*out); err != nil {
+			if err == errBelowTarget {
+				os.Exit(2)
+			}
+			fmt.Fprintln(os.Stderr, "benchreport:", err)
+			os.Exit(1)
+		}
+		return
 	}
 	if *ilog {
 		if err := ingestlogBench(*out); err != nil {
@@ -198,6 +214,8 @@ func main() {
 		GOOS:          runtime.GOOS,
 		GOARCH:        runtime.GOARCH,
 		NumCPU:        runtime.NumCPU(),
+		GOMAXPROCS:    runtime.GOMAXPROCS(0),
+		CPUModel:      cpuModel(),
 		Benchmarks: []Entry{
 			entry("FeaturePathFast", fast),
 			entry("FeaturePathLegacy", legacy),

@@ -29,6 +29,8 @@ type ObsReport struct {
 	GOOS          string  `json:"goos"`
 	GOARCH        string  `json:"goarch"`
 	NumCPU        int     `json:"num_cpu"`
+	GOMAXPROCS    int     `json:"gomaxprocs"`
+	CPUModel      string  `json:"cpu_model"`
 	Benchmarks    []Entry `json:"benchmarks"`
 
 	SpanAllocsPerOp int64   `json:"span_allocs_per_op"`
@@ -119,6 +121,8 @@ func obsBench(out string) error {
 		GOOS:          runtime.GOOS,
 		GOARCH:        runtime.GOARCH,
 		NumCPU:        runtime.NumCPU(),
+		GOMAXPROCS:    runtime.GOMAXPROCS(0),
+		CPUModel:      cpuModel(),
 		Benchmarks: []Entry{
 			entry("PipelineUntraced", untraced),
 			entry("PipelineTraced", traced),

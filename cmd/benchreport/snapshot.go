@@ -1,0 +1,222 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"redhanded/internal/core"
+	"redhanded/internal/feature"
+	"redhanded/internal/ml"
+	"redhanded/internal/stream"
+	"redhanded/internal/twitterdata"
+)
+
+// SnapshotReport is the BENCH_snapshot.json payload: the cost profile of
+// compiled inference snapshots. Three gates back the tentpole's promises:
+//
+//   - ZeroAllocClassify: one classify through Compiled.PredictInto — the
+//     lock-free hot path internal/core and both engines drive — allocates
+//     nothing.
+//   - MeetsTargetSpeedup: compiled classify on the warmed ARF is at least
+//     2x faster than the live (locked-path) model.Predict it replaces.
+//   - MeetsTargetIncremental: recompiling after a single train step
+//     re-flattens strictly fewer trees than the ensemble holds (O(changed
+//     trees), not O(model)), and a no-op recompile returns the previous
+//     snapshot untouched.
+type SnapshotReport struct {
+	GeneratedUnix int64   `json:"generated_unix"`
+	GoVersion     string  `json:"go_version"`
+	GOOS          string  `json:"goos"`
+	GOARCH        string  `json:"goarch"`
+	NumCPU        int     `json:"num_cpu"`
+	GOMAXPROCS    int     `json:"gomaxprocs"`
+	CPUModel      string  `json:"cpu_model"`
+	Benchmarks    []Entry `json:"benchmarks"`
+
+	ClassifyAllocsPerOp int64   `json:"classify_allocs_per_op"`
+	ClassifySpeedup     float64 `json:"classify_speedup"` // live Predict ns / compiled PredictInto ns
+	PipelineSpeedup     float64 `json:"pipeline_speedup"` // locked Process ns / fast Process ns (informational)
+
+	EnsembleTrees         int  `json:"ensemble_trees"`
+	RebuildTreesChanged   int  `json:"rebuild_trees_changed"` // trees re-flattened after one train step
+	NoopRebuildReusesPrev bool `json:"noop_rebuild_reuses_prev"`
+
+	ZeroAllocClassify      bool `json:"meets_target_zero_alloc"`
+	MeetsTargetSpeedup     bool `json:"meets_target_speedup"`     // >= 2x
+	MeetsTargetIncremental bool `json:"meets_target_incremental"` // changed < ensemble, noop free
+}
+
+// snapshotSpeedupMin is the CI gate: compiled classify must beat the live
+// locked-path predict by at least this factor on the warmed ARF.
+const snapshotSpeedupMin = 2.0
+
+// snapshotWarmedARF returns an ARF pipeline trained on the standard
+// aggression stream plus a pool of normalized feature vectors drawn from
+// an unlabeled continuation of it — the steady state both classify arms
+// measure against.
+func snapshotWarmedARF() (*core.Pipeline, [][]float64) {
+	opts := core.DefaultOptions()
+	opts.Model = core.ModelARF
+	p := core.NewPipeline(opts)
+	p.ProcessAll(twitterdata.GenerateAggression(twitterdata.AggressionConfig{
+		Seed: 2, Days: 10, NormalCount: 2000, AbusiveCount: 1000, HatefulCount: 200,
+	}))
+
+	src := twitterdata.NewUnlabeledSource(3, 10)
+	xs := make([][]float64, 2000)
+	raw := make([]float64, feature.NumFeatures)
+	for i := range xs {
+		tw := src.Next()
+		p.Extractor().ExtractInto(raw, &tw)
+		xs[i] = p.Normalizer().Normalize(raw, nil)
+	}
+	return p, xs
+}
+
+func snapshotBench(out string) error {
+	p, xs := snapshotWarmedARF()
+	model := p.Model()
+	cm := model.(stream.Compilable)
+	snap := cm.CompileSnapshot(nil)
+
+	// Arm 1: compiled classify — the exact call the lock-free fast path
+	// makes, scratch and votes reused the way the pipeline reuses them.
+	votes := make([]float64, snap.NumClasses())
+	scratch := make([]float64, snap.ScratchLen())
+	compiled := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			snap.PredictInto(votes, scratch, xs[i%len(xs)])
+		}
+	})
+
+	// Arm 2: the live model's Predict — what the locked path paid per
+	// tweet before snapshots existed (pointer-chasing tree walks plus a
+	// fresh votes allocation).
+	live := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			model.Predict(xs[i%len(xs)])
+		}
+	})
+
+	// Arm 3/4: whole-pipeline Process on an unlabeled stream, fast path vs
+	// the DisableCompiledSnapshots twin. Informational — extraction and
+	// user-state dominate, so the end-to-end ratio understates the
+	// classify win the gate above measures.
+	pool := make([]twitterdata.Tweet, 2000)
+	src := twitterdata.NewUnlabeledSource(5, 10)
+	for i := range pool {
+		pool[i] = src.Next()
+	}
+	benchPipeline := func(disable bool) testing.BenchmarkResult {
+		opts := core.DefaultOptions()
+		opts.Model = core.ModelARF
+		opts.DisableCompiledSnapshots = disable
+		tp := core.NewPipeline(opts)
+		tp.ProcessAll(twitterdata.GenerateAggression(twitterdata.AggressionConfig{
+			Seed: 2, Days: 10, NormalCount: 2000, AbusiveCount: 1000, HatefulCount: 200,
+		}))
+		return testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				tp.Process(&pool[i%len(pool)])
+			}
+		})
+	}
+	fastPipe := benchPipeline(false)
+	lockedPipe := benchPipeline(true)
+
+	// Incremental rebuild: a Lambda=1 forest keeps some bagging draws at
+	// zero, so a single train step must not re-flatten every member. The
+	// no-op recompile must return the previous snapshot unchanged.
+	forest := stream.NewAdaptiveRandomForest(stream.ARFConfig{
+		NumClasses: 3, NumFeatures: feature.NumFeatures, Lambda: 1, Seed: 7,
+	})
+	for i := range xs {
+		forest.Train(ml.Instance{X: xs[i], Label: i % 3, Weight: 1})
+	}
+	fsnap := forest.CompileSnapshot(nil)
+	ensemble := fsnap.NumTrees()
+	noopOK := forest.CompileSnapshot(fsnap) == fsnap
+	changed := ensemble
+	for i := 0; i < 20 && changed >= ensemble; i++ {
+		forest.Train(ml.Instance{X: xs[i], Label: i % 3, Weight: 1})
+		fsnap = forest.CompileSnapshot(fsnap)
+		changed = fsnap.Rebuilt()
+	}
+	rebuild := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			forest.Train(ml.Instance{X: xs[i%len(xs)], Label: i % 3, Weight: 1})
+			fsnap = forest.CompileSnapshot(fsnap)
+		}
+	})
+	full := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			forest.CompileSnapshot(nil)
+		}
+	})
+
+	rep := SnapshotReport{
+		GeneratedUnix: time.Now().Unix(),
+		GoVersion:     runtime.Version(),
+		GOOS:          runtime.GOOS,
+		GOARCH:        runtime.GOARCH,
+		NumCPU:        runtime.NumCPU(),
+		GOMAXPROCS:    runtime.GOMAXPROCS(0),
+		CPUModel:      cpuModel(),
+		Benchmarks: []Entry{
+			entry("CompiledClassify", compiled),
+			entry("LiveClassify", live),
+			entry("PipelineProcessFast", fastPipe),
+			entry("PipelineProcessLocked", lockedPipe),
+			entry("RebuildIncremental", rebuild),
+			entry("RebuildFull", full),
+		},
+		ClassifyAllocsPerOp:   compiled.AllocsPerOp(),
+		EnsembleTrees:         ensemble,
+		RebuildTreesChanged:   changed,
+		NoopRebuildReusesPrev: noopOK,
+	}
+	if c := float64(compiled.T.Nanoseconds()) / float64(compiled.N); c > 0 {
+		rep.ClassifySpeedup = (float64(live.T.Nanoseconds()) / float64(live.N)) / c
+	}
+	if f := float64(fastPipe.T.Nanoseconds()) / float64(fastPipe.N); f > 0 {
+		rep.PipelineSpeedup = (float64(lockedPipe.T.Nanoseconds()) / float64(lockedPipe.N)) / f
+	}
+	rep.ZeroAllocClassify = rep.ClassifyAllocsPerOp == 0
+	rep.MeetsTargetSpeedup = rep.ClassifySpeedup >= snapshotSpeedupMin
+	rep.MeetsTargetIncremental = rep.NoopRebuildReusesPrev && rep.RebuildTreesChanged < rep.EnsembleTrees
+
+	blob, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	blob = append(blob, '\n')
+	if out == "-" {
+		os.Stdout.Write(blob)
+	} else if err := os.WriteFile(out, blob, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("classify: %.0f ns/op compiled (%d allocs/op) vs %.0f ns/op live — %.2fx (gate %.1fx)\n",
+		float64(compiled.T.Nanoseconds())/float64(compiled.N), compiled.AllocsPerOp(),
+		float64(live.T.Nanoseconds())/float64(live.N), rep.ClassifySpeedup, snapshotSpeedupMin)
+	fmt.Printf("pipeline: %.2fx end-to-end; rebuild: %d/%d trees after one train step, noop reuses prev: %v\n",
+		rep.PipelineSpeedup, rep.RebuildTreesChanged, rep.EnsembleTrees, rep.NoopRebuildReusesPrev)
+	if !rep.ZeroAllocClassify || !rep.MeetsTargetSpeedup || !rep.MeetsTargetIncremental {
+		fmt.Fprintln(os.Stderr, "benchreport: WARNING: compiled-snapshot gate missed")
+		return errBelowTarget
+	}
+	return nil
+}

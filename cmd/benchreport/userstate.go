@@ -22,6 +22,8 @@ type UserstateReport struct {
 	GOOS          string  `json:"goos"`
 	GOARCH        string  `json:"goarch"`
 	NumCPU        int     `json:"num_cpu"`
+	GOMAXPROCS    int     `json:"gomaxprocs"`
+	CPUModel      string  `json:"cpu_model"`
 	Goroutines    int     `json:"goroutines"`
 	MaxUsers      int     `json:"max_users"`
 	DistinctUsers int     `json:"distinct_users"`
@@ -122,6 +124,8 @@ func userstateBench(out string) error {
 		GOOS:          runtime.GOOS,
 		GOARCH:        runtime.GOARCH,
 		NumCPU:        runtime.NumCPU(),
+		GOMAXPROCS:    runtime.GOMAXPROCS(0),
+		CPUModel:      cpuModel(),
 		Goroutines:    usersGoros,
 		MaxUsers:      usersCap,
 		DistinctUsers: usersDistinct,

@@ -19,6 +19,15 @@ var noallocGates = map[string]struct {
 	measuredBy string   // the benchreport mode + field that gates allocs
 	funcs      []string // qualified functions that must carry the gate
 }{
+	"CompiledClassify": {
+		measuredBy: "benchreport -snapshot: ZeroAllocClassify / meets_target_zero_alloc",
+		funcs: []string{
+			"redhanded/internal/stream.(*Compiled).PredictInto",
+			"redhanded/internal/stream.(*Compiled).predictSLR",
+			"redhanded/internal/stream.(*compiledTree).naiveBayesInto",
+			"redhanded/internal/stream.(*compiledTree).predictInto",
+		},
+	},
 	"FeaturePathFast": {
 		measuredBy: "benchreport (default): ExtractAllocsFast / MeetsTargetAllocs",
 		funcs: []string{

@@ -69,6 +69,13 @@ func main() {
 		MaxConnsPerHost:     0,
 	}}
 
+	// Pre-run server state, so the post-run report can show what the load
+	// itself caused: snapshot rebuilds during the run and how the classify
+	// stage's p99 moved. Both are nil/skipped against servers without the
+	// endpoints or running without -trace.
+	preTrace := fetchTrace(client, *url)
+	preStats := fetchStats(client, *url)
+
 	var (
 		next      atomic.Int64 // next request index, shared pacing clock
 		accepted  atomic.Int64
@@ -137,30 +144,60 @@ func main() {
 		fmt.Printf("request latency: p50=%s p95=%s p99=%s max=%s\n",
 			pct(all, 0.50), pct(all, 0.95), pct(all, 0.99), all[len(all)-1].Round(time.Microsecond))
 	}
-	printServerTrace(client, *url)
+	postTrace := fetchTrace(client, *url)
+	printServerTrace(postTrace)
+	printSnapshotDelta(preTrace, postTrace, preStats, fetchStats(client, *url))
 }
 
-// printServerTrace fetches the server-side stage breakdown from GET
-// /v1/trace and prints it as a table. Quietly skips servers running without
-// -trace (the endpoint feature-detects with enabled=false) or predating the
-// endpoint entirely.
-func printServerTrace(client *http.Client, base string) {
+// fetchTrace pulls the server-side stage breakdown from GET /v1/trace.
+// Returns nil against servers running without -trace (the endpoint
+// feature-detects with enabled=false) or predating the endpoint entirely.
+func fetchTrace(client *http.Client, base string) *obs.Summary {
 	resp, err := client.Get(base + "/v1/trace")
 	if err != nil {
 		logger.Debug("trace fetch failed", "err", err)
-		return
+		return nil
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
 		io.Copy(io.Discard, resp.Body)
-		return
+		return nil
 	}
 	var sum obs.Summary
 	if err := json.NewDecoder(resp.Body).Decode(&sum); err != nil {
 		logger.Debug("trace decode failed", "err", err)
-		return
+		return nil
 	}
-	if !sum.Enabled || len(sum.Stages) == 0 {
+	if !sum.Enabled {
+		return nil
+	}
+	return &sum
+}
+
+// fetchStats pulls GET /v1/stats; nil when the server is unreachable or
+// the endpoint is missing.
+func fetchStats(client *http.Client, base string) *serve.Stats {
+	resp, err := client.Get(base + "/v1/stats")
+	if err != nil {
+		logger.Debug("stats fetch failed", "err", err)
+		return nil
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		io.Copy(io.Discard, resp.Body)
+		return nil
+	}
+	var st serve.Stats
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		logger.Debug("stats decode failed", "err", err)
+		return nil
+	}
+	return &st
+}
+
+// printServerTrace prints the server-side stage breakdown as a table.
+func printServerTrace(sum *obs.Summary) {
+	if sum == nil || len(sum.Stages) == 0 {
 		return
 	}
 	fmt.Printf("\nserver-side stage breakdown (%d spans, %d over the %s slow budget):\n",
@@ -169,6 +206,52 @@ func printServerTrace(client *http.Client, base string) {
 	for _, st := range sum.Stages {
 		fmt.Printf("  %-16s %10d %10s %10s %10s\n", st.Stage, st.Count,
 			obs.DurString(st.P50Nanos), obs.DurString(st.P95Nanos), obs.DurString(st.P99Nanos))
+	}
+}
+
+// classifyP99 extracts the classify stage's p99 from a trace summary
+// (0 when the stage has not been observed).
+func classifyP99(sum *obs.Summary) int64 {
+	if sum == nil {
+		return 0
+	}
+	for _, st := range sum.Stages {
+		if st.Stage == "classify" {
+			return st.P99Nanos
+		}
+	}
+	return 0
+}
+
+// printSnapshotDelta reports what the run itself cost the lock-free
+// classify path: compiled-snapshot rebuilds triggered during the load and
+// the movement of the server-side classify p99. Printed only when the
+// server traces (matching the stage table) and publishes snapshot
+// counters on /v1/stats.
+func printSnapshotDelta(preTrace, postTrace *obs.Summary, pre, post *serve.Stats) {
+	if postTrace == nil || post == nil || post.SnapshotRebuilds == 0 {
+		return
+	}
+	rebuilds, trees := post.SnapshotRebuilds, post.SnapshotTreesRebuilt
+	if pre != nil {
+		rebuilds -= pre.SnapshotRebuilds
+		trees -= pre.SnapshotTreesRebuilt
+	}
+	fmt.Printf("\ncompiled snapshots: %d rebuilds during run (%d trees re-flattened; %d rebuilds total)\n",
+		rebuilds, trees, post.SnapshotRebuilds)
+	prev, cur := classifyP99(preTrace), classifyP99(postTrace)
+	if cur > 0 {
+		if prev > 0 {
+			delta := time.Duration(cur - prev).Round(time.Microsecond)
+			sign := ""
+			if delta >= 0 {
+				sign = "+"
+			}
+			fmt.Printf("classify p99: %s -> %s (%s%s)\n",
+				obs.DurString(prev), obs.DurString(cur), sign, delta)
+		} else {
+			fmt.Printf("classify p99: %s\n", obs.DurString(cur))
+		}
 	}
 }
 

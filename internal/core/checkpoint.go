@@ -145,5 +145,8 @@ func (p *Pipeline) Restore(r io.Reader) error {
 			p.evaluator.Matrix().AddN(i, j, st.EvalCells[i*k+j])
 		}
 	}
+	// UnmarshalBinary bumped the model epoch; re-publish so lock-free
+	// classifiers never see the pre-restore snapshot.
+	p.refreshSnapshotLocked(nil)
 	return nil
 }

@@ -117,6 +117,11 @@ type Options struct {
 	// history, escalation scoring, memory bounds). The zero value resolves
 	// to the userstate defaults: 16 shards, unbounded users, 24h idle TTL.
 	Users userstate.Config
+	// DisableCompiledSnapshots forces the pipeline onto the fully locked
+	// classify path even when the model supports compiled snapshots. It
+	// exists for equivalence testing and benchmarking the two paths
+	// against each other; production configurations leave it false.
+	DisableCompiledSnapshots bool
 }
 
 // DefaultOptions returns the configuration of the paper's main experiments.

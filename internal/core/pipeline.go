@@ -2,6 +2,8 @@ package core
 
 import (
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"redhanded/internal/eval"
 	"redhanded/internal/feature"
@@ -70,6 +72,32 @@ type Pipeline struct {
 	// evaluation step's "interesting statistics").
 	predCounts []int64
 
+	// snapshot is the RCU-published compiled form of the model: an
+	// immutable, pointer-free flattening (see stream.Compiled) that the
+	// classify step reads without taking mu. It is nil when the model is
+	// not stream.Compilable or snapshots are disabled; otherwise it is
+	// re-published under mu whenever the model's epoch moves, so at every
+	// predict the snapshot is bit-for-bit the live model.
+	snapshot     atomic.Pointer[stream.Compiled]
+	snapRebuilds atomic.Int64 // snapshot publications that re-flattened something
+	snapTrees    atomic.Int64 // member trees re-flattened across all rebuilds
+
+	// classifyScratch backs the zero-alloc PredictInto calls. Only the
+	// processing goroutine touches it (Pipeline supports one processor).
+	classifyScratch []float64
+
+	// batchRaws / batchXs are ProcessBatch working storage, reused across
+	// batches on the processing goroutine.
+	batchRaws []*feature.Vec
+	batchXs   [][]float64
+
+	// activeSpan is the span of the tweet currently inside its mutation /
+	// verdict fan-out section (guarded by mu; nil between tweets). Verdict
+	// sinks run synchronously inside that section, so a sink can attribute
+	// its cost to the right span even on the batched path, where the
+	// shard-level "current span" is ambiguous.
+	activeSpan *obs.Span
+
 	mu sync.Mutex
 }
 
@@ -80,7 +108,7 @@ func NewPipeline(opts Options) *Pipeline {
 	ext := feature.NewExtractor(feature.Config{Preprocess: opts.Preprocess, BoW: bowCfg})
 	k := opts.Scheme.NumClasses()
 	users := userstate.New(opts.Users)
-	return &Pipeline{
+	p := &Pipeline{
 		opts:       opts,
 		classes:    opts.Scheme.Classes(),
 		extractor:  ext,
@@ -93,7 +121,111 @@ func NewPipeline(opts Options) *Pipeline {
 		predCounts: make([]int64, k),
 		logOffset:  -1,
 	}
+	p.initSnapshot()
+	return p
 }
+
+// initSnapshot publishes the first compiled snapshot when the model
+// supports compilation and snapshots are enabled; otherwise the pipeline
+// stays on the fully locked path for its lifetime (snapshot == nil).
+func (p *Pipeline) initSnapshot() {
+	if p.opts.DisableCompiledSnapshots {
+		return
+	}
+	cm, ok := p.model.(stream.Compilable)
+	if !ok {
+		return
+	}
+	snap := cm.CompileSnapshot(nil)
+	p.snapshot.Store(snap)
+	p.snapRebuilds.Add(1)
+	p.snapTrees.Add(int64(snap.Rebuilt()))
+	p.classifyScratch = make([]float64, snap.ScratchLen())
+}
+
+// refreshSnapshotLocked re-publishes the compiled snapshot if the model
+// mutated since the last publication, reusing every unchanged member
+// tree (the rebuild is O(changed trees), see stream.CompileSnapshot).
+// Called with p.mu held; returns the current snapshot (nil when the
+// compiled path is off). The compile cost is attributed to sp's
+// StageCompile so a tweet that happened to pay for a rebuild shows it
+// in its trace instead of an inflated classify stage.
+func (p *Pipeline) refreshSnapshotLocked(sp *obs.Span) *stream.Compiled {
+	snap := p.snapshot.Load()
+	if snap == nil {
+		return nil
+	}
+	cm := p.model.(stream.Compilable)
+	if snap.Epoch() == cm.Epoch() {
+		return snap
+	}
+	var start time.Time
+	if sp != nil {
+		start = time.Now()
+	}
+	next := cm.CompileSnapshot(snap)
+	p.snapshot.Store(next)
+	p.snapRebuilds.Add(1)
+	p.snapTrees.Add(int64(next.Rebuilt()))
+	if sp != nil {
+		sp.AddExclusive(obs.StageCompile, time.Since(start))
+	}
+	return next
+}
+
+// SnapshotStats is the compiled-snapshot telemetry surfaced on /v1/stats
+// and /metrics.
+type SnapshotStats struct {
+	// Enabled reports whether the lock-free compiled classify path is on.
+	Enabled bool `json:"enabled"`
+	// Epoch is the model epoch the published snapshot was compiled at.
+	Epoch uint64 `json:"epoch"`
+	// ModelEpoch is the live model's current epoch; Age = ModelEpoch -
+	// Epoch is the number of model mutations the snapshot is behind
+	// (0 = fresh; the pipeline re-publishes before every classify and at
+	// the end of every mutation section, so a nonzero age is transient).
+	ModelEpoch uint64 `json:"model_epoch"`
+	Age        uint64 `json:"age"`
+	// Rebuilds counts snapshot publications; TreesRebuilt sums the member
+	// trees actually re-flattened across them (the incremental-rebuild
+	// saving is visible as TreesRebuilt growing slower than
+	// Rebuilds × ensemble size).
+	Rebuilds     int64 `json:"rebuilds"`
+	TreesRebuilt int64 `json:"trees_rebuilt"`
+	// Trees / Nodes describe the published snapshot's size.
+	Trees int `json:"trees"`
+	Nodes int `json:"nodes"`
+}
+
+// SnapshotStats reports the compiled-snapshot telemetry (zero value when
+// the compiled path is off).
+func (p *Pipeline) SnapshotStats() SnapshotStats {
+	snap := p.snapshot.Load()
+	if snap == nil {
+		return SnapshotStats{}
+	}
+	st := SnapshotStats{
+		Enabled:      true,
+		Epoch:        snap.Epoch(),
+		Rebuilds:     p.snapRebuilds.Load(),
+		TreesRebuilt: p.snapTrees.Load(),
+		Trees:        snap.NumTrees(),
+		Nodes:        snap.NumNodes(),
+	}
+	p.mu.Lock()
+	st.ModelEpoch = p.model.(stream.Compilable).Epoch()
+	p.mu.Unlock()
+	if st.ModelEpoch >= st.Epoch {
+		st.Age = st.ModelEpoch - st.Epoch
+	}
+	return st
+}
+
+// ActiveSpan returns the span of the tweet currently inside its
+// mutation/fan-out section, or nil. Verdict sinks run synchronously on
+// the processing goroutine within that section (which holds p.mu), so a
+// sink may call this to attribute emit cost to the triggering tweet.
+func (p *Pipeline) ActiveSpan() *obs.Span { return p.activeSpan }
 
 // Options returns the pipeline configuration.
 func (p *Pipeline) Options() Options { return p.opts }
@@ -249,6 +381,9 @@ func (p *Pipeline) Process(tw *twitterdata.Tweet) Result {
 // post-processing cost (reply delivery, bookkeeping) lands there until the
 // caller's Finish.
 func (p *Pipeline) ProcessTraced(tw *twitterdata.Tweet, sp *obs.Span) Result {
+	if p.snapshot.Load() != nil {
+		return p.processFast(tw, 0, false, sp)
+	}
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	return p.processLocked(tw, sp)
@@ -260,6 +395,9 @@ func (p *Pipeline) ProcessTraced(tw *twitterdata.Tweet, sp *obs.Span) Result {
 // arrive in order — the caller (a serve shard, which owns its partition)
 // guarantees that.
 func (p *Pipeline) ProcessLogged(tw *twitterdata.Tweet, offset int64, sp *obs.Span) Result {
+	if p.snapshot.Load() != nil {
+		return p.processFast(tw, offset, true, sp)
+	}
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	res := p.processLocked(tw, sp)
@@ -288,7 +426,19 @@ func (p *Pipeline) processLocked(tw *twitterdata.Tweet, sp *obs.Span) Result {
 		Predicted:  pred,
 		Confidence: votes.Confidence(),
 	}
+	p.finishProcess(tw, &res, sp)
+	return res
+}
 
+// finishProcess is the mutation section shared by the locked, fast, and
+// batched paths: everything after classification — prequential record +
+// train (labeled) or sampling + distribution counts (unlabeled), the
+// user-state fold, verdict fan-out, alerting, and bookkeeping. Called
+// with p.mu held; leaves the verdict stage open (callers close or
+// Finish it).
+func (p *Pipeline) finishProcess(tw *twitterdata.Tweet, res *Result, sp *obs.Span) {
+	p.activeSpan = sp
+	in, pred := res.Instance, res.Predicted
 	if in.IsLabeled() {
 		// Prequential: test first, then train.
 		p.evaluator.Record(in.Label, pred)
@@ -299,7 +449,7 @@ func (p *Pipeline) processLocked(tw *twitterdata.Tweet, sp *obs.Span) Result {
 		if pred >= 0 && pred < len(p.predCounts) {
 			p.predCounts[pred]++
 		}
-		p.sampler.Offer(tw, votes)
+		p.sampler.Offer(tw, res.Prediction)
 	}
 
 	res.Session, res.Escalation = p.observeUser(tw, pred > 0, res.Confidence, sp)
@@ -315,13 +465,210 @@ func (p *Pipeline) processLocked(tw *twitterdata.Tweet, sp *obs.Span) Result {
 			Value:     float64(p.extractor.BoW().Size()),
 		})
 	}
+	p.activeSpan = nil
+}
+
+// processFast is the lock-free-classify path, taken whenever a compiled
+// snapshot is published. Extraction runs outside the lock (the BoW
+// lookup is already lock-free), a short first critical section folds the
+// normalizer statistics and re-publishes the snapshot if the model moved,
+// classification runs against the immutable snapshot with no lock held,
+// and a second critical section applies the mutation effects (train /
+// sample / observe / alert / offset). The verdict stream is bit-for-bit
+// the locked path's: the pipeline has a single processing writer, so the
+// model cannot move between the refresh and the classify, and the
+// refreshed snapshot equals the live model by the stream equivalence
+// tests.
+func (p *Pipeline) processFast(tw *twitterdata.Tweet, offset int64, logged bool, sp *obs.Span) Result {
+	sp.BeginStage(obs.StageExtract)
+	raw := feature.GetVec()
+	p.extractor.ExtractInto(raw[:], tw)
+
+	p.mu.Lock()
+	p.normalizer.Observe(raw[:])
+	x := p.normalizer.Normalize(raw[:], nil)
+	snap := p.refreshSnapshotLocked(sp)
+	p.mu.Unlock()
+	feature.PutVec(raw)
+	label := ml.Unlabeled
+	if tw.IsLabeled() {
+		label = p.opts.Scheme.LabelIndex(tw.Label)
+	}
+	in := ml.Instance{X: x, Label: label, Weight: 1, ID: tw.IDStr, Day: tw.Day}
+
+	sp.BeginStage(obs.StageClassify)
+	votes := make(ml.Prediction, snap.NumClasses())
+	snap.PredictInto(votes, p.classifyScratch, x)
+	pred := votes.ArgMax()
+	res := Result{
+		Instance:   in,
+		Prediction: votes,
+		Predicted:  pred,
+		Confidence: votes.Confidence(),
+	}
+
+	p.mu.Lock()
+	p.finishProcess(tw, &res, sp)
+	if logged {
+		p.logOffset = offset
+	}
+	// Re-publish before releasing the lock so a mutation becomes visible
+	// to lock-free readers within the same call — the staleness bound.
+	p.refreshSnapshotLocked(sp)
+	p.mu.Unlock()
 	return res
 }
 
-// ProcessAll streams a dataset through the pipeline.
+// BatchEntry is one tweet of a micro-batched drain (see ProcessBatch).
+// Span may be nil (tracing off). Offset is the tweet's ingest-log offset,
+// applied when Logged is true — entries must carry offsets in order, as
+// with ProcessLogged.
+type BatchEntry struct {
+	Tweet  *twitterdata.Tweet
+	Span   *obs.Span
+	Offset int64
+	Logged bool
+}
+
+// labelOf resolves a tweet to the class index its instance will carry
+// (ml.Unlabeled for unlabeled tweets and unknown label strings). It is
+// the run-splitting predicate of ProcessBatch: an entry trains the model
+// iff labelOf >= 0, exactly mirroring Instance.IsLabeled.
+func (p *Pipeline) labelOf(tw *twitterdata.Tweet) int {
+	if tw.IsLabeled() {
+		return p.opts.Scheme.LabelIndex(tw.Label)
+	}
+	return ml.Unlabeled
+}
+
+// ProcessBatch runs a micro-batch of tweets through the pipeline,
+// appending one Result per entry to results (pass results[:0] to reuse
+// backing storage) and returning the extended slice.
+//
+// Labeled entries mutate the model, so they are processed one at a time
+// on the fast path; maximal runs of consecutive unlabeled entries are
+// batch-processed with two lock acquisitions for the whole run instead
+// of two per tweet (see processRun). Every observable effect — verdicts,
+// normalizer folds, sampler offers, alert decisions, log offsets —
+// happens in exactly the order sequential Process calls would produce,
+// so the verdict stream is bit-for-bit identical.
+//
+// Without a compiled snapshot the batch degenerates to per-entry locked
+// processing.
+func (p *Pipeline) ProcessBatch(entries []BatchEntry, results []Result) []Result {
+	if p.snapshot.Load() == nil {
+		p.mu.Lock()
+		defer p.mu.Unlock()
+		for _, e := range entries {
+			results = append(results, p.processLocked(e.Tweet, e.Span))
+			if e.Logged {
+				p.logOffset = e.Offset
+			}
+			e.Span.EndStage()
+		}
+		return results
+	}
+	for i := 0; i < len(entries); {
+		if p.labelOf(entries[i].Tweet) != ml.Unlabeled {
+			e := entries[i]
+			results = append(results, p.processFast(e.Tweet, e.Offset, e.Logged, e.Span))
+			e.Span.EndStage()
+			i++
+			continue
+		}
+		j := i + 1
+		for j < len(entries) && p.labelOf(entries[j].Tweet) == ml.Unlabeled {
+			j++
+		}
+		results = p.processRun(entries[i:j], results)
+		i = j
+	}
+	return results
+}
+
+// processRun batch-processes a run of consecutive unlabeled tweets in
+// four phases: (A) extract every raw vector outside the lock — no entry
+// in the run mutates the extractor, so each extraction sees exactly the
+// state sequential processing would; (B) one critical section folds the
+// normalizer statistics in entry order and refreshes the snapshot once;
+// (C) classify every entry lock-free against that snapshot — the model
+// cannot move inside an unlabeled run; (D) one critical section applies
+// the mutation sections in entry order. Stages are closed eagerly after
+// each entry's share of work so a span's stage durations never absorb
+// other entries' time; inter-phase gaps appear only in the span total.
+func (p *Pipeline) processRun(entries []BatchEntry, results []Result) []Result {
+	base := len(results)
+	raws := p.batchRaws[:0]
+	for range entries {
+		raws = append(raws, feature.GetVec())
+	}
+	for k, e := range entries {
+		e.Span.BeginStage(obs.StageExtract)
+		p.extractor.ExtractInto(raws[k][:], e.Tweet)
+		e.Span.EndStage()
+	}
+
+	xs := p.batchXs[:0]
+	p.mu.Lock()
+	for k, e := range entries {
+		e.Span.BeginStage(obs.StageExtract)
+		p.normalizer.Observe(raws[k][:])
+		xs = append(xs, p.normalizer.Normalize(raws[k][:], nil))
+		e.Span.EndStage()
+	}
+	snap := p.refreshSnapshotLocked(entries[0].Span)
+	p.mu.Unlock()
+	for _, raw := range raws {
+		feature.PutVec(raw)
+	}
+	p.batchRaws = raws[:0]
+
+	for k, e := range entries {
+		e.Span.BeginStage(obs.StageClassify)
+		votes := make(ml.Prediction, snap.NumClasses())
+		snap.PredictInto(votes, p.classifyScratch, xs[k])
+		e.Span.EndStage()
+		results = append(results, Result{
+			Instance:   ml.Instance{X: xs[k], Label: ml.Unlabeled, Weight: 1, ID: e.Tweet.IDStr, Day: e.Tweet.Day},
+			Prediction: votes,
+			Predicted:  votes.ArgMax(),
+			Confidence: votes.Confidence(),
+		})
+	}
+	p.batchXs = xs[:0]
+
+	p.mu.Lock()
+	for k, e := range entries {
+		p.finishProcess(e.Tweet, &results[base+k], e.Span)
+		if e.Logged {
+			p.logOffset = e.Offset
+		}
+		e.Span.EndStage()
+	}
+	p.mu.Unlock()
+	return results
+}
+
+// processAllBatch is the ProcessAll chunk size: large enough that the
+// two-locks-per-run amortization dominates, small enough that the reused
+// per-batch working storage stays cache-resident.
+const processAllBatch = 256
+
+// ProcessAll streams a dataset through the pipeline via the batched
+// path, amortizing lock acquisitions over runs of unlabeled tweets.
 func (p *Pipeline) ProcessAll(tweets []twitterdata.Tweet) {
-	for i := range tweets {
-		p.Process(&tweets[i])
+	entries := make([]BatchEntry, 0, processAllBatch)
+	results := make([]Result, 0, processAllBatch)
+	for i := 0; i < len(tweets); i += processAllBatch {
+		j := i + processAllBatch
+		if j > len(tweets) {
+			j = len(tweets)
+		}
+		entries = entries[:0]
+		for k := i; k < j; k++ {
+			entries = append(entries, BatchEntry{Tweet: &tweets[k]})
+		}
+		results = p.ProcessBatch(entries, results[:0])
 	}
 }
 
@@ -368,6 +715,9 @@ func (p *Pipeline) AbsorbBatch(tweets []twitterdata.Tweet, outcomes []Outcome) {
 			})
 		}
 	}
+	// The engine merged model deltas (ApplyAccumulators) before calling
+	// AbsorbBatch; re-publish so the snapshot catches up with the merge.
+	p.refreshSnapshotLocked(nil)
 }
 
 // Summary returns the cumulative evaluation metrics.

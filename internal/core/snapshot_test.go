@@ -1,0 +1,414 @@
+package core
+
+import (
+	"bytes"
+	"fmt"
+	"math"
+	"reflect"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"redhanded/internal/twitterdata"
+)
+
+// mixedStream builds a tweet stream that exercises every processing path:
+// labeled tweets (train), unlabeled tweets (sample/alert), and the
+// occasional unknown label string (resolves to ml.Unlabeled). Stripping
+// every third label creates runs of consecutive unlabeled tweets for the
+// batched path to coalesce.
+func mixedStream(seed uint64, n, a, h int) []twitterdata.Tweet {
+	tweets := smallDataset(seed, n, a, h)
+	for i := range tweets {
+		switch {
+		case i%3 == 1:
+			tweets[i].Label = ""
+		case i%50 == 17:
+			tweets[i].Label = "spam" // unknown label -> ml.Unlabeled
+		}
+	}
+	return tweets
+}
+
+// requireSameResult compares two Results bit-for-bit: votes and
+// confidences by Float64bits, verdict payloads structurally.
+func requireSameResult(t *testing.T, tag string, got, want Result) {
+	t.Helper()
+	if got.Predicted != want.Predicted {
+		t.Fatalf("%s: predicted %d, want %d", tag, got.Predicted, want.Predicted)
+	}
+	if math.Float64bits(got.Confidence) != math.Float64bits(want.Confidence) {
+		t.Fatalf("%s: confidence %v, want %v", tag, got.Confidence, want.Confidence)
+	}
+	if got.Alerted != want.Alerted || got.Tested != want.Tested {
+		t.Fatalf("%s: alerted/tested (%v,%v), want (%v,%v)", tag, got.Alerted, got.Tested, want.Alerted, want.Tested)
+	}
+	if len(got.Prediction) != len(want.Prediction) {
+		t.Fatalf("%s: %d vote classes, want %d", tag, len(got.Prediction), len(want.Prediction))
+	}
+	for c := range got.Prediction {
+		if math.Float64bits(got.Prediction[c]) != math.Float64bits(want.Prediction[c]) {
+			t.Fatalf("%s: class %d vote %v (bits %x), want %v (bits %x)", tag, c,
+				got.Prediction[c], math.Float64bits(got.Prediction[c]),
+				want.Prediction[c], math.Float64bits(want.Prediction[c]))
+		}
+	}
+	if got.Instance.Label != want.Instance.Label || got.Instance.ID != want.Instance.ID {
+		t.Fatalf("%s: instance (%d,%q), want (%d,%q)", tag,
+			got.Instance.Label, got.Instance.ID, want.Instance.Label, want.Instance.ID)
+	}
+	for f := range got.Instance.X {
+		if math.Float64bits(got.Instance.X[f]) != math.Float64bits(want.Instance.X[f]) {
+			t.Fatalf("%s: feature %d = %v, want %v", tag, f, got.Instance.X[f], want.Instance.X[f])
+		}
+	}
+	if !reflect.DeepEqual(got.Session, want.Session) {
+		t.Fatalf("%s: session verdict %+v, want %+v", tag, got.Session, want.Session)
+	}
+	if !reflect.DeepEqual(got.Escalation, want.Escalation) {
+		t.Fatalf("%s: escalation verdict %+v, want %+v", tag, got.Escalation, want.Escalation)
+	}
+}
+
+// requireSameState compares the externally observable pipeline state the
+// two paths must keep identical.
+func requireSameState(t *testing.T, fast, locked *Pipeline) {
+	t.Helper()
+	if fast.Processed() != locked.Processed() {
+		t.Fatalf("processed %d, want %d", fast.Processed(), locked.Processed())
+	}
+	if !reflect.DeepEqual(fast.Summary(), locked.Summary()) {
+		t.Fatalf("summaries diverged:\nfast:   %+v\nlocked: %+v", fast.Summary(), locked.Summary())
+	}
+	if !reflect.DeepEqual(fast.PredictedDistribution(), locked.PredictedDistribution()) {
+		t.Fatalf("predicted distributions diverged:\nfast:   %v\nlocked: %v",
+			fast.PredictedDistribution(), locked.PredictedDistribution())
+	}
+	if !reflect.DeepEqual(fast.BoWSizeCurve(), locked.BoWSizeCurve()) {
+		t.Fatalf("BoW size curves diverged")
+	}
+	if fast.LogOffset() != locked.LogOffset() {
+		t.Fatalf("log offset %d, want %d", fast.LogOffset(), locked.LogOffset())
+	}
+	if fast.Alerter().Raised() != locked.Alerter().Raised() {
+		t.Fatalf("alerts %d, want %d", fast.Alerter().Raised(), locked.Alerter().Raised())
+	}
+}
+
+// TestFastPathMatchesLockedGolden is the tentpole equivalence proof: the
+// lock-free compiled classify path must produce a bit-for-bit identical
+// verdict stream to the fully locked path, for every model kind, over a
+// stream mixing labeled, unlabeled, and unknown-label tweets.
+func TestFastPathMatchesLockedGolden(t *testing.T) {
+	for _, tc := range []struct {
+		kind    ModelKind
+		n, a, h int
+	}{
+		{ModelHT, 2500, 1200, 250},
+		{ModelARF, 1200, 600, 120},
+		{ModelSLR, 2500, 1200, 250},
+	} {
+		t.Run(tc.kind.String(), func(t *testing.T) {
+			tweets := mixedStream(uint64(100+tc.kind), tc.n, tc.a, tc.h)
+			opts := DefaultOptions()
+			opts.Model = tc.kind
+			fast := NewPipeline(opts)
+			if !fast.SnapshotStats().Enabled {
+				t.Fatalf("compiled snapshots should be on by default for %v", tc.kind)
+			}
+			lockedOpts := opts
+			lockedOpts.DisableCompiledSnapshots = true
+			locked := NewPipeline(lockedOpts)
+			if locked.SnapshotStats().Enabled {
+				t.Fatalf("DisableCompiledSnapshots did not disable the compiled path")
+			}
+			for i := range tweets {
+				var fr, lr Result
+				if i%4 == 2 { // exercise the logged variant too
+					fr = fast.ProcessLogged(&tweets[i], int64(i), nil)
+					lr = locked.ProcessLogged(&tweets[i], int64(i), nil)
+				} else {
+					fr = fast.Process(&tweets[i])
+					lr = locked.Process(&tweets[i])
+				}
+				requireSameResult(t, fmt.Sprintf("%v/tweet%d", tc.kind, i), fr, lr)
+			}
+			requireSameState(t, fast, locked)
+			if st := fast.SnapshotStats(); st.Rebuilds < 2 {
+				t.Fatalf("fast path never rebuilt its snapshot: %+v", st)
+			}
+		})
+	}
+}
+
+// TestProcessBatchMatchesSequential proves the micro-batched drain is a
+// pure amortization: batching tweets through ProcessBatch yields the
+// same results and state as one-at-a-time Process calls, for batch
+// sizes that split labeled/unlabeled runs at every possible boundary.
+func TestProcessBatchMatchesSequential(t *testing.T) {
+	tweets := mixedStream(201, 1500, 700, 150)
+	for _, batchSize := range []int{1, 7, 64} {
+		t.Run(fmt.Sprintf("batch%d", batchSize), func(t *testing.T) {
+			opts := DefaultOptions()
+			opts.Model = ModelARF
+			seq := NewPipeline(opts)
+			bat := NewPipeline(opts)
+			var seqResults []Result
+			for i := range tweets {
+				seqResults = append(seqResults, seq.ProcessLogged(&tweets[i], int64(i), nil))
+			}
+			var batResults []Result
+			entries := make([]BatchEntry, 0, batchSize)
+			for lo := 0; lo < len(tweets); lo += batchSize {
+				hi := lo + batchSize
+				if hi > len(tweets) {
+					hi = len(tweets)
+				}
+				entries = entries[:0]
+				for i := lo; i < hi; i++ {
+					entries = append(entries, BatchEntry{Tweet: &tweets[i], Offset: int64(i), Logged: true})
+				}
+				batResults = bat.ProcessBatch(entries, batResults)
+			}
+			if len(batResults) != len(seqResults) {
+				t.Fatalf("%d batched results, want %d", len(batResults), len(seqResults))
+			}
+			for i := range seqResults {
+				requireSameResult(t, fmt.Sprintf("tweet%d", i), batResults[i], seqResults[i])
+			}
+			requireSameState(t, bat, seq)
+		})
+	}
+}
+
+// TestProcessBatchLockedPathMatches covers the ProcessBatch fallback:
+// with snapshots disabled, batching must still equal sequential calls.
+func TestProcessBatchLockedPathMatches(t *testing.T) {
+	tweets := mixedStream(202, 600, 300, 60)
+	opts := DefaultOptions()
+	opts.DisableCompiledSnapshots = true
+	seq := NewPipeline(opts)
+	bat := NewPipeline(opts)
+	var seqResults []Result
+	for i := range tweets {
+		seqResults = append(seqResults, seq.Process(&tweets[i]))
+	}
+	var batResults []Result
+	for lo := 0; lo < len(tweets); lo += 16 {
+		hi := lo + 16
+		if hi > len(tweets) {
+			hi = len(tweets)
+		}
+		entries := make([]BatchEntry, 0, 16)
+		for i := lo; i < hi; i++ {
+			entries = append(entries, BatchEntry{Tweet: &tweets[i]})
+		}
+		batResults = bat.ProcessBatch(entries, batResults)
+	}
+	for i := range seqResults {
+		requireSameResult(t, fmt.Sprintf("tweet%d", i), batResults[i], seqResults[i])
+	}
+	requireSameState(t, bat, seq)
+}
+
+// TestSnapshotStalenessBound pins the publication rule: every Process
+// call leaves the published snapshot caught up with the live model
+// (age 0), so a train step is visible to lock-free classification within
+// the same call — the staleness bound of one micro-batch.
+func TestSnapshotStalenessBound(t *testing.T) {
+	opts := DefaultOptions()
+	opts.Model = ModelARF
+	p := NewPipeline(opts)
+	tweets := smallDataset(203, 300, 150, 30)
+	for i := range tweets {
+		p.Process(&tweets[i])
+		if st := p.SnapshotStats(); st.Age != 0 {
+			t.Fatalf("after tweet %d the snapshot is %d mutations stale (epoch %d, model %d)",
+				i, st.Age, st.Epoch, st.ModelEpoch)
+		}
+	}
+	st := p.SnapshotStats()
+	if st.Rebuilds < 2 {
+		t.Fatalf("labeled traffic should force rebuilds: %+v", st)
+	}
+	// Incremental rebuild: counter-based bagging leaves some member trees
+	// untouched on most train steps, so total trees re-flattened must be
+	// well below rebuilds × ensemble size.
+	if st.Trees > 1 && st.TreesRebuilt >= st.Rebuilds*int64(st.Trees) {
+		t.Fatalf("every rebuild re-flattened all %d trees (%d rebuilds, %d trees rebuilt): O(changed trees) lost",
+			st.Trees, st.Rebuilds, st.TreesRebuilt)
+	}
+}
+
+// TestSnapshotRestoreInvalidates proves a checkpoint restore republishes:
+// the model is replaced wholesale, so a stale snapshot would classify
+// against the pre-restore model forever.
+func TestSnapshotRestoreInvalidates(t *testing.T) {
+	opts := DefaultOptions()
+	p := NewPipeline(opts)
+	p.ProcessAll(smallDataset(204, 400, 200, 40))
+	before := p.SnapshotStats()
+
+	var buf bytes.Buffer
+	if err := p.Checkpoint(&buf); err != nil {
+		t.Fatal(err)
+	}
+	q := NewPipeline(opts)
+	if err := q.Restore(&buf); err != nil {
+		t.Fatal(err)
+	}
+	st := q.SnapshotStats()
+	if st.Age != 0 {
+		t.Fatalf("restored pipeline snapshot is %d mutations stale", st.Age)
+	}
+	if st.Epoch == 0 && before.Epoch != 0 {
+		t.Fatalf("restore did not republish (epoch 0 after restoring epoch-%d state)", before.Epoch)
+	}
+	// The two pipelines must now classify identically.
+	probe := smallDataset(205, 50, 25, 5)
+	for i := range probe {
+		probe[i].Label = ""
+		requireSameResult(t, fmt.Sprintf("probe%d", i), q.Process(&probe[i]), p.Process(&probe[i]))
+	}
+}
+
+// TestFastClassifyRacingTraining races lock-free snapshot readers
+// against the processing goroutine while ARF drift replaces member
+// trees. Under -race this proves the published snapshot shares no
+// mutable memory with the live model: readers re-evaluate a probe on
+// whatever snapshot is current while the writer trains through a label
+// flip. Reader classifications on one loaded snapshot must be
+// self-consistent (two evaluations bit-identical), which fails if a
+// published snapshot ever exposes a half-replaced ensemble member.
+func TestFastClassifyRacingTraining(t *testing.T) {
+	opts := DefaultOptions()
+	opts.Model = ModelARF
+	p := NewPipeline(opts)
+	warm := smallDataset(206, 400, 200, 40)
+	p.ProcessAll(warm)
+
+	probe := p.ExtractInstance(&warm[0]).X
+
+	var stop atomic.Bool
+	var checks atomic.Int64
+	var wg sync.WaitGroup
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var a, b, scratch []float64
+			for !stop.Load() {
+				snap := p.snapshot.Load()
+				if snap == nil {
+					continue
+				}
+				if len(a) < snap.NumClasses() {
+					a = make([]float64, snap.NumClasses())
+					b = make([]float64, snap.NumClasses())
+					scratch = make([]float64, snap.ScratchLen())
+				}
+				snap.PredictInto(a[:snap.NumClasses()], scratch, probe)
+				snap.PredictInto(b[:snap.NumClasses()], scratch, probe)
+				for c := range a {
+					if math.Float64bits(a[c]) != math.Float64bits(b[c]) {
+						t.Errorf("snapshot votes changed between evaluations: class %d %v vs %v", c, a[c], b[c])
+						stop.Store(true)
+						return
+					}
+				}
+				checks.Add(1)
+			}
+		}()
+	}
+
+	// Drive drift: same geometry generator, labels flipped by re-tagging
+	// aggressive traffic as normal and vice versa.
+	churn := smallDataset(207, 300, 600, 120)
+	for i := range churn {
+		switch churn[i].Label {
+		case twitterdata.LabelNormal:
+			churn[i].Label = twitterdata.LabelAbusive
+		case twitterdata.LabelAbusive, twitterdata.LabelHateful:
+			churn[i].Label = twitterdata.LabelNormal
+		}
+		p.Process(&churn[i])
+	}
+	stop.Store(true)
+	wg.Wait()
+	if checks.Load() == 0 {
+		t.Fatalf("readers never observed a snapshot")
+	}
+}
+
+// FuzzProcessBatchEquivalence fuzzes the run-splitting logic: arbitrary
+// label patterns and batch sizes must never make the batched path
+// diverge from sequential processing.
+func FuzzProcessBatchEquivalence(f *testing.F) {
+	f.Add(uint64(1), uint(5), uint64(0x35))
+	f.Add(uint64(7), uint(1), uint64(0xff))
+	f.Add(uint64(42), uint(31), uint64(0x00))
+	f.Fuzz(func(t *testing.T, seed uint64, batchSize uint, labelMask uint64) {
+		size := int(batchSize%64) + 1
+		tweets := smallDataset(seed%1024, 60, 30, 10)
+		for i := range tweets {
+			if labelMask>>(uint(i)%64)&1 == 0 {
+				tweets[i].Label = ""
+			}
+		}
+		opts := DefaultOptions()
+		seq := NewPipeline(opts)
+		bat := NewPipeline(opts)
+		var seqResults, batResults []Result
+		for i := range tweets {
+			seqResults = append(seqResults, seq.Process(&tweets[i]))
+		}
+		for lo := 0; lo < len(tweets); lo += size {
+			hi := lo + size
+			if hi > len(tweets) {
+				hi = len(tweets)
+			}
+			entries := make([]BatchEntry, 0, size)
+			for i := lo; i < hi; i++ {
+				entries = append(entries, BatchEntry{Tweet: &tweets[i]})
+			}
+			batResults = bat.ProcessBatch(entries, batResults)
+		}
+		for i := range seqResults {
+			requireSameResult(t, fmt.Sprintf("tweet%d", i), batResults[i], seqResults[i])
+		}
+		requireSameState(t, bat, seq)
+	})
+}
+
+// BenchmarkProcessAllBatchedVsLoop compares the batched ProcessAll path
+// against the per-tweet Process loop it replaced (the satellite
+// benchmark): same unlabeled-heavy workload, same pipeline options.
+func BenchmarkProcessAllBatchedVsLoop(b *testing.B) {
+	tweets := mixedStream(300, 4000, 2000, 400)
+	for i := range tweets {
+		tweets[i].Label = "" // steady-state serving traffic is unlabeled
+	}
+	warm := smallDataset(301, 1000, 500, 100)
+	bench := func(b *testing.B, run func(p *Pipeline, tweets []twitterdata.Tweet)) {
+		p := NewPipeline(DefaultOptions())
+		p.ProcessAll(warm)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			run(p, tweets)
+		}
+		b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*len(tweets)), "ns/tweet")
+	}
+	b.Run("loop", func(b *testing.B) {
+		bench(b, func(p *Pipeline, tweets []twitterdata.Tweet) {
+			for i := range tweets {
+				p.Process(&tweets[i])
+			}
+		})
+	})
+	b.Run("batched", func(b *testing.B) {
+		bench(b, func(p *Pipeline, tweets []twitterdata.Tweet) {
+			p.ProcessAll(tweets)
+		})
+	})
+}

@@ -204,6 +204,11 @@ type execSession struct {
 	modelKind string
 	model     stream.RemoteTrainable
 	modelHash uint64
+	// snap caches the compiled classify snapshot across shares. Patched
+	// broadcasts (PatchParts) keep unpatched member-tree pointers, so the
+	// recompile after a patch re-flattens only the members the driver
+	// actually shipped; full restores recompile everything.
+	snap *stream.Compiled
 
 	stats    *norm.FeatureStats
 	normMode int
@@ -510,12 +515,31 @@ func (s *execSession) runShare(msg *wireMsg) batchResponse {
 	snapshot := &norm.Normalizer{Mode: norm.Mode(s.normMode), Stats: stats}
 
 	// Phase 2 (parallel): normalize, predict, accumulate training deltas.
+	// Prediction goes through the compiled form of the broadcast model —
+	// immutable, so the parallel tasks share it without coordination.
+	var csnap *stream.Compiled
+	if cm, ok := model.(stream.Compilable); ok {
+		s.snap = cm.CompileSnapshot(s.snap)
+		csnap = s.snap
+	}
 	results := make([]partitionResult, parts)
 	runTasks(func(part int) {
 		res := partitionResult{part: part, acc: model.NewAccumulator()}
+		var votesBuf ml.Prediction
+		var scratch []float64
+		if csnap != nil {
+			votesBuf = make(ml.Prediction, csnap.NumClasses())
+			scratch = make([]float64, csnap.ScratchLen())
+		}
 		for idx := part; idx < len(tweets); idx += parts {
 			x := snapshot.Normalize(raws[idx][:], nil)
-			votes := model.Predict(x)
+			var votes ml.Prediction
+			if csnap != nil {
+				csnap.PredictInto(votesBuf, scratch, x)
+				votes = votesBuf
+			} else {
+				votes = model.Predict(x)
+			}
 			label := labels[idx]
 			if label >= 0 {
 				res.acc.Observe(ml.Instance{

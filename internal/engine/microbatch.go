@@ -105,6 +105,10 @@ func RunMicroBatch(p *core.Pipeline, src Source, cfg MicroBatchConfig) (Stats, e
 	}()
 
 	batch := make([]twitterdata.Tweet, 0, cfg.BatchSize)
+	// snapCache carries the compiled classify snapshot across batches so
+	// each batch re-flattens only the member trees the previous batch's
+	// training changed.
+	var snapCache *stream.Compiled
 	for {
 		batch = batch[:0]
 		for len(batch) < cfg.BatchSize {
@@ -118,7 +122,7 @@ func RunMicroBatch(p *core.Pipeline, src Source, cfg MicroBatchConfig) (Stats, e
 			break
 		}
 		batchStart := time.Now()
-		if err := runOneBatch(p, batch, cfg, tasks); err != nil {
+		if err := runOneBatch(p, batch, cfg, tasks, &snapCache); err != nil {
 			return stats, err
 		}
 		lat.add(time.Since(batchStart))
@@ -142,7 +146,7 @@ type taskMsg struct {
 	done *sync.WaitGroup
 }
 
-func runOneBatch(p *core.Pipeline, batch []twitterdata.Tweet, cfg MicroBatchConfig, tasks chan taskMsg) error {
+func runOneBatch(p *core.Pipeline, batch []twitterdata.Tweet, cfg MicroBatchConfig, tasks chan taskMsg, snapCache **stream.Compiled) error {
 	model := p.Model()
 
 	// Emulated Spark broadcast: serialize the global model and restore it,
@@ -197,7 +201,18 @@ func runOneBatch(p *core.Pipeline, batch []twitterdata.Tweet, cfg MicroBatchConf
 	}
 
 	// Phase 2 (parallel): normalize with the updated statistics, predict
-	// with the batch-start model, accumulate training deltas.
+	// with the batch-start model, accumulate training deltas. Prediction
+	// goes through the compiled form of the batch-start model: the
+	// snapshot is immutable, so partition tasks share it without
+	// coordination, and the cross-batch cache re-flattens only the member
+	// trees the previous batch's merge changed. (Broadcast emulation
+	// rebuilds every node, so with EmulateBroadcast on the recompile is
+	// necessarily full — the real serialization cost being modeled.)
+	var csnap *stream.Compiled
+	if cm, ok := model.(stream.Compilable); ok && !p.Options().DisableCompiledSnapshots {
+		csnap = cm.CompileSnapshot(*snapCache)
+		*snapCache = csnap
+	}
 	snapshot := &norm.Normalizer{Mode: p.Normalizer().Mode, Stats: p.Normalizer().Stats.Clone()}
 	results := make([]partitionResult, parts)
 	for part := 0; part < parts; part++ {
@@ -205,9 +220,21 @@ func runOneBatch(p *core.Pipeline, batch []twitterdata.Tweet, cfg MicroBatchConf
 		wg.Add(1)
 		tasks <- taskMsg{done: &wg, fn: func() {
 			res := partitionResult{part: part, acc: model.NewAccumulator()}
+			var votesBuf ml.Prediction
+			var scratch []float64
+			if csnap != nil {
+				votesBuf = make(ml.Prediction, csnap.NumClasses())
+				scratch = make([]float64, csnap.ScratchLen())
+			}
 			for idx := part; idx < len(batch); idx += parts {
 				x := snapshot.Normalize(raws[idx][:], nil)
-				votes := model.Predict(x)
+				var votes ml.Prediction
+				if csnap != nil {
+					csnap.PredictInto(votesBuf, scratch, x)
+					votes = votesBuf
+				} else {
+					votes = model.Predict(x)
+				}
 				label := labels[idx]
 				if label >= 0 {
 					res.acc.Observe(ml.Instance{

@@ -55,12 +55,13 @@ const (
 	StageExecutorRTT                  // cluster: share round trips, wall time
 	StageExecutorCompute              // cluster: executor-reported share compute (⊆ RTT)
 	StageMerge                        // cluster: delta decode + merge + absorb
+	StageCompile                      // compiled-snapshot rebuild after a model mutation
 	NumStages
 )
 
 var stageNames = [NumStages]string{
 	"queue", "extract", "classify", "observe", "verdict", "emit",
-	"executor_rtt", "executor_compute", "merge",
+	"executor_rtt", "executor_compute", "merge", "compile",
 }
 
 // stageBuckets extends the registry's default latency buckets down to 1µs:

@@ -52,6 +52,10 @@ type ShardStats struct {
 	// warning/drift/replacement counters for the ARF); absent for models
 	// without drift detectors.
 	Drift *stream.DriftStats `json:"drift,omitempty"`
+	// Snapshot carries the shard's compiled-snapshot telemetry (rebuild
+	// counters, staleness age); absent when the lock-free classify path
+	// is off.
+	Snapshot *core.SnapshotStats `json:"snapshot,omitempty"`
 	// IngestLog describes the shard's write-ahead log partition; absent
 	// when the server runs without a log.
 	IngestLog *ShardLogStats `json:"ingest_log,omitempty"`
@@ -95,11 +99,15 @@ type Stats struct {
 	Escalations     int64 `json:"escalations"`
 	// Aggregate drift telemetry across shards (models with drift
 	// detectors only).
-	Warnings         int64           `json:"drift_warnings,omitempty"`
-	Drifts           int64           `json:"drifts,omitempty"`
-	TreeReplacements int64           `json:"tree_replacements,omitempty"`
-	IngestLog        *IngestLogStats `json:"ingest_log,omitempty"`
-	PerShard         []ShardStats    `json:"per_shard"`
+	Warnings         int64 `json:"drift_warnings,omitempty"`
+	Drifts           int64 `json:"drifts,omitempty"`
+	TreeReplacements int64 `json:"tree_replacements,omitempty"`
+	// Aggregate compiled-snapshot telemetry across shards (zero when the
+	// lock-free classify path is off).
+	SnapshotRebuilds     int64           `json:"snapshot_rebuilds,omitempty"`
+	SnapshotTreesRebuilt int64           `json:"snapshot_trees_rebuilt,omitempty"`
+	IngestLog            *IngestLogStats `json:"ingest_log,omitempty"`
+	PerShard             []ShardStats    `json:"per_shard"`
 }
 
 func (s *Server) routes() *http.ServeMux {
@@ -320,6 +328,11 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 			Escalations:     users.Escalations(),
 			Report:          sh.p.Summary(),
 			Drift:           drift,
+		}
+		if snap := sh.p.SnapshotStats(); snap.Enabled {
+			st.SnapshotRebuilds += snap.Rebuilds
+			st.SnapshotTreesRebuilt += snap.TreesRebuilt
+			entry.Snapshot = &snap
 		}
 		if logStats != nil {
 			ps := logStats[sh.id]

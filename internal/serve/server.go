@@ -43,6 +43,13 @@ type Options struct {
 	Shards int
 	// QueueDepth bounds each shard's ingestion queue (default 1024).
 	QueueDepth int
+	// DrainBatch caps how many queued tweets a shard drains per
+	// core.ProcessBatch call (default 32, minimum 1). Batching amortizes
+	// the pipeline's lock acquisitions over runs of queued tweets; it
+	// never waits for a batch to form — the shard loop blocks for the
+	// first job only and takes whatever else is already queued, so an
+	// idle server keeps per-tweet latency.
+	DrainBatch int
 	// RetryAfter is advertised on 429 responses (default 1s).
 	RetryAfter time.Duration
 	// AlertBuffer is the per-subscriber alert buffer; slow SSE consumers
@@ -78,6 +85,9 @@ func (o Options) withDefaults() Options {
 	if o.QueueDepth <= 0 {
 		o.QueueDepth = 1024
 	}
+	if o.DrainBatch <= 0 {
+		o.DrainBatch = 32
+	}
 	if o.RetryAfter <= 0 {
 		o.RetryAfter = time.Second
 	}
@@ -111,16 +121,13 @@ type job struct {
 // shard is one pipeline partition: a bounded queue drained by a single
 // goroutine that owns the (non-thread-safe) core.Pipeline.
 type shard struct {
-	id        int
-	p         *core.Pipeline
-	queue     chan job
-	process   *metrics.Histogram
-	processed *metrics.Counter
-	// span is the trace span of the job currently being processed; the
-	// emit-timing sink reads it to attribute SSE publish time. Only the
-	// shard goroutine touches it (the sinks run synchronously inside
-	// Process on that goroutine).
-	span *obs.Span
+	id         int
+	p          *core.Pipeline
+	queue      chan job
+	drainBatch int
+	process    *metrics.Histogram
+	drainSize  *metrics.Histogram
+	processed  *metrics.Counter
 
 	// WAL state (log-enabled servers only). ingestMu serializes the
 	// append-then-enqueue pair so log order equals queue order, and the
@@ -136,31 +143,71 @@ type shard struct {
 	lastEnqueued atomic.Int64
 }
 
+// run drains the shard queue in micro-batches: block for one job, then
+// take whatever else is already queued (up to drainBatch) without
+// waiting, and hand the whole slice to core.ProcessBatch, which
+// amortizes the pipeline's lock acquisitions across the batch. Replies
+// are delivered in queue order after the batch completes; a synchronous
+// classify therefore waits at most one batch (bounded by DrainBatch),
+// and only when the queue was already backlogged.
 func (s *shard) run(wg *sync.WaitGroup) {
 	defer wg.Done()
-	for j := range s.queue {
+	jobs := make([]job, 0, s.drainBatch)
+	entries := make([]core.BatchEntry, 0, s.drainBatch)
+	results := make([]core.Result, 0, s.drainBatch)
+	closed := false
+	for !closed {
+		j, ok := <-s.queue
+		if !ok {
+			return
+		}
+		jobs = append(jobs[:0], j)
+	fill:
+		for len(jobs) < s.drainBatch {
+			select {
+			case j, ok := <-s.queue:
+				if !ok {
+					closed = true // process what we hold, then exit
+					break fill
+				}
+				jobs = append(jobs, j)
+			default:
+				break fill
+			}
+		}
+
 		start := time.Now()
-		s.span = j.span
-		var res core.Result
-		if j.logged {
-			res = s.p.ProcessLogged(&j.tweet, j.offset, j.span)
-		} else {
-			res = s.p.ProcessTraced(&j.tweet, j.span)
+		entries = entries[:0]
+		for i := range jobs {
+			entries = append(entries, core.BatchEntry{
+				Tweet:  &jobs[i].tweet,
+				Span:   jobs[i].span,
+				Offset: jobs[i].offset,
+				Logged: jobs[i].logged,
+			})
 		}
-		s.span = nil
-		if j.reply != nil {
-			j.reply <- res
+		results = s.p.ProcessBatch(entries, results[:0])
+		perTweet := time.Since(start).Seconds() / float64(len(jobs))
+		for i := range jobs {
+			if jobs[i].reply != nil {
+				jobs[i].reply <- results[i]
+			}
+			jobs[i].span.Finish()
+			s.process.Observe(perTweet)
 		}
-		j.span.Finish()
-		s.process.Observe(time.Since(start).Seconds())
-		s.processed.Inc()
+		s.drainSize.Observe(float64(len(jobs)))
+		s.processed.Add(int64(len(jobs)))
 	}
 }
 
 // emitTimer wraps the SSE hub as the shard's alert/verdict sink so the
 // time spent publishing lands in the span's emit stage, carved out of the
-// enclosing verdict stage. With tracing off the shard subscribes the hub
-// directly and this wrapper is not in the path.
+// enclosing verdict stage. Sinks run synchronously inside the pipeline's
+// mutation section, so the triggering tweet's span is the pipeline's
+// ActiveSpan — on the batched drain path the shard-level "current job"
+// is ambiguous, but the pipeline always knows whose effects are being
+// applied. With tracing off the shard subscribes the hub directly and
+// this wrapper is not in the path.
 type emitTimer struct {
 	sh  *shard
 	hub *alertHub
@@ -169,19 +216,19 @@ type emitTimer struct {
 func (e *emitTimer) HandleAlert(a core.Alert) {
 	start := time.Now()
 	e.hub.HandleAlert(a)
-	e.sh.span.AddExclusive(obs.StageEmit, time.Since(start))
+	e.sh.p.ActiveSpan().AddExclusive(obs.StageEmit, time.Since(start))
 }
 
 func (e *emitTimer) HandleSession(v core.SessionVerdict) {
 	start := time.Now()
 	e.hub.HandleSession(v)
-	e.sh.span.AddExclusive(obs.StageEmit, time.Since(start))
+	e.sh.p.ActiveSpan().AddExclusive(obs.StageEmit, time.Since(start))
 }
 
 func (e *emitTimer) HandleEscalation(v core.EscalationVerdict) {
 	start := time.Now()
 	e.hub.HandleEscalation(v)
-	e.sh.span.AddExclusive(obs.StageEmit, time.Since(start))
+	e.sh.p.ActiveSpan().AddExclusive(obs.StageEmit, time.Since(start))
 }
 
 // Server fronts the sharded pipelines over HTTP. It implements
@@ -282,11 +329,14 @@ func newServer(opts Options, start bool) *Server {
 	for i := 0; i < opts.Shards; i++ {
 		labels := metrics.Labels{"shard": fmt.Sprint(i)}
 		sh := &shard{
-			id:    i,
-			p:     core.NewPipeline(opts.Pipeline),
-			queue: make(chan job, opts.QueueDepth),
+			id:         i,
+			p:          core.NewPipeline(opts.Pipeline),
+			queue:      make(chan job, opts.QueueDepth),
+			drainBatch: opts.DrainBatch,
 			process: reg.Histogram("redhanded_shard_process_seconds",
 				"Pipeline processing time per tweet.", nil, labels),
+			drainSize: reg.Histogram("redhanded_shard_drain_batch",
+				"Tweets drained per shard-loop batch.", drainBuckets, labels),
 			processed: reg.Counter("redhanded_shard_processed_total",
 				"Tweets processed by the shard loop since server start.", labels),
 		}
@@ -306,6 +356,14 @@ func newServer(opts Options, start bool) *Server {
 		users := sh.p.Users()
 		reg.GaugeFunc("redhanded_userstate_active_users", "Tracked user records per shard.",
 			labels, func() float64 { return float64(users.Len()) })
+		if p := sh.p; p.SnapshotStats().Enabled {
+			reg.GaugeFunc("redhanded_snapshot_rebuilds", "Compiled-snapshot publications per shard.",
+				labels, func() float64 { return float64(p.SnapshotStats().Rebuilds) })
+			reg.GaugeFunc("redhanded_snapshot_trees_rebuilt", "Member trees re-flattened across snapshot rebuilds per shard.",
+				labels, func() float64 { return float64(p.SnapshotStats().TreesRebuilt) })
+			reg.GaugeFunc("redhanded_snapshot_age", "Model mutations the shard's published snapshot is behind.",
+				labels, func() float64 { return float64(p.SnapshotStats().Age) })
+		}
 		sh.lastEnqueued.Store(-1)
 		if l := opts.Log; l != nil {
 			part, p := sh.id, sh.p
@@ -324,6 +382,10 @@ func newServer(opts Options, start bool) *Server {
 	}
 	return s
 }
+
+// drainBuckets are the shard drain-batch-size histogram buckets: batch
+// sizes are small integers bounded by DrainBatch, not latencies.
+var drainBuckets = []float64{1, 2, 4, 8, 16, 32, 64, 128}
 
 // ShardFor returns the shard index a user's tweets are routed to. The
 // mapping is a pure function of (userID, shards), so it is stable across
@@ -446,8 +508,14 @@ func (s *Server) UnregisterMetrics() {
 		labels := metrics.Labels{"shard": fmt.Sprint(sh.id)}
 		s.opts.Registry.Unregister("redhanded_shard_queue_depth", labels)
 		s.opts.Registry.Unregister("redhanded_shard_process_seconds", labels)
+		s.opts.Registry.Unregister("redhanded_shard_drain_batch", labels)
 		s.opts.Registry.Unregister("redhanded_shard_processed_total", labels)
 		s.opts.Registry.Unregister("redhanded_userstate_active_users", labels)
+		if sh.p.SnapshotStats().Enabled {
+			s.opts.Registry.Unregister("redhanded_snapshot_rebuilds", labels)
+			s.opts.Registry.Unregister("redhanded_snapshot_trees_rebuilt", labels)
+			s.opts.Registry.Unregister("redhanded_snapshot_age", labels)
+		}
 		if s.opts.Log != nil {
 			s.opts.Registry.Unregister("redhanded_ingestlog_replay_lag", labels)
 		}

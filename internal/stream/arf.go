@@ -192,6 +192,11 @@ type AdaptiveRandomForest struct {
 	trainCount int64
 	drifts     int
 	warnings   int
+	// epoch counts prediction-relevant mutations at forest granularity
+	// (every train step touches the accuracy weights even when bagging
+	// draws zero); per-member tree epochs drive the incremental
+	// re-flattening in compiled.go.
+	epoch uint64
 }
 
 var _ ml.DistributedClassifier = (*AdaptiveRandomForest)(nil)
@@ -292,6 +297,7 @@ func (f *AdaptiveRandomForest) Train(in ml.Instance) {
 	if !in.IsLabeled() || in.Label >= f.cfg.NumClasses || !in.Valid() {
 		return
 	}
+	f.epoch++
 	for i, m := range f.members {
 		f.trainMember(m, in, f.baggingWeight(f.trainCount, i))
 	}
@@ -451,10 +457,15 @@ func (f *AdaptiveRandomForest) ApplyAccumulators(accs []ml.Accumulator) {
 			f.replayDetectors(m, errs, seen)
 		}
 	}
+	matched := false
 	for _, raw := range accs {
 		if acc, ok := raw.(*arfAccumulator); ok && acc.forest == f {
 			f.trainCount += acc.count
+			matched = true
 		}
+	}
+	if matched {
+		f.epoch++
 	}
 }
 

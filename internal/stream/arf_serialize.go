@@ -251,6 +251,7 @@ func (f *AdaptiveRandomForest) UnmarshalBinary(data []byte) error {
 		m.detector = f.restoreDetector(ms.Detector)
 		f.members = append(f.members, m)
 	}
+	f.epoch++ // the whole ensemble was rebuilt: invalidate compiled snapshots
 	return nil
 }
 
@@ -376,6 +377,7 @@ func (f *AdaptiveRandomForest) UnmarshalParts(header []byte, parts [][]byte) err
 		f.members[i] = m
 	}
 	f.applyHeader(hdr)
+	f.epoch++
 	return nil
 }
 
@@ -412,6 +414,10 @@ func (f *AdaptiveRandomForest) PatchParts(header []byte, idx []int, parts [][]by
 		}
 	}
 	f.applyHeader(hdr)
+	// Unpatched member trees keep their pointers, so a compiled snapshot
+	// built against the pre-patch forest re-flattens only the patched
+	// slots on the next CompileSnapshot.
+	f.epoch++
 	return nil
 }
 

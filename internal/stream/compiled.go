@@ -1,0 +1,435 @@
+package stream
+
+import (
+	"math"
+
+	"redhanded/internal/ml"
+)
+
+// Compiled inference snapshots: the live models (HoeffdingTree, SLR,
+// AdaptiveRandomForest) are mutable pointer graphs optimized for
+// incremental training. The serving hot path wants the opposite — an
+// immutable, pointer-free, contiguous representation it can classify
+// against without locks or allocations. CompileSnapshot flattens a
+// model's prediction function into that form:
+//
+//   - tree models become one cnode array per tree (split feature,
+//     threshold, child indices) plus two float64 arenas: `dist` for
+//     leaf class-count / log-prior blocks and `nb` for the precomputed
+//     naive-Bayes per-(feature, class) Gaussian records;
+//   - SLR becomes a single flat weight vector with a per-class stride.
+//
+// The flattening preserves the exact floating-point operation order of
+// the live predict paths, so a snapshot's votes are bit-for-bit
+// identical to the source model's Predict at the epoch it was compiled
+// (hoeffding_compiled_test.go proves this per model and under
+// concurrent training).
+//
+// Rebuilds are incremental: every model carries a monotone epoch
+// counter bumped on each mutation, and an ARF snapshot reuses the
+// flattened form of any member tree whose (pointer, epoch) pair is
+// unchanged since the previous snapshot — a drift replacement or a
+// trained member re-flattens only that member, O(changed trees).
+
+// Compilable is a streaming model whose prediction function can be
+// flattened into an immutable Compiled snapshot.
+type Compilable interface {
+	// Epoch returns a counter bumped on every mutation of
+	// prediction-relevant state; callers use it to detect staleness
+	// without recompiling.
+	Epoch() uint64
+	// CompileSnapshot flattens the current prediction state. prev, when
+	// non-nil, is an earlier snapshot of the same model: parts whose
+	// source did not change since prev was built are reused instead of
+	// re-flattened.
+	CompileSnapshot(prev *Compiled) *Compiled
+}
+
+// cnode is one flattened tree node. Internal nodes have feature >= 0
+// and left/right as node-array indices. Leaves have feature == -1:
+// left is the offset of the leaf's block in the dist arena, and right
+// is the offset of its naive-Bayes block in the nb arena, or -1 for a
+// majority-class leaf. A majority-class leaf's dist block holds its raw
+// class counts; a naive-Bayes leaf's dist block holds per-class log
+// priors (-Inf for classes the leaf never saw).
+type cnode struct {
+	threshold float64
+	feature   int32
+	left      int32
+	right     int32
+}
+
+// compiledTree is one flattened Hoeffding tree. src/srcEpoch identify
+// the live tree it was flattened from — used only as the incremental-
+// rebuild reuse key, never dereferenced at predict time.
+type compiledTree struct {
+	src      *HoeffdingTree
+	srcEpoch uint64
+	nodes    []cnode
+	dist     []float64
+	nb       []float64
+}
+
+// Compiled is an immutable, pointer-free snapshot of a model's
+// prediction function. It is safe for unsynchronized concurrent use by
+// any number of readers; publication is the caller's concern (the core
+// pipeline uses an atomic.Pointer per the RCU rule in DESIGN.md).
+type Compiled struct {
+	src        any // source model identity, for prev-reuse checks only
+	epoch      uint64
+	numClasses int
+	rebuilt    int // trees re-flattened while building this snapshot
+
+	// Tree models. A single HT compiles to one tree with no ensemble
+	// vote; ARF compiles to one tree per member plus accuracy weights.
+	trees    []*compiledTree
+	weights  []float64
+	ensemble bool
+
+	// SLR: flat [class*stride + feature] weights, bias at stride-1.
+	slrW      []float64
+	slrStride int
+}
+
+// Epoch returns the source-model epoch this snapshot was compiled at.
+func (c *Compiled) Epoch() uint64 { return c.epoch }
+
+// Rebuilt returns how many trees were re-flattened (rather than reused
+// from the previous snapshot) when this snapshot was built.
+func (c *Compiled) Rebuilt() int { return c.rebuilt }
+
+// NumClasses returns the class-domain size of the compiled model.
+func (c *Compiled) NumClasses() int { return c.numClasses }
+
+// NumTrees returns the number of flattened trees (0 for linear models).
+func (c *Compiled) NumTrees() int { return len(c.trees) }
+
+// NumNodes returns the total flattened node count across all trees.
+func (c *Compiled) NumNodes() int {
+	n := 0
+	for _, t := range c.trees {
+		n += len(t.nodes)
+	}
+	return n
+}
+
+// ScratchLen returns the scratch length PredictInto requires.
+func (c *Compiled) ScratchLen() int { return 2 * c.numClasses }
+
+// Predict is the allocating convenience form of PredictInto, used by
+// tests and cold paths.
+func (c *Compiled) Predict(x []float64) ml.Prediction {
+	dst := make(ml.Prediction, c.numClasses)
+	scratch := make([]float64, c.ScratchLen())
+	c.PredictInto(dst, scratch, x)
+	return dst
+}
+
+// PredictInto evaluates the compiled model on x, writing the per-class
+// votes into dst (length NumClasses). scratch is caller-owned working
+// space of at least ScratchLen() — both buffers are reused across
+// calls, which is what keeps the serving classify path at 0 allocs/op.
+// The votes are bit-for-bit identical to the source model's Predict at
+// the epoch the snapshot was compiled.
+//
+//redvet:noalloc gate=CompiledClassify
+func (c *Compiled) PredictInto(dst, scratch, x []float64) {
+	if c.slrStride > 0 {
+		c.predictSLR(dst, x)
+		return
+	}
+	if !c.ensemble {
+		// Single tree: the leaf votes are the prediction, verbatim.
+		c.trees[0].predictInto(dst, scratch, x)
+		return
+	}
+	votes := scratch[:c.numClasses]
+	logv := scratch[c.numClasses : 2*c.numClasses]
+	for cl := range dst {
+		dst[cl] = 0
+	}
+	for t := range c.trees {
+		c.trees[t].predictInto(votes, logv, x)
+		// Mirror ml.Prediction.Normalize: zero-sum votes stay raw.
+		sum := 0.0
+		for cl := range votes {
+			sum += votes[cl]
+		}
+		if sum > 0 {
+			for cl := range votes {
+				votes[cl] /= sum
+			}
+		}
+		w := c.weights[t]
+		for cl := range dst {
+			dst[cl] += w * votes[cl]
+		}
+	}
+}
+
+// predictInto routes x to its leaf and writes the leaf votes into
+// votes; logv is scratch for the naive-Bayes log-space accumulation.
+//
+//redvet:noalloc gate=CompiledClassify
+func (ct *compiledTree) predictInto(votes, logv, x []float64) {
+	i := int32(0)
+	for {
+		nd := ct.nodes[i]
+		if nd.feature >= 0 {
+			if int(nd.feature) < len(x) && x[nd.feature] <= nd.threshold {
+				i = nd.left
+			} else {
+				i = nd.right
+			}
+			continue
+		}
+		if nd.right < 0 {
+			// Majority-class leaf: raw class-count copy.
+			base := int(nd.left)
+			for c := range votes {
+				votes[c] = ct.dist[base+c]
+			}
+			return
+		}
+		ct.naiveBayesInto(votes, logv, x, int(nd.left), int(nd.right))
+		return
+	}
+}
+
+// naiveBayesInto replays HoeffdingTree.naiveBayesVotes against the
+// precomputed arena records: per class, the log prior plus each valid
+// (feature, class) Gaussian log-likelihood in ascending feature order,
+// then a max-shifted exp — the identical operation sequence, so the
+// result is bit-for-bit the live path's.
+//
+//redvet:noalloc gate=CompiledClassify
+func (ct *compiledTree) naiveBayesInto(votes, logv, x []float64, lpOff, nbOff int) {
+	nFeat := int(ct.nb[nbOff])
+	stride := 1 + 4*len(votes)
+	maxLog := math.Inf(-1)
+	for c := range votes {
+		lp := ct.dist[lpOff+c]
+		if math.IsInf(lp, -1) {
+			logv[c] = lp
+			continue
+		}
+		lv := lp
+		off := nbOff + 1
+		for f := 0; f < nFeat; f++ {
+			feat := int(ct.nb[off])
+			rec := off + 1 + 4*c
+			off += stride
+			if feat >= len(x) || ct.nb[rec] == 0 {
+				continue
+			}
+			std := ct.nb[rec+2]
+			z := (x[feat] - ct.nb[rec+1]) / std
+			lv += -0.5*z*z - ct.nb[rec+3]
+		}
+		logv[c] = lv
+		if lv > maxLog {
+			maxLog = lv
+		}
+	}
+	for c := range votes {
+		lv := logv[c]
+		if math.IsInf(lv, -1) {
+			votes[c] = 0
+			continue
+		}
+		votes[c] = math.Exp(lv - maxLog)
+	}
+}
+
+// predictSLR replays softmaxMargins over the flat weight vector.
+//
+//redvet:noalloc gate=CompiledClassify
+func (c *Compiled) predictSLR(dst, x []float64) {
+	stride := c.slrStride
+	maxM := math.Inf(-1)
+	for cl := range dst {
+		row := cl * stride
+		m := c.slrW[row+stride-1]
+		n := stride - 1
+		if len(x) < n {
+			n = len(x)
+		}
+		for i := 0; i < n; i++ {
+			m += c.slrW[row+i] * x[i]
+		}
+		dst[cl] = m
+		if m > maxM {
+			maxM = m
+		}
+	}
+	sum := 0.0
+	for cl := range dst {
+		dst[cl] = math.Exp(dst[cl] - maxM)
+		sum += dst[cl]
+	}
+	for cl := range dst {
+		dst[cl] /= sum
+	}
+}
+
+// --- compilation ---
+
+// compileTree flattens one live Hoeffding tree.
+func compileTree(t *HoeffdingTree) *compiledTree {
+	ct := &compiledTree{src: t, srcEpoch: t.epoch}
+	ct.addNode(t, t.root)
+	return ct
+}
+
+// addNode appends n (and, for internal nodes, its subtree) to the node
+// array and returns its index.
+func (ct *compiledTree) addNode(t *HoeffdingTree, n *htNode) int32 {
+	idx := int32(len(ct.nodes))
+	ct.nodes = append(ct.nodes, cnode{})
+	if n.isLeaf() {
+		ct.nodes[idx] = ct.compileLeaf(t, n.stats)
+		return idx
+	}
+	ct.nodes[idx].feature = int32(n.feature)
+	ct.nodes[idx].threshold = n.threshold
+	l := ct.addNode(t, n.left)
+	r := ct.addNode(t, n.right)
+	ct.nodes[idx].left = l
+	ct.nodes[idx].right = r
+	return idx
+}
+
+// compileLeaf freezes one leaf's prediction. The NaiveBayesAdaptive
+// choice (nbCorrect > mcCorrect) is resolved here: it only changes
+// under training, which bumps the epoch and re-flattens the tree. A
+// naive-Bayes leaf that has seen no weight votes all-zero, exactly what
+// copying its zero class counts yields, so it compiles as majority-class.
+func (ct *compiledTree) compileLeaf(t *HoeffdingTree, s *leafStats) cnode {
+	nb := t.cfg.LeafPrediction == NaiveBayes ||
+		(t.cfg.LeafPrediction == NaiveBayesAdaptive && s.nbCorrect > s.mcCorrect)
+	total := sum(s.classCounts)
+	if !nb || total == 0 {
+		off := int32(len(ct.dist))
+		ct.dist = append(ct.dist, s.classCounts...)
+		return cnode{feature: -1, left: off, right: -1}
+	}
+	lpOff := int32(len(ct.dist))
+	for _, cnt := range s.classCounts {
+		if cnt == 0 {
+			ct.dist = append(ct.dist, math.Inf(-1))
+		} else {
+			ct.dist = append(ct.dist, math.Log(cnt/total))
+		}
+	}
+	nbOff := int32(len(ct.nb))
+	nFeat := 0
+	for _, obs := range s.observers {
+		if obs != nil {
+			nFeat++
+		}
+	}
+	ct.nb = append(ct.nb, float64(nFeat))
+	for f, obs := range s.observers {
+		if obs == nil {
+			continue
+		}
+		ct.nb = append(ct.nb, float64(f))
+		for c := 0; c < len(s.classCounts); c++ {
+			w := obs.PerClass[c]
+			if w.N < 2 {
+				ct.nb = append(ct.nb, 0, 0, 0, 0)
+				continue
+			}
+			std := w.Std()
+			if std < 1e-9 {
+				std = 1e-9
+			}
+			ct.nb = append(ct.nb, 1, w.Mean, std, math.Log(std))
+		}
+	}
+	return cnode{feature: -1, left: lpOff, right: nbOff}
+}
+
+// Epoch implements Compilable.
+func (t *HoeffdingTree) Epoch() uint64 { return t.epoch }
+
+// CompileSnapshot implements Compilable.
+func (t *HoeffdingTree) CompileSnapshot(prev *Compiled) *Compiled {
+	if prev != nil && prev.src == any(t) && prev.epoch == t.epoch {
+		return prev
+	}
+	return &Compiled{
+		src:        t,
+		epoch:      t.epoch,
+		numClasses: t.cfg.NumClasses,
+		rebuilt:    1,
+		trees:      []*compiledTree{compileTree(t)},
+	}
+}
+
+// Epoch implements Compilable.
+func (s *SLR) Epoch() uint64 { return s.epoch }
+
+// CompileSnapshot implements Compilable. SLR has no incremental
+// structure — the flat copy is O(weights) and always rebuilt.
+func (s *SLR) CompileSnapshot(prev *Compiled) *Compiled {
+	if prev != nil && prev.src == any(s) && prev.epoch == s.epoch {
+		return prev
+	}
+	stride := 0
+	if len(s.w) > 0 {
+		stride = len(s.w[0])
+	}
+	flat := make([]float64, 0, len(s.w)*stride)
+	for _, row := range s.w {
+		flat = append(flat, row...)
+	}
+	return &Compiled{
+		src:        s,
+		epoch:      s.epoch,
+		numClasses: s.cfg.NumClasses,
+		rebuilt:    1,
+		slrW:       flat,
+		slrStride:  stride,
+	}
+}
+
+// Epoch implements Compilable.
+func (f *AdaptiveRandomForest) Epoch() uint64 { return f.epoch }
+
+// CompileSnapshot implements Compilable. Member vote weights are
+// recomputed every rebuild (O(members)); a member tree is re-flattened
+// only when its (pointer, epoch) reuse key changed since prev — members
+// whose bagging weight drew zero, and the unchanged majority after a
+// drift replacement, are reused as-is.
+func (f *AdaptiveRandomForest) CompileSnapshot(prev *Compiled) *Compiled {
+	if prev != nil && prev.src == any(f) && prev.epoch == f.epoch {
+		return prev
+	}
+	c := &Compiled{
+		src:        f,
+		epoch:      f.epoch,
+		numClasses: f.cfg.NumClasses,
+		ensemble:   true,
+		trees:      make([]*compiledTree, len(f.members)),
+		weights:    make([]float64, len(f.members)),
+	}
+	for i, m := range f.members {
+		c.weights[i] = m.weight()
+		if prev != nil && i < len(prev.trees) && prev.trees[i] != nil &&
+			prev.trees[i].src == m.tree && prev.trees[i].srcEpoch == m.tree.epoch {
+			c.trees[i] = prev.trees[i]
+			continue
+		}
+		c.trees[i] = compileTree(m.tree)
+		c.rebuilt++
+	}
+	return c
+}
+
+// Interface conformance checks.
+var (
+	_ Compilable = (*HoeffdingTree)(nil)
+	_ Compilable = (*SLR)(nil)
+	_ Compilable = (*AdaptiveRandomForest)(nil)
+)

@@ -103,6 +103,13 @@ type HoeffdingTree struct {
 	nextID     int64
 	trainCount int64
 	splitCount int64
+	// epoch counts prediction-relevant mutations (train steps, delta
+	// merges, restores); compiled snapshots key their staleness and
+	// incremental-rebuild reuse on it (see compiled.go). Reads and
+	// writes are synchronized by the owning pipeline/engine — the
+	// lock-free classify path only ever touches published Compiled
+	// snapshots, never the live tree.
+	epoch uint64
 }
 
 var _ ml.DistributedClassifier = (*HoeffdingTree)(nil)
@@ -245,6 +252,7 @@ func (t *HoeffdingTree) Train(in ml.Instance) {
 	if w <= 0 {
 		w = 1
 	}
+	t.epoch++
 	leaf := t.sortingLeaf(in.X)
 	t.updateLeaf(leaf, in.X, in.Label, w)
 	t.trainCount += int64(w)

@@ -66,10 +66,14 @@ func (a *htAccumulator) Count() int64 { return a.count }
 // for leaves that no longer exist (stale accumulators) are dropped.
 func (t *HoeffdingTree) ApplyAccumulators(accs []ml.Accumulator) {
 	touched := make(map[int64]*htNode)
+	mutated := false
 	for _, raw := range accs {
 		acc, ok := raw.(*htAccumulator)
 		if !ok || acc.tree != t {
 			continue
+		}
+		if acc.count != 0 || len(acc.deltas) > 0 {
+			mutated = true
 		}
 		for id, d := range acc.deltas {
 			leaf, ok := t.leaves[id]
@@ -103,5 +107,8 @@ func (t *HoeffdingTree) ApplyAccumulators(accs []ml.Accumulator) {
 			s.weightAtLastEval = s.weightSeen
 			t.attemptSplit(leaf)
 		}
+	}
+	if mutated {
+		t.epoch++
 	}
 }

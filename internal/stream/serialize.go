@@ -175,6 +175,7 @@ func (t *HoeffdingTree) UnmarshalBinary(data []byte) error {
 		return fmt.Errorf("stream: trailing nodes in tree encoding")
 	}
 	t.root = root
+	t.epoch++ // the whole tree was rebuilt: invalidate compiled snapshots
 	return nil
 }
 
@@ -268,6 +269,7 @@ func (s *SLR) UnmarshalBinary(data []byte) error {
 	s.cfg = st.Cfg
 	s.w = st.W
 	s.trainCount = st.TrainCount
+	s.epoch++ // weights replaced: invalidate compiled snapshots
 	return nil
 }
 

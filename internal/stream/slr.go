@@ -61,6 +61,7 @@ type SLR struct {
 	cfg        SLRConfig
 	w          [][]float64 // [class][feature]; last slot is the bias
 	trainCount int64
+	epoch      uint64 // prediction-relevant mutation counter (compiled.go)
 }
 
 var _ ml.DistributedClassifier = (*SLR)(nil)
@@ -137,6 +138,7 @@ func (s *SLR) Train(in ml.Instance) {
 	}
 	sgdStep(s.w, in, s.cfg, weight)
 	s.trainCount++
+	s.epoch++
 }
 
 // sgdStep performs one (possibly weighted) SGD step: cross-entropy
@@ -247,4 +249,5 @@ func (s *SLR) ApplyAccumulators(accs []ml.Accumulator) {
 	}
 	s.w = merged
 	s.trainCount += total
+	s.epoch++
 }
