@@ -1,0 +1,311 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"redhanded/internal/core"
+	"redhanded/internal/feature"
+	"redhanded/internal/ingestlog"
+	"redhanded/internal/twitterdata"
+)
+
+// IngressReport is the BENCH_ingress.json payload: the cost profile of the
+// zero-allocation ingress decode and the content-addressed extraction
+// cache under retweet-heavy traffic. Five gates back the tentpole:
+//
+//   - ZeroAllocDecode: one NDJSON tweet through the pooled Decoder — the
+//     exact call /v1/ingest and /v1/classify make per line — allocates
+//     nothing (arena chunks amortize to zero via Discard).
+//   - ZeroAllocHit: a cache hit (content lookup plus the per-user profile
+//     refill) allocates nothing.
+//   - MeetsTargetDecodeSpeedup: the fast decoder beats encoding/json by
+//     at least 3x on the same lines.
+//   - MeetsTargetIngestSpeedup: the full new ingest hot path (fast decode
+//     -> raw WAL append -> cached extraction pipeline) sustains at least
+//     1.3x the legacy path's throughput (stdlib decode -> binary
+//     re-marshal append -> uncached extraction) on a 30%-duplicate
+//     stream. Typical measured ratio is ~1.45x; the CI gate sits at 1.3x
+//     so scheduler noise cannot flake it.
+//   - MeetsTargetHitRatio: that 30%-duplicate stream actually hits the
+//     cache at >= 25% (the duplicated texts are recent, so a correctly
+//     keyed and invalidated cache converges on the duplicate fraction).
+type IngressReport struct {
+	GeneratedUnix int64   `json:"generated_unix"`
+	GoVersion     string  `json:"go_version"`
+	GOOS          string  `json:"goos"`
+	GOARCH        string  `json:"goarch"`
+	NumCPU        int     `json:"num_cpu"`
+	GOMAXPROCS    int     `json:"gomaxprocs"`
+	CPUModel      string  `json:"cpu_model"`
+	Benchmarks    []Entry `json:"benchmarks"`
+
+	DecodeAllocs   int64   `json:"decode_allocs_per_op"`
+	CacheHitAllocs int64   `json:"cachehit_allocs_per_op"`
+	DecodeSpeedup  float64 `json:"decode_speedup"` // stdlib ns / fast ns
+	// IngestSpeedup compares tweets/s through the new and legacy hot
+	// paths on the same 30%-duplicate stream; Dup0Speedup is the same
+	// comparison with duplication off (decode + append win only).
+	IngestSpeedup float64 `json:"ingest_speedup"`
+	Dup0Speedup   float64 `json:"ingest_speedup_dup0"`
+	CacheHitRatio float64 `json:"cache_hit_ratio"` // at 30% duplicates
+
+	ZeroAllocDecode          bool `json:"meets_target_zero_alloc_decode"`
+	ZeroAllocHit             bool `json:"meets_target_zero_alloc_hit"`
+	MeetsTargetDecodeSpeedup bool `json:"meets_target_decode_speedup"` // >= 3x
+	MeetsTargetIngestSpeedup bool `json:"meets_target_ingest_speedup"` // >= 1.3x
+	MeetsTargetHitRatio      bool `json:"meets_target_hit_ratio"`      // >= 0.25
+}
+
+const (
+	ingressDecodeSpeedupMin = 3.0
+	ingressIngestSpeedupMin = 1.3
+	ingressHitRatioMin      = 0.25
+	// ingressStreamLen is sized so the timed loops never wrap the line
+	// pool: a wrapped pool would re-present every text and inflate the
+	// cache hit ratio beyond what the duplicate ratio justifies.
+	ingressStreamLen = 60000
+	ingressOps       = 50000
+)
+
+// ingressLines pre-marshals a firehose stream at the given duplicate
+// ratio, mirroring what loadgen -duplicate-ratio ships.
+func ingressLines(n int, dup float64) [][]byte {
+	src := twitterdata.NewUnlabeledSource(9, 10)
+	src.SetDuplicateRatio(dup)
+	out := make([][]byte, n)
+	for i := range out {
+		tw := src.Next()
+		blob, err := tw.Marshal()
+		if err != nil {
+			panic(err)
+		}
+		out[i] = blob
+	}
+	return out
+}
+
+// ingressE2E drives ingressOps tweets through one ingest hot path
+// synchronously — decode, WAL append (fsync off), pipeline process — and
+// returns the per-tweet cost. fast selects the new path (pooled Decoder,
+// raw NDJSON append, extraction cache at its default size); legacy is the
+// pre-optimization path (encoding/json, binary re-marshal append, cache
+// disabled). The loop is a fixed-count manual measurement rather than
+// testing.Benchmark so the adaptive iteration count can never wrap the
+// line pool and distort the hit ratio.
+func ingressE2E(name string, lines [][]byte, fast bool) (Entry, feature.CacheStats, error) {
+	opts := core.DefaultOptions()
+	opts.SampleStep = 0
+	if !fast {
+		opts.FeatureCacheEntries = -1
+	}
+	p := core.NewPipeline(opts)
+	dir, err := os.MkdirTemp("", "benchreport-ingress-*")
+	if err != nil {
+		return Entry{}, feature.CacheStats{}, err
+	}
+	defer os.RemoveAll(dir)
+	l, err := ingestlog.Open(ingestlog.Options{Dir: dir, Partitions: 1, Fsync: ingestlog.FsyncOff})
+	if err != nil {
+		return Entry{}, feature.CacheStats{}, err
+	}
+	defer l.Close()
+
+	dec := twitterdata.GetDecoder()
+	defer twitterdata.PutDecoder(dec)
+	var encBuf []byte
+	var tw twitterdata.Tweet
+	var msBefore, msAfter runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&msBefore)
+	start := time.Now()
+	for i := 0; i < ingressOps; i++ {
+		line := lines[i%len(lines)]
+		if fast {
+			if err := dec.DecodeInto(&tw, line); err != nil {
+				return Entry{}, feature.CacheStats{}, err
+			}
+			if _, err := l.Append(0, line); err != nil {
+				return Entry{}, feature.CacheStats{}, err
+			}
+		} else {
+			tw = twitterdata.Tweet{}
+			if err := json.Unmarshal(line, &tw); err != nil {
+				return Entry{}, feature.CacheStats{}, err
+			}
+			encBuf = ingestlog.AppendTweet(encBuf[:0], &tw)
+			if _, err := l.Append(0, encBuf); err != nil {
+				return Entry{}, feature.CacheStats{}, err
+			}
+		}
+		p.Process(&tw)
+		if fast {
+			dec.Discard()
+		}
+	}
+	elapsed := time.Since(start)
+	runtime.ReadMemStats(&msAfter)
+
+	ns := float64(elapsed.Nanoseconds()) / float64(ingressOps)
+	e := Entry{
+		Name:        name,
+		NsPerOp:     ns,
+		BytesPerOp:  int64(msAfter.TotalAlloc-msBefore.TotalAlloc) / ingressOps,
+		AllocsPerOp: int64(msAfter.Mallocs-msBefore.Mallocs) / ingressOps,
+	}
+	if ns > 0 {
+		e.TweetsPerS = 1e9 / ns
+	}
+	return e, p.Extractor().CacheStats(), nil
+}
+
+func ingressBench(out string) error {
+	plain := ingressLines(2048, 0)
+
+	// Arm 1: the pooled fast decoder, Discard per op — exactly what the
+	// ingest handler pays per accepted-then-shed line, and an upper bound
+	// on the committed path's decode cost.
+	fast := testing.Benchmark(func(b *testing.B) {
+		dec := twitterdata.GetDecoder()
+		defer twitterdata.PutDecoder(dec)
+		var tw twitterdata.Tweet
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := dec.DecodeInto(&tw, plain[i%len(plain)]); err != nil {
+				b.Fatal(err)
+			}
+			dec.Discard()
+		}
+	})
+
+	// Arm 2: encoding/json on the same lines — the decode cost every
+	// request paid before this path existed.
+	stdlib := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			var tw twitterdata.Tweet
+			if err := json.Unmarshal(plain[i%len(plain)], &tw); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+
+	// Arm 3: a cache hit — content lookup plus the per-user profile
+	// refill, the work a duplicate text costs instead of full extraction.
+	extCfg := feature.DefaultConfig()
+	extCfg.CacheEntries = 1024
+	ext := feature.NewExtractor(extCfg)
+	var hitTweet twitterdata.Tweet
+	if err := json.Unmarshal(plain[0], &hitTweet); err != nil {
+		return err
+	}
+	dst := make([]float64, feature.NumFeatures)
+	ext.ExtractAndCache(dst, &hitTweet)
+	hit := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if !ext.LookupCached(dst, &hitTweet) {
+				b.Fatal("cache miss on a just-inserted text")
+			}
+		}
+	})
+
+	// Arm 4: the full extraction the hit replaces, on the same tweet.
+	extract := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			ext.ExtractInto(dst, &hitTweet)
+		}
+	})
+
+	// Arms 5-8: end-to-end hot path, new vs legacy, with and without
+	// retweet-style duplication.
+	dup := ingressLines(ingressStreamLen, 0.30)
+	nodup := ingressLines(ingressStreamLen, 0)
+	e2eDup30New, cacheStats, err := ingressE2E("IngestE2EDup30New", dup, true)
+	if err != nil {
+		return err
+	}
+	e2eDup30Legacy, _, err := ingressE2E("IngestE2EDup30Legacy", dup, false)
+	if err != nil {
+		return err
+	}
+	e2eDup0New, _, err := ingressE2E("IngestE2EDup0New", nodup, true)
+	if err != nil {
+		return err
+	}
+	e2eDup0Legacy, _, err := ingressE2E("IngestE2EDup0Legacy", nodup, false)
+	if err != nil {
+		return err
+	}
+
+	rep := IngressReport{
+		GeneratedUnix: time.Now().Unix(),
+		GoVersion:     runtime.Version(),
+		GOOS:          runtime.GOOS,
+		GOARCH:        runtime.GOARCH,
+		NumCPU:        runtime.NumCPU(),
+		GOMAXPROCS:    runtime.GOMAXPROCS(0),
+		CPUModel:      cpuModel(),
+		Benchmarks: []Entry{
+			entry("IngressDecode", fast),
+			entry("IngressDecodeStdlib", stdlib),
+			entry("FeatCacheHit", hit),
+			entry("FeatCacheMissExtract", extract),
+			e2eDup30New,
+			e2eDup30Legacy,
+			e2eDup0New,
+			e2eDup0Legacy,
+		},
+		DecodeAllocs:   fast.AllocsPerOp(),
+		CacheHitAllocs: hit.AllocsPerOp(),
+	}
+	if f := float64(fast.T.Nanoseconds()) / float64(fast.N); f > 0 {
+		rep.DecodeSpeedup = (float64(stdlib.T.Nanoseconds()) / float64(stdlib.N)) / f
+	}
+	if e2eDup30New.NsPerOp > 0 {
+		rep.IngestSpeedup = e2eDup30Legacy.NsPerOp / e2eDup30New.NsPerOp
+	}
+	if e2eDup0New.NsPerOp > 0 {
+		rep.Dup0Speedup = e2eDup0Legacy.NsPerOp / e2eDup0New.NsPerOp
+	}
+	if lookups := cacheStats.Hits + cacheStats.Misses; lookups > 0 {
+		rep.CacheHitRatio = float64(cacheStats.Hits) / float64(lookups)
+	}
+	rep.ZeroAllocDecode = rep.DecodeAllocs == 0
+	rep.ZeroAllocHit = rep.CacheHitAllocs == 0
+	rep.MeetsTargetDecodeSpeedup = rep.DecodeSpeedup >= ingressDecodeSpeedupMin
+	rep.MeetsTargetIngestSpeedup = rep.IngestSpeedup >= ingressIngestSpeedupMin
+	rep.MeetsTargetHitRatio = rep.CacheHitRatio >= ingressHitRatioMin
+
+	blob, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	blob = append(blob, '\n')
+	if out == "-" {
+		os.Stdout.Write(blob)
+	} else if err := os.WriteFile(out, blob, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("decode: %.0f ns/op fast (%d allocs/op) vs %.0f ns/op stdlib — %.2fx (gate %.1fx)\n",
+		float64(fast.T.Nanoseconds())/float64(fast.N), fast.AllocsPerOp(),
+		float64(stdlib.T.Nanoseconds())/float64(stdlib.N), rep.DecodeSpeedup, ingressDecodeSpeedupMin)
+	fmt.Printf("cache hit: %.0f ns/op (%d allocs/op) vs %.0f ns/op full extraction\n",
+		float64(hit.T.Nanoseconds())/float64(hit.N), hit.AllocsPerOp(),
+		float64(extract.T.Nanoseconds())/float64(extract.N))
+	fmt.Printf("ingest e2e @30%% duplicates: %.0f tweets/s new vs %.0f tweets/s legacy — %.2fx (gate %.1fx, hit ratio %.2f)\n",
+		e2eDup30New.TweetsPerS, e2eDup30Legacy.TweetsPerS, rep.IngestSpeedup, ingressIngestSpeedupMin, rep.CacheHitRatio)
+	fmt.Printf("ingest e2e @0%% duplicates: %.2fx (decode + raw-append win alone)\n", rep.Dup0Speedup)
+	if !rep.ZeroAllocDecode || !rep.ZeroAllocHit || !rep.MeetsTargetDecodeSpeedup ||
+		!rep.MeetsTargetIngestSpeedup || !rep.MeetsTargetHitRatio {
+		fmt.Fprintln(os.Stderr, "benchreport: WARNING: ingress gate missed")
+		return errBelowTarget
+	}
+	return nil
+}

@@ -91,6 +91,7 @@ func main() {
 	obsMode := flag.Bool("obs", false, "benchmark the tracing layer: span lifecycle allocs and traced-vs-untraced pipeline overhead")
 	ilog := flag.Bool("ingestlog", false, "benchmark the durable ingest log: append per fsync policy, segment reads, and disk replay")
 	snap := flag.Bool("snapshot", false, "benchmark compiled inference snapshots: zero-alloc classify, speedup vs the locked path, incremental rebuild")
+	ingress := flag.Bool("ingress", false, "benchmark the zero-alloc ingress decode and extraction cache: decode allocs, cache hit cost, end-to-end ingest at 0%/30% duplicate ratio")
 	verify := flag.Bool("verify-noalloc", false, "cross-check //redvet:noalloc gate annotations against the benchmark alloc gates (no benchmarks run)")
 	flag.Parse()
 	if *verify {
@@ -120,6 +121,19 @@ func main() {
 		if *snap {
 			*out = "BENCH_snapshot.json"
 		}
+		if *ingress {
+			*out = "BENCH_ingress.json"
+		}
+	}
+	if *ingress {
+		if err := ingressBench(*out); err != nil {
+			if err == errBelowTarget {
+				os.Exit(2)
+			}
+			fmt.Fprintln(os.Stderr, "benchreport:", err)
+			os.Exit(1)
+		}
+		return
 	}
 	if *snap {
 		if err := snapshotBench(*out); err != nil {

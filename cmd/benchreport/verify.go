@@ -70,6 +70,39 @@ var noallocGates = map[string]struct {
 			"redhanded/internal/obs.encodeEntry",
 		},
 	},
+	"IngressDecode": {
+		measuredBy: "benchreport -ingress: DecodeAllocs / meets_target_zero_alloc_decode",
+		funcs: []string{
+			"redhanded/internal/twitterdata.(*Decoder).DecodeInto",
+			"redhanded/internal/twitterdata.(*Decoder).Discard",
+			"redhanded/internal/twitterdata.(*Decoder).decodeTweet",
+			"redhanded/internal/twitterdata.(*Decoder).decodeUser",
+			"redhanded/internal/twitterdata.(*Decoder).getu4",
+			"redhanded/internal/twitterdata.(*Decoder).intField",
+			"redhanded/internal/twitterdata.(*Decoder).intern",
+			"redhanded/internal/twitterdata.(*Decoder).literalNull",
+			"redhanded/internal/twitterdata.(*Decoder).objectNext",
+			"redhanded/internal/twitterdata.(*Decoder).readKey",
+			"redhanded/internal/twitterdata.(*Decoder).skipNumber",
+			"redhanded/internal/twitterdata.(*Decoder).skipString",
+			"redhanded/internal/twitterdata.(*Decoder).skipValue",
+			"redhanded/internal/twitterdata.(*Decoder).skipWS",
+			"redhanded/internal/twitterdata.(*Decoder).stringField",
+			"redhanded/internal/twitterdata.(*Decoder).unquote",
+			"redhanded/internal/twitterdata.(*Decoder).unquoteSlow",
+			"redhanded/internal/twitterdata.foldsToASCII",
+			"redhanded/internal/twitterdata.keyMatches",
+		},
+	},
+	"FeatCacheLookup": {
+		measuredBy: "benchreport -ingress: CacheHitAllocs / meets_target_zero_alloc_hit",
+		funcs: []string{
+			"redhanded/internal/feature.(*Extractor).LookupCached",
+			"redhanded/internal/feature.(*Extractor).fillProfile",
+			"redhanded/internal/feature.(*extractCache).lookup",
+			"redhanded/internal/feature.fnv64aString",
+		},
+	},
 	"SegmentRead": {
 		measuredBy: "benchreport -ingestlog: MeetsTargetAllocs (segment read)",
 		funcs: []string{

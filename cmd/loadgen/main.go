@@ -53,6 +53,7 @@ func main() {
 		pool     = flag.Int("pool", 20000, "distinct tweets in the replay pool")
 		labeled  = flag.Float64("labeled-share", 0.1, "fraction of pool tweets keeping their label (training traffic)")
 		seed     = flag.Uint64("seed", 42, "generation seed")
+		dupRatio = flag.Float64("duplicate-ratio", 0, "probability a pool tweet repeats a recent text (retweet-heavy traffic; exercises the server's extraction cache)")
 
 		logFormat = flag.String("log-format", "text", "log output format: text or json")
 		logLevel  = flag.String("log-level", "info", "log level: debug, info, warn, error")
@@ -60,9 +61,10 @@ func main() {
 	flag.Parse()
 	logger = obs.NewLogger(os.Stderr, *logFormat, *logLevel)
 
-	lines := buildPool(*pool, *labeled, *seed)
+	lines := buildPool(*pool, *labeled, *seed, *dupRatio)
 	logger.Info("pool built",
-		"tweets", len(lines), "labeled_share", *labeled, "target_rps", *rps, "duration", duration.String())
+		"tweets", len(lines), "labeled_share", *labeled, "duplicate_ratio", *dupRatio,
+		"target_rps", *rps, "duration", duration.String())
 
 	client := &http.Client{Transport: &http.Transport{
 		MaxIdleConnsPerHost: *workers,
@@ -146,7 +148,9 @@ func main() {
 	}
 	postTrace := fetchTrace(client, *url)
 	printServerTrace(postTrace)
-	printSnapshotDelta(preTrace, postTrace, preStats, fetchStats(client, *url))
+	postStats := fetchStats(client, *url)
+	printSnapshotDelta(preTrace, postTrace, preStats, postStats)
+	printFeatCacheDelta(preStats, postStats)
 }
 
 // fetchTrace pulls the server-side stage breakdown from GET /v1/trace.
@@ -255,13 +259,38 @@ func printSnapshotDelta(preTrace, postTrace *obs.Summary, pre, post *serve.Stats
 	}
 }
 
+// printFeatCacheDelta reports the server-side extraction-cache hit ratio
+// over the run, from pre/post /v1/stats counter deltas. Printed only when
+// the server publishes cache counters (cache enabled) and the run
+// produced lookups.
+func printFeatCacheDelta(pre, post *serve.Stats) {
+	if post == nil || post.FeatCacheHits+post.FeatCacheMisses == 0 {
+		return
+	}
+	hits, misses := post.FeatCacheHits, post.FeatCacheMisses
+	if pre != nil {
+		hits -= pre.FeatCacheHits
+		misses -= pre.FeatCacheMisses
+	}
+	if hits+misses == 0 {
+		return
+	}
+	fmt.Printf("\nextraction cache: %.1f%% hit ratio during run (%d hits / %d lookups; %d evictions total)\n",
+		100*float64(hits)/float64(hits+misses), hits, hits+misses, post.FeatCacheEvictions)
+}
+
 // buildPool pre-marshals the replay pool: endless firehose-style tweets,
 // with a slice of them keeping their labels so the server keeps training.
-func buildPool(n int, labeledShare float64, seed uint64) [][]byte {
+// A non-zero dupRatio makes both generators re-emit recent texts verbatim
+// (retweet-style duplication), so a server-side extraction cache has
+// something to hit.
+func buildPool(n int, labeledShare float64, seed uint64, dupRatio float64) [][]byte {
 	src := twitterdata.NewUnlabeledSource(seed, 10)
+	src.SetDuplicateRatio(dupRatio)
 	rng := rand.New(rand.NewPCG(seed, 0x10ad6e4))
 	cfg := twitterdata.DefaultAggressionConfig()
 	cfg.Seed = seed
+	cfg.DuplicateRatio = dupRatio
 	scale := float64(n) * labeledShare / 86000
 	cfg.NormalCount = int(float64(cfg.NormalCount) * scale)
 	cfg.AbusiveCount = int(float64(cfg.AbusiveCount) * scale)

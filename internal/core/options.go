@@ -122,7 +122,19 @@ type Options struct {
 	// exists for equivalence testing and benchmarking the two paths
 	// against each other; production configurations leave it false.
 	DisableCompiledSnapshots bool
+	// FeatureCacheEntries sizes the content-addressed extraction cache
+	// that memoizes text-feature vectors for duplicate tweet texts
+	// (retweets/copypasta). 0 resolves to the default capacity; a negative
+	// value disables the cache (the benchmarking no-cache baseline).
+	// Requires Preprocess; the legacy extraction path never consults it.
+	FeatureCacheEntries int
 }
+
+// defaultFeatureCacheEntries is the per-pipeline extraction-cache capacity
+// when Options.FeatureCacheEntries is 0: large enough to cover the working
+// set of recent viral texts per shard, small enough (~8k × 160B ≈ 1.3MB)
+// to be negligible next to the userstate store.
+const defaultFeatureCacheEntries = 8192
 
 // DefaultOptions returns the configuration of the paper's main experiments.
 func DefaultOptions() Options {

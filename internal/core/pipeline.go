@@ -105,7 +105,14 @@ type Pipeline struct {
 func NewPipeline(opts Options) *Pipeline {
 	bowCfg := feature.DefaultBoWConfig()
 	bowCfg.Frozen = !opts.AdaptiveBoW
-	ext := feature.NewExtractor(feature.Config{Preprocess: opts.Preprocess, BoW: bowCfg})
+	cacheEntries := opts.FeatureCacheEntries
+	switch {
+	case cacheEntries == 0:
+		cacheEntries = defaultFeatureCacheEntries
+	case cacheEntries < 0:
+		cacheEntries = 0
+	}
+	ext := feature.NewExtractor(feature.Config{Preprocess: opts.Preprocess, BoW: bowCfg, CacheEntries: cacheEntries})
 	k := opts.Scheme.NumClasses()
 	users := userstate.New(opts.Users)
 	p := &Pipeline{
@@ -346,11 +353,25 @@ func (p *Pipeline) PredictedDistribution() []float64 {
 // class index attached when the tweet is labeled. The normalizer statistics
 // are updated with the raw vector before scaling.
 func (p *Pipeline) ExtractInstance(tw *twitterdata.Tweet) ml.Instance {
+	return p.extractInstanceTraced(tw, nil)
+}
+
+// extractInstanceTraced is ExtractInstance with stage attribution: the
+// extraction-cache probe lands in StageCache, and StageExtract opens only
+// on a miss (so a hit's trace shows extract literally skipped). The raw
+// pre-normalization vector is what the cache stores; the normalizer fold
+// runs on every tweet either way, so its statistics are identical with
+// and without the cache.
+func (p *Pipeline) extractInstanceTraced(tw *twitterdata.Tweet, sp *obs.Span) ml.Instance {
 	// Extraction runs through the pooled fast path; only the normalized
 	// vector escapes (into the instance), so the raw vector is returned to
 	// the pool before this function exits.
 	raw := feature.GetVec()
-	p.extractor.ExtractInto(raw[:], tw)
+	sp.BeginStage(obs.StageCache)
+	if !p.extractor.LookupCached(raw[:], tw) {
+		sp.BeginStage(obs.StageExtract)
+		p.extractor.ExtractAndCache(raw[:], tw)
+	}
 	p.normalizer.Observe(raw[:])
 	x := p.normalizer.Normalize(raw[:], nil)
 	feature.PutVec(raw)
@@ -415,8 +436,7 @@ func (p *Pipeline) LogOffset() int64 {
 }
 
 func (p *Pipeline) processLocked(tw *twitterdata.Tweet, sp *obs.Span) Result {
-	sp.BeginStage(obs.StageExtract)
-	in := p.ExtractInstance(tw)
+	in := p.extractInstanceTraced(tw, sp)
 	sp.BeginStage(obs.StageClassify)
 	votes := p.model.Predict(in.X)
 	pred := votes.ArgMax()
@@ -480,9 +500,12 @@ func (p *Pipeline) finishProcess(tw *twitterdata.Tweet, res *Result, sp *obs.Spa
 // refreshed snapshot equals the live model by the stream equivalence
 // tests.
 func (p *Pipeline) processFast(tw *twitterdata.Tweet, offset int64, logged bool, sp *obs.Span) Result {
-	sp.BeginStage(obs.StageExtract)
 	raw := feature.GetVec()
-	p.extractor.ExtractInto(raw[:], tw)
+	sp.BeginStage(obs.StageCache)
+	if !p.extractor.LookupCached(raw[:], tw) {
+		sp.BeginStage(obs.StageExtract)
+		p.extractor.ExtractAndCache(raw[:], tw)
+	}
 
 	p.mu.Lock()
 	p.normalizer.Observe(raw[:])
@@ -603,8 +626,11 @@ func (p *Pipeline) processRun(entries []BatchEntry, results []Result) []Result {
 		raws = append(raws, feature.GetVec())
 	}
 	for k, e := range entries {
-		e.Span.BeginStage(obs.StageExtract)
-		p.extractor.ExtractInto(raws[k][:], e.Tweet)
+		e.Span.BeginStage(obs.StageCache)
+		if !p.extractor.LookupCached(raws[k][:], e.Tweet) {
+			e.Span.BeginStage(obs.StageExtract)
+			p.extractor.ExtractAndCache(raws[k][:], e.Tweet)
+		}
 		e.Span.EndStage()
 	}
 

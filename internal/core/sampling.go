@@ -70,13 +70,17 @@ func (s *BoostedSampler) Offer(tw *twitterdata.Tweet, votes ml.Prediction) {
 		u = 1e-18
 	}
 	key := math.Pow(u, 1/w)
+	// Clone on acceptance: reservoir tweets outlive the processing call,
+	// and fast-decoded tweets carry arena-backed strings that a long-lived
+	// sample must not pin. Rejected offers (the steady state once the
+	// reservoir is warm) copy nothing.
 	if len(s.entries) < s.cfg.Capacity {
-		s.entries = append(s.entries, sampledTweet{tweet: *tw, key: key})
+		s.entries = append(s.entries, sampledTweet{tweet: tw.Clone(), key: key})
 		s.up(len(s.entries) - 1)
 		return
 	}
 	if key > s.entries[0].key {
-		s.entries[0] = sampledTweet{tweet: *tw, key: key}
+		s.entries[0] = sampledTweet{tweet: tw.Clone(), key: key}
 		s.down(0)
 	}
 }

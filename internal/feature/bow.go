@@ -153,6 +153,9 @@ type AdaptiveBoW struct {
 	// vocabulary changes, so per-tweet scoring does neither map hashing
 	// with string conversion nor mutex hops.
 	snap atomic.Pointer[bowSnapshot]
+	// snapVersion numbers snapshot publications; only touched by
+	// rebuildSnapshot under the write lock (or during construction).
+	snapVersion uint64
 }
 
 // bowSnapshot is an immutable open-addressed (linear probing) string set.
@@ -165,6 +168,11 @@ type bowSnapshot struct {
 	// stem mirrors the BoW's canonicalization config at snapshot time, so
 	// fast-path readers never touch the (lock-guarded) cfg.
 	stem bool
+	// version is a monotone publication counter. It travels with the
+	// snapshot pointer so readers observe (membership, version) as one
+	// consistent pair; the extraction cache keys cached vectors by it so a
+	// vocabulary change can never serve a stale text score.
+	version uint64
 }
 
 // fnv1a and fnv1aString are the FNV-1a 32-bit hash over the token bytes;
@@ -244,7 +252,16 @@ func (s *bowSnapshot) containsString(w string) bool {
 // rebuildSnapshot refreshes the lock-free view. Callers hold the write
 // lock (or are constructing the BoW).
 func (b *AdaptiveBoW) rebuildSnapshot() {
-	b.snap.Store(newBowSnapshot(b.words, b.cfg.Stem))
+	b.snapVersion++
+	s := newBowSnapshot(b.words, b.cfg.Stem)
+	s.version = b.snapVersion
+	b.snap.Store(s)
+}
+
+// SnapshotVersion returns the publication counter of the current
+// membership snapshot (monotone; bumps on every vocabulary republication).
+func (b *AdaptiveBoW) SnapshotVersion() uint64 {
+	return b.snap.Load().version
 }
 
 // lookupSnapshot returns the current lock-free membership view for

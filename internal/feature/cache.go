@@ -1,0 +1,204 @@
+package feature
+
+// Content-addressed extraction cache. Real aggression streams are heavily
+// duplicated — retweets and copypasta routinely make up 25–40% of volume,
+// and Terizi et al. show aggressive content is retweeted disproportionately
+// — yet extraction cost is paid per tweet, not per distinct text. The cache
+// memoizes the text-derived feature slots (indices profileFeatureCount..
+// NumFeatures-1) keyed by (fnv64a(text), BoW snapshot version), so a
+// duplicate tweet skips the whole scan/tag/sentiment/BoW pass.
+//
+// Correctness invariant (DESIGN.md invariant 9): a cache hit is
+// bit-for-bit identical to a fresh extraction. Three mechanisms enforce it:
+//
+//   - Profile features (indices 0..profileFeatureCount-1) vary per user
+//     even for identical text, so they are never served from the cache —
+//     LookupCached recomputes them from the tweet on every hit.
+//   - Text features depend on the BoW membership snapshot, so entries are
+//     keyed by the snapshot's publication version; republication makes
+//     every older entry unreachable (lazy invalidation — stale entries are
+//     preferred eviction victims).
+//   - fnv64a collisions cannot alias: each entry stores its own copy of
+//     the text and a hit requires exact string equality.
+//
+// Concurrency: reads are lock-free — slots are atomic.Pointer values and
+// entries are immutable after publication (except the CLOCK reference
+// bit). Inserts take a per-shard mutex, re-check for duplicates, and evict
+// with per-set CLOCK second-chance, mirroring the userstate idiom.
+
+import (
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+const (
+	// cacheWays is the set associativity: a text can live in any of 4
+	// slots of its set, so unlucky hash neighborhoods degrade gracefully.
+	cacheWays = 4
+	// defaultCacheShards spreads insert mutexes; reads never contend.
+	defaultCacheShards = 8
+)
+
+// cacheEntry is immutable after publication except for the CLOCK ref bit.
+type cacheEntry struct {
+	hash    uint64
+	version uint64 // BoW snapshot version the vector was extracted under
+	text    string // owned copy; exact-match guard against hash collisions
+	vec     Vec
+	ref     atomic.Bool // CLOCK second-chance bit
+}
+
+type cacheShard struct {
+	mu    sync.Mutex
+	slots []atomic.Pointer[cacheEntry] // sets × cacheWays
+	hands []uint8                      // per-set CLOCK hand, guarded by mu
+	mask  uint64                       // sets - 1
+
+	hits   atomic.Int64
+	misses atomic.Int64
+	evicts atomic.Int64
+}
+
+// extractCache is a bounded, sharded, content-addressed Vec cache.
+type extractCache struct {
+	shards []cacheShard
+	mask   uint64 // len(shards) - 1
+}
+
+// fnv64aString is FNV-1a 64-bit over the text bytes. Shard selection uses
+// the high bits, set selection the low bits, so the two indices stay
+// independent.
+//
+//redvet:noalloc gate=FeatCacheLookup
+func fnv64aString(s string) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 1099511628211
+	}
+	return h
+}
+
+// newExtractCache builds a cache holding at least entries vectors (rounded
+// up to a power-of-two set count per shard).
+func newExtractCache(entries int) *extractCache {
+	shards := defaultCacheShards
+	perShard := (entries + shards*cacheWays - 1) / (shards * cacheWays)
+	sets := 1
+	for sets < perShard {
+		sets <<= 1
+	}
+	c := &extractCache{shards: make([]cacheShard, shards), mask: uint64(shards - 1)}
+	for i := range c.shards {
+		sh := &c.shards[i]
+		sh.slots = make([]atomic.Pointer[cacheEntry], sets*cacheWays)
+		sh.hands = make([]uint8, sets)
+		sh.mask = uint64(sets - 1)
+	}
+	return c
+}
+
+// lookup copies the cached text-feature slots into dst on a hit for the
+// exact (text, version) pair. Lock-free: one pointer load per way.
+//
+//redvet:noalloc gate=FeatCacheLookup
+func (c *extractCache) lookup(dst []float64, txt string, version uint64) bool {
+	h := fnv64aString(txt)
+	sh := &c.shards[(h>>48)&c.mask]
+	base := (h & sh.mask) * cacheWays
+	for i := uint64(0); i < cacheWays; i++ {
+		e := sh.slots[base+i].Load()
+		if e == nil || e.hash != h || e.version != version || e.text != txt {
+			continue
+		}
+		e.ref.Store(true)
+		copy(dst[profileFeatureCount:], e.vec[profileFeatureCount:])
+		sh.hits.Add(1)
+		return true
+	}
+	sh.misses.Add(1)
+	return false
+}
+
+// insert publishes a freshly extracted vector for (txt, version). The text
+// is cloned so the cache never pins a decoder arena chunk. Victim choice:
+// an empty slot, else a stale-version slot, else per-set CLOCK
+// second-chance.
+func (c *extractCache) insert(txt string, version uint64, src []float64) {
+	h := fnv64aString(txt)
+	sh := &c.shards[(h>>48)&c.mask]
+	set := h & sh.mask
+	base := set * cacheWays
+
+	e := &cacheEntry{hash: h, version: version, text: strings.Clone(txt)}
+	copy(e.vec[:], src)
+
+	sh.mu.Lock()
+	victim := -1
+	for i := uint64(0); i < cacheWays; i++ {
+		cur := sh.slots[base+i].Load()
+		if cur == nil {
+			if victim < 0 {
+				victim = int(i)
+			}
+			continue
+		}
+		if cur.hash == h && cur.version == version && cur.text == e.text {
+			// Raced with another inserter; the published entry wins.
+			sh.mu.Unlock()
+			return
+		}
+		if cur.version != version {
+			victim = int(i)
+		}
+	}
+	if victim < 0 {
+		hand := int(sh.hands[set])
+		for spins := 0; spins < cacheWays*2; spins++ {
+			cur := sh.slots[base+uint64(hand)].Load()
+			if cur == nil || !cur.ref.Load() {
+				victim = hand
+				break
+			}
+			cur.ref.Store(false)
+			hand = (hand + 1) % cacheWays
+		}
+		if victim < 0 {
+			victim = hand
+		}
+		sh.hands[set] = uint8((victim + 1) % cacheWays)
+	}
+	if sh.slots[base+uint64(victim)].Load() != nil {
+		sh.evicts.Add(1)
+	}
+	sh.slots[base+uint64(victim)].Store(e)
+	sh.mu.Unlock()
+}
+
+// CacheStats aggregates the cache counters for /v1/stats and /metrics.
+type CacheStats struct {
+	Hits      int64 `json:"hits"`
+	Misses    int64 `json:"misses"`
+	Evictions int64 `json:"evictions"`
+	// Entries is the current live slot count; Capacity the slot total.
+	Entries  int `json:"entries"`
+	Capacity int `json:"capacity"`
+}
+
+func (c *extractCache) stats() CacheStats {
+	var s CacheStats
+	for i := range c.shards {
+		sh := &c.shards[i]
+		s.Hits += sh.hits.Load()
+		s.Misses += sh.misses.Load()
+		s.Evictions += sh.evicts.Load()
+		s.Capacity += len(sh.slots)
+		for j := range sh.slots {
+			if sh.slots[j].Load() != nil {
+				s.Entries++
+			}
+		}
+	}
+	return s
+}

@@ -1,0 +1,176 @@
+package feature
+
+import (
+	"fmt"
+	"testing"
+
+	"redhanded/internal/twitterdata"
+)
+
+// TestCacheHitEqualsFreshExtraction is invariant 9: every cache-served
+// vector is bit-for-bit identical to a fresh extraction, including the
+// per-user profile slots, across a duplicate-heavy corpus.
+func TestCacheHitEqualsFreshExtraction(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.CacheEntries = 4096
+	ex := NewExtractor(cfg)
+	ref := NewExtractor(DefaultConfig()) // cache disabled
+
+	tweets := twitterdata.GenerateAggression(twitterdata.AggressionConfig{
+		Seed: 11, Days: 2, NormalCount: 150, AbusiveCount: 60, HatefulCount: 30,
+	})
+	// Two passes: the second is duplicate-by-construction, so it must be
+	// served from cache and still match the reference extractor exactly.
+	for pass := 0; pass < 2; pass++ {
+		for i := range tweets {
+			// Vary the user on the second pass to prove profile slots are
+			// recomputed per tweet, not served from cache.
+			tw := tweets[i]
+			if pass == 1 {
+				tw.User.FollowersCount += 1000
+				tw.User.StatusesCount += 7
+			}
+			got := make([]float64, NumFeatures)
+			want := make([]float64, NumFeatures)
+			ex.ExtractCachedInto(got, &tw)
+			ref.ExtractInto(want, &tw)
+			for j := range want {
+				if got[j] != want[j] {
+					t.Fatalf("pass %d tweet %d: feature %s diverged: cache=%v fresh=%v",
+						pass, i, Name(j), got[j], want[j])
+				}
+			}
+		}
+	}
+	st := ex.CacheStats()
+	if st.Hits == 0 {
+		t.Fatal("expected cache hits on the duplicate pass")
+	}
+	if st.Misses == 0 {
+		t.Fatal("expected cache misses on the first pass")
+	}
+}
+
+// TestCacheInvalidationOnRepublication proves a vocabulary republication
+// makes older entries unreachable: the same text re-extracts with the new
+// membership instead of being served stale.
+func TestCacheInvalidationOnRepublication(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.CacheEntries = 256
+	ex := NewExtractor(cfg)
+
+	tw := twitterdata.Tweet{Text: "blargword blargword is everywhere today"}
+	x := make([]float64, NumFeatures)
+	ex.ExtractCachedInto(x, &tw)
+	if x[BoWScore] != 0 {
+		t.Fatalf("unexpected baseline BoW score %v", x[BoWScore])
+	}
+	// Warm the cache and confirm the hit.
+	ex.ExtractCachedInto(x, &tw)
+	if ex.CacheStats().Hits != 1 {
+		t.Fatalf("expected exactly one hit, got %+v", ex.CacheStats())
+	}
+
+	v := ex.BoW().SnapshotVersion()
+	ex.BoW().AppendWords([]string{"blargword"})
+	if got := ex.BoW().SnapshotVersion(); got != v+1 {
+		t.Fatalf("snapshot version did not bump: %d -> %d", v, got)
+	}
+
+	ex.ExtractCachedInto(x, &tw)
+	if x[BoWScore] != 2 {
+		t.Fatalf("stale vector served after republication: BoW score %v, want 2", x[BoWScore])
+	}
+}
+
+// TestCacheEviction bounds the cache: overfilling a small cache evicts
+// instead of growing.
+func TestCacheEviction(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.CacheEntries = 32 // 8 shards x 1 set x 4 ways
+	ex := NewExtractor(cfg)
+
+	x := make([]float64, NumFeatures)
+	for i := 0; i < 500; i++ {
+		tw := twitterdata.Tweet{Text: fmt.Sprintf("distinct text number %d with some filler words", i)}
+		ex.ExtractCachedInto(x, &tw)
+	}
+	st := ex.CacheStats()
+	if st.Evictions == 0 {
+		t.Fatalf("expected evictions on an overfilled cache: %+v", st)
+	}
+	if st.Entries > st.Capacity {
+		t.Fatalf("cache grew past capacity: %+v", st)
+	}
+	if st.Capacity != 32 {
+		t.Fatalf("capacity = %d, want 32", st.Capacity)
+	}
+}
+
+// TestCacheDisabledByDefault pins the back-compat contract: a zero-config
+// extractor has no cache and LookupCached never hits.
+func TestCacheDisabledByDefault(t *testing.T) {
+	ex := NewExtractor(DefaultConfig())
+	tw := twitterdata.Tweet{Text: "hello world"}
+	x := make([]float64, NumFeatures)
+	ex.ExtractCachedInto(x, &tw)
+	if ex.LookupCached(x, &tw) {
+		t.Fatal("cache hit on a cache-disabled extractor")
+	}
+	if st := ex.CacheStats(); st != (CacheStats{}) {
+		t.Fatalf("expected zero stats, got %+v", st)
+	}
+}
+
+func BenchmarkExtractCacheHit(b *testing.B) {
+	cfg := DefaultConfig()
+	cfg.CacheEntries = 1024
+	ex := NewExtractor(cfg)
+	tw := twitterdata.Tweet{
+		IDStr:     "1",
+		Text:      "you are a pathetic idiot and everyone will know it #news",
+		CreatedAt: "Mon Jan 02 15:04:05 +0000 2006",
+		User:      twitterdata.User{CreatedAt: "Mon Jan 02 15:04:05 +0000 2005", FollowersCount: 10},
+	}
+	x := GetVec()
+	defer PutVec(x)
+	ex.ExtractCachedInto(x[:], &tw)
+	if !ex.LookupCached(x[:], &tw) {
+		b.Fatal("expected warm cache")
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if !ex.LookupCached(x[:], &tw) {
+			b.Fatal("cache miss")
+		}
+	}
+}
+
+// TestCacheHitZeroAlloc pins the lookup path's allocation budget (the
+// FeatCacheLookup redvet gate); the race detector's instrumentation
+// allocates, so the assertion only holds without it.
+func TestCacheHitZeroAlloc(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation allocates")
+	}
+	cfg := DefaultConfig()
+	cfg.CacheEntries = 1024
+	ex := NewExtractor(cfg)
+	tw := twitterdata.Tweet{
+		Text:      "you are a pathetic idiot and everyone will know it #news",
+		CreatedAt: "Mon Jan 02 15:04:05 +0000 2006",
+		User:      twitterdata.User{CreatedAt: "Mon Jan 02 15:04:05 +0000 2005", FollowersCount: 10},
+	}
+	x := GetVec()
+	defer PutVec(x)
+	ex.ExtractCachedInto(x[:], &tw)
+	allocs := testing.AllocsPerRun(200, func() {
+		if !ex.LookupCached(x[:], &tw) {
+			t.Fatal("cache miss")
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("cache hit allocates: %v allocs/op", allocs)
+	}
+}

@@ -16,6 +16,10 @@ type Config struct {
 	// BoW configures the adaptive bag-of-words; set BoW.Frozen for the
 	// fixed-BoW baseline (ad=OFF).
 	BoW BoWConfig
+	// CacheEntries sizes the content-addressed extraction cache (see
+	// cache.go); <= 0 disables it, which is the default so existing
+	// construction sites keep their exact behavior.
+	CacheEntries int
 }
 
 // DefaultConfig enables preprocessing and the adaptive BoW.
@@ -34,11 +38,19 @@ type Extractor struct {
 	tagger    *pos.Tagger
 	sentiment *sentiment.Analyzer
 	bow       *AdaptiveBoW
+	// cache memoizes text-derived feature slots per (text, BoW version);
+	// nil when Config.CacheEntries <= 0.
+	cache *extractCache
 }
 
 // NewExtractor creates an extractor with the given options.
 func NewExtractor(cfg Config) *Extractor {
+	var cache *extractCache
+	if cfg.CacheEntries > 0 && cfg.Preprocess {
+		cache = newExtractCache(cfg.CacheEntries)
+	}
 	return &Extractor{
+		cache:     cache,
 		cfg:       cfg,
 		cleanOpts: text.DefaultCleanOptions(),
 		sentOpts: text.CleanOptions{
@@ -63,6 +75,76 @@ func (e *Extractor) BoW() *AdaptiveBoW { return e.bow }
 // both run the same single-pass fast path.
 func (e *Extractor) Extract(tw *twitterdata.Tweet) []float64 {
 	return e.ExtractInto(make([]float64, NumFeatures), tw)
+}
+
+// LookupCached serves dst from the extraction cache when the exact
+// (text, BoW snapshot version) pair is resident: cached text-feature slots
+// are copied in and the per-user profile slots recomputed, so the result
+// is bit-for-bit what ExtractInto would produce. Returns false (leaving
+// dst untouched) when the cache is disabled, dst is mis-sized, or the
+// entry is absent/stale. Lock-free.
+//
+//redvet:noalloc gate=FeatCacheLookup
+func (e *Extractor) LookupCached(dst []float64, tw *twitterdata.Tweet) bool {
+	if e.cache == nil || len(dst) != NumFeatures {
+		return false
+	}
+	snap := e.bow.lookupSnapshot()
+	if !e.cache.lookup(dst, tw.Text, snap.version) {
+		return false
+	}
+	e.fillProfile(dst, tw)
+	return true
+}
+
+// fillProfile recomputes the per-user profile slots a cache hit cannot
+// serve.
+//
+//redvet:noalloc gate=FeatCacheLookup
+func (e *Extractor) fillProfile(x []float64, tw *twitterdata.Tweet) {
+	x[AccountAge] = tw.AccountAgeDays()
+	x[CntPosts] = float64(tw.User.StatusesCount)
+	x[CntLists] = float64(tw.User.ListedCount)
+	x[CntFollowers] = float64(tw.User.FollowersCount)
+	x[CntFriends] = float64(tw.User.FriendsCount)
+}
+
+// ExtractAndCache extracts freshly (exactly like ExtractInto) and admits
+// the resulting vector into the cache under the snapshot version it was
+// computed against. Admission clones the text and allocates an entry, so
+// this is deliberately not part of the zero-alloc lookup gate; callers pair
+// it with LookupCached, paying admission cost only on misses.
+func (e *Extractor) ExtractAndCache(dst []float64, tw *twitterdata.Tweet) []float64 {
+	if e.cache == nil || !e.cfg.Preprocess {
+		return e.ExtractInto(dst, tw)
+	}
+	if len(dst) != NumFeatures {
+		dst = make([]float64, NumFeatures)
+	}
+	snap := e.bow.lookupSnapshot()
+	sc := extractPool.Get().(*extractScratch)
+	e.extractFast(dst, tw, sc, snap)
+	extractPool.Put(sc)
+	e.cache.insert(tw.Text, snap.version, dst)
+	return dst
+}
+
+// ExtractCachedInto is the composed cache-aware extraction: hit or
+// extract-and-admit.
+func (e *Extractor) ExtractCachedInto(dst []float64, tw *twitterdata.Tweet) []float64 {
+	if e.LookupCached(dst, tw) {
+		return dst
+	}
+	return e.ExtractAndCache(dst, tw)
+}
+
+// CacheStats returns the extraction-cache counters (zero value when the
+// cache is disabled).
+func (e *Extractor) CacheStats() CacheStats {
+	if e.cache == nil {
+		return CacheStats{}
+	}
+	return e.cache.stats()
 }
 
 // ExtractLegacy computes the feature vector via the multi-pass reference

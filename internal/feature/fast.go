@@ -49,13 +49,18 @@ func (e *Extractor) ExtractInto(dst []float64, tw *twitterdata.Tweet) []float64 
 		return dst
 	}
 	sc := extractPool.Get().(*extractScratch)
-	e.extractFast(dst, tw, sc)
+	e.extractFast(dst, tw, sc, e.bow.lookupSnapshot())
 	extractPool.Put(sc)
 	return dst
 }
 
+// extractFast runs the single-pass extraction against one BoW membership
+// snapshot. The snapshot is a parameter (not loaded inside) so the
+// extraction cache can tag the resulting vector with the exact snapshot
+// version it was computed under.
+//
 //redvet:noalloc gate=FeaturePathFast
-func (e *Extractor) extractFast(x []float64, tw *twitterdata.Tweet, sc *extractScratch) {
+func (e *Extractor) extractFast(x []float64, tw *twitterdata.Tweet, sc *extractScratch, snap *bowSnapshot) {
 	ts := &sc.ts
 	ts.Scan(tw.Text)
 
@@ -89,7 +94,6 @@ func (e *Extractor) extractFast(x []float64, tw *twitterdata.Tweet, sc *extractS
 	var adjectives, adverbs, verbs int
 	swears := 0
 	bowScore := 0.0
-	snap := e.bow.lookupSnapshot()
 	sc.step.Reset()
 	var prevLower []byte
 	prevTag := pos.Other

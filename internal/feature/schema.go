@@ -29,6 +29,16 @@ const (
 	NumFeatures
 )
 
+// profileFeatureCount is the number of leading per-user slots (AccountAge
+// through CntFriends). Everything at and above this index is a pure
+// function of (text, BoW snapshot), which is what makes the extraction
+// cache sound: only slots [profileFeatureCount:] are served from cache,
+// the profile prefix is recomputed per tweet. The compile-time pin below
+// breaks the build if a reordering ever moves a profile slot past it.
+const profileFeatureCount = CntFriends + 1
+
+var _ = [1]struct{}{}[profileFeatureCount-NumHashtags] // NumHashtags must be the first cached slot
+
 // Names lists the feature names in index order.
 var Names = [NumFeatures]string{
 	"accountAge", "cntPosts", "cntLists", "cntFollowers", "cntFriends",

@@ -24,6 +24,12 @@ import (
 
 const codecVersion = 1
 
+// CodecVersion is the binary record codec's leading version byte. No JSON
+// document can open with byte 0x01, so log consumers that mix raw-NDJSON
+// payloads into a partition (internal/serve's zero-re-marshal ingress)
+// discriminate the two record forms on it during replay.
+const CodecVersion = codecVersion
+
 // AppendTweet appends the encoded record to dst and returns the extended
 // slice (append-style, so callers reuse one buffer across appends).
 //

@@ -47,6 +47,7 @@ type Stage uint8
 // and queueing cost).
 const (
 	StageQueue           Stage = iota // shard queue wait (ingest → shard loop)
+	StageCache                        // extraction-cache lookup (hit ⇒ StageExtract is skipped)
 	StageExtract                      // preprocessing + feature extraction + normalization
 	StageClassify                     // model predict, prequential record, train
 	StageObserve                      // userstate Observe fold
@@ -60,7 +61,7 @@ const (
 )
 
 var stageNames = [NumStages]string{
-	"queue", "extract", "classify", "observe", "verdict", "emit",
+	"queue", "cache", "extract", "classify", "observe", "verdict", "emit",
 	"executor_rtt", "executor_compute", "merge", "compile",
 }
 

@@ -2,15 +2,18 @@ package serve
 
 import (
 	"bufio"
+	"bytes"
 	"encoding/json"
 	"fmt"
 	"math"
 	"net/http"
 	"strconv"
+	"sync"
 	"time"
 
 	"redhanded/internal/core"
 	"redhanded/internal/eval"
+	"redhanded/internal/feature"
 	"redhanded/internal/ingestlog"
 	"redhanded/internal/metrics"
 	"redhanded/internal/stream"
@@ -59,6 +62,10 @@ type ShardStats struct {
 	// IngestLog describes the shard's write-ahead log partition; absent
 	// when the server runs without a log.
 	IngestLog *ShardLogStats `json:"ingest_log,omitempty"`
+	// FeatCache carries the shard's content-addressed extraction-cache
+	// counters (hits/misses/evictions/occupancy); absent when the cache is
+	// disabled.
+	FeatCache *feature.CacheStats `json:"feature_cache,omitempty"`
 }
 
 // ShardLogStats is one shard's ingest-log partition state in /v1/stats.
@@ -104,10 +111,19 @@ type Stats struct {
 	TreeReplacements int64 `json:"tree_replacements,omitempty"`
 	// Aggregate compiled-snapshot telemetry across shards (zero when the
 	// lock-free classify path is off).
-	SnapshotRebuilds     int64           `json:"snapshot_rebuilds,omitempty"`
-	SnapshotTreesRebuilt int64           `json:"snapshot_trees_rebuilt,omitempty"`
-	IngestLog            *IngestLogStats `json:"ingest_log,omitempty"`
-	PerShard             []ShardStats    `json:"per_shard"`
+	SnapshotRebuilds     int64 `json:"snapshot_rebuilds,omitempty"`
+	SnapshotTreesRebuilt int64 `json:"snapshot_trees_rebuilt,omitempty"`
+	// Aggregate extraction-cache counters across shards (zero when the
+	// cache is disabled). Clients compute the server-side hit ratio as
+	// Hits/(Hits+Misses) over a pre/post delta.
+	FeatCacheHits      int64 `json:"featcache_hits,omitempty"`
+	FeatCacheMisses    int64 `json:"featcache_misses,omitempty"`
+	FeatCacheEvictions int64 `json:"featcache_evictions,omitempty"`
+	// Ingress is the process-wide fast-decoder telemetry (decode counts,
+	// arena chunk turnover); shared across servers in one process.
+	Ingress   *twitterdata.DecodeStats `json:"ingress,omitempty"`
+	IngestLog *IngestLogStats          `json:"ingest_log,omitempty"`
+	PerShard  []ShardStats             `json:"per_shard"`
 }
 
 func (s *Server) routes() *http.ServeMux {
@@ -148,10 +164,20 @@ func (s *Server) writeBackpressure(w http.ResponseWriter, v any) {
 	s.writeJSON(w, http.StatusTooManyRequests, v)
 }
 
+// bodyBufPool recycles /v1/classify body buffers and /v1/ingest scanner
+// buffers: the fast-decode ingress otherwise pays one large read-buffer
+// allocation per request, dwarfing the decode savings.
+var bodyBufPool = sync.Pool{New: func() any {
+	b := make([]byte, 64*1024)
+	return &b
+}}
+
 // handleClassify runs one tweet through its shard synchronously. Latency
 // is recorded for every terminal outcome, labeled by outcome, so the
 // accepted-path series stays clean while rejections and disconnects remain
-// observable.
+// observable. The body decodes through the pooled zero-alloc Decoder (the
+// legacy encoding/json path stays reachable via Options.LegacyJSONDecode),
+// and the raw body bytes ride into the WAL append verbatim.
 func (s *Server) handleClassify(w http.ResponseWriter, r *http.Request) {
 	start := time.Now()
 	outcome := outcomeOK
@@ -159,19 +185,46 @@ func (s *Server) handleClassify(w http.ResponseWriter, r *http.Request) {
 		s.latency[outcome].Observe(time.Since(start).Seconds())
 	}()
 	var tw twitterdata.Tweet
-	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20)).Decode(&tw); err != nil {
-		outcome = outcomeBadRequest
-		s.writeJSON(w, http.StatusBadRequest, map[string]string{"error": fmt.Sprintf("decode tweet: %v", err)})
-		return
+	var raw []byte
+	var dec *twitterdata.Decoder
+	if s.opts.LegacyJSONDecode {
+		if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20)).Decode(&tw); err != nil {
+			outcome = outcomeBadRequest
+			s.writeJSON(w, http.StatusBadRequest, map[string]string{"error": fmt.Sprintf("decode tweet: %v", err)})
+			return
+		}
+	} else {
+		bp := bodyBufPool.Get().(*[]byte)
+		defer bodyBufPool.Put(bp)
+		body := bytes.NewBuffer((*bp)[:0])
+		if _, err := body.ReadFrom(http.MaxBytesReader(w, r.Body, 1<<20)); err != nil {
+			outcome = outcomeBadRequest
+			s.writeJSON(w, http.StatusBadRequest, map[string]string{"error": fmt.Sprintf("read tweet: %v", err)})
+			return
+		}
+		raw = body.Bytes()
+		dec = twitterdata.GetDecoder()
+		defer twitterdata.PutDecoder(dec)
+		if err := dec.DecodeInto(&tw, raw); err != nil {
+			outcome = outcomeBadRequest
+			s.writeJSON(w, http.StatusBadRequest, map[string]string{"error": fmt.Sprintf("decode tweet: %v", err)})
+			return
+		}
 	}
 	reply := make(chan core.Result, 1)
-	sh, ok, err := s.offer(job{tweet: tw, reply: reply})
+	sh, ok, err := s.offerRaw(job{tweet: tw, reply: reply}, raw)
 	if err != nil {
+		if dec != nil {
+			dec.Discard()
+		}
 		outcome = outcomeDraining
 		s.writeJSON(w, http.StatusServiceUnavailable, map[string]string{"error": err.Error()})
 		return
 	}
 	if !ok {
+		if dec != nil {
+			dec.Discard()
+		}
 		outcome = outcomeQueueFull
 		s.rejected.Inc()
 		s.writeBackpressure(w, map[string]string{"error": "shard queue full"})
@@ -201,10 +254,24 @@ func (s *Server) handleClassify(w http.ResponseWriter, r *http.Request) {
 // being enqueued, so Accepted+Malformed is always a prefix of the batch
 // and a 429'd client retries exactly the lines from that prefix onward
 // without double-training the models.
+//
+// Each line decodes through the pooled zero-alloc Decoder and its raw bytes
+// flow straight into the WAL append — no re-marshal between the wire and
+// the log. Arena hygiene on the reject paths: a decoded tweet that is NOT
+// enqueued (queue-full/backpressure shed, drain/replay 503) is Discarded so
+// a rejected burst cannot stride through arena chunks it never committed;
+// malformed lines rewind automatically inside DecodeInto.
 func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 	var resp IngestResponse
 	sc := bufio.NewScanner(http.MaxBytesReader(w, r.Body, s.opts.MaxBatchBytes))
-	sc.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
+	bp := bodyBufPool.Get().(*[]byte)
+	defer bodyBufPool.Put(bp)
+	sc.Buffer(*bp, 4*1024*1024)
+	var dec *twitterdata.Decoder
+	if !s.opts.LegacyJSONDecode {
+		dec = twitterdata.GetDecoder()
+		defer twitterdata.PutDecoder(dec)
+	}
 	for sc.Scan() {
 		line := sc.Bytes()
 		if resp.Rejected > 0 {
@@ -217,13 +284,26 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 			resp.Malformed++
 			continue
 		}
-		tw, err := twitterdata.Unmarshal(line)
-		if err != nil {
-			resp.Malformed++
-			continue
+		var tw twitterdata.Tweet
+		var raw []byte
+		if dec != nil {
+			if dec.DecodeInto(&tw, line) != nil {
+				resp.Malformed++
+				continue
+			}
+			raw = line
+		} else {
+			var err error
+			if tw, err = twitterdata.Unmarshal(line); err != nil {
+				resp.Malformed++
+				continue
+			}
 		}
-		_, ok, err := s.offer(job{tweet: tw})
+		_, ok, err := s.offerRaw(job{tweet: tw}, raw)
 		if err != nil {
+			if dec != nil {
+				dec.Discard()
+			}
 			s.recordIngest(resp)
 			s.writeJSON(w, http.StatusServiceUnavailable, resp)
 			return
@@ -231,6 +311,9 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 		if ok {
 			resp.Accepted++
 		} else {
+			if dec != nil {
+				dec.Discard()
+			}
 			resp.Rejected++
 		}
 	}
@@ -293,6 +376,9 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 		Rejected:      s.rejected.Value(),
 		Subscribers:   s.hub.Subscribers(),
 	}
+	if ds := twitterdata.ReadDecodeStats(); ds.Decodes > 0 || ds.Errors > 0 {
+		st.Ingress = &ds
+	}
 	var logStats []ingestlog.PartitionStats
 	if l := s.opts.Log; l != nil {
 		logStats = l.Stats()
@@ -333,6 +419,12 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 			st.SnapshotRebuilds += snap.Rebuilds
 			st.SnapshotTreesRebuilt += snap.TreesRebuilt
 			entry.Snapshot = &snap
+		}
+		if cs := sh.p.Extractor().CacheStats(); cs.Capacity > 0 {
+			st.FeatCacheHits += cs.Hits
+			st.FeatCacheMisses += cs.Misses
+			st.FeatCacheEvictions += cs.Evictions
+			entry.FeatCache = &cs
 		}
 		if logStats != nil {
 			ps := logStats[sh.id]

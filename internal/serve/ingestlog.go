@@ -36,16 +36,24 @@ import (
 var errReplaying = errors.New("serve: server is replaying the ingest log")
 
 // offerLogged is the WAL ingestion path. The caller holds enqueueMu.RLock,
-// which excludes Drain closing the queue mid-send.
-func (s *Server) offerLogged(sh *shard, j job) (*shard, bool, error) {
+// which excludes Drain closing the queue mid-send. With raw set (the fast
+// ingress path) the tweet's NDJSON wire bytes are appended verbatim — no
+// re-marshal on the hot path; a nil raw (legacy decode, internal offers)
+// encodes the binary record codec as before. Replay dispatches on the
+// payload's first byte, so the two record forms coexist in one log.
+func (s *Server) offerLogged(sh *shard, j job, raw []byte) (*shard, bool, error) {
 	sh.ingestMu.Lock()
 	defer sh.ingestMu.Unlock()
 	if len(sh.queue) == cap(sh.queue) {
 		s.tracer.Abort(j.span)
 		return sh, false, nil
 	}
-	sh.encBuf = ingestlog.AppendTweet(sh.encBuf[:0], &j.tweet)
-	off, err := s.opts.Log.Append(sh.id, sh.encBuf)
+	payload := raw
+	if payload == nil {
+		sh.encBuf = ingestlog.AppendTweet(sh.encBuf[:0], &j.tweet)
+		payload = sh.encBuf
+	}
+	off, err := s.opts.Log.Append(sh.id, payload)
 	if err != nil {
 		s.tracer.Abort(j.span)
 		if errors.Is(err, ingestlog.ErrBackpressure) {
@@ -115,6 +123,14 @@ func (s *Server) replayShard(sh *shard) (int64, error) {
 	}
 	var n int64
 	var tw twitterdata.Tweet
+	// Raw-NDJSON records decode through the pooled fast decoder; the binary
+	// codec's version byte (0x01) can never open a JSON document, so the
+	// first payload byte discriminates the two record forms and logs written
+	// by older servers replay unchanged. Arena strings are never discarded
+	// here: anything the pipeline retains past the ProcessLogged call is
+	// cloned at the retention boundary, and dead chunks fall to the GC.
+	dec := twitterdata.GetDecoder()
+	defer twitterdata.PutDecoder(dec)
 	for {
 		payload, off, err := r.Next()
 		if err == io.EOF {
@@ -123,7 +139,12 @@ func (s *Server) replayShard(sh *shard) (int64, error) {
 		if err != nil {
 			return n, fmt.Errorf("serve: replay shard %d: %w", sh.id, err)
 		}
-		if err := ingestlog.DecodeTweet(payload, &tw, true); err != nil {
+		if len(payload) > 0 && payload[0] == ingestlog.CodecVersion {
+			err = ingestlog.DecodeTweet(payload, &tw, true)
+		} else {
+			err = dec.DecodeInto(&tw, payload)
+		}
+		if err != nil {
 			return n, fmt.Errorf("serve: replay shard %d offset %d: %w", sh.id, off, err)
 		}
 		sh.p.ProcessLogged(&tw, off, nil)

@@ -1,0 +1,8 @@
+//go:build race
+
+package serve
+
+// raceEnabled mirrors the runtime's race-detector build state for tests
+// whose assertions depend on sync.Pool actually reusing entries (the race
+// runtime drops Pool items on purpose to shake out lifecycle races).
+const raceEnabled = true

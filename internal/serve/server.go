@@ -71,6 +71,13 @@ type Options struct {
 	// hash); NewServer panics on a mismatch since running with broken
 	// affinity would corrupt replay. The server does not close the log.
 	Log *ingestlog.Log
+	// LegacyJSONDecode routes /v1/classify and /v1/ingest through
+	// encoding/json instead of the zero-allocation twitterdata.Decoder.
+	// It exists as an A/B escape hatch for benchmarking and for bisecting
+	// decoder-suspected issues; the two paths accept the same inputs
+	// (fuzz-enforced equivalence), so production configurations leave it
+	// false.
+	LegacyJSONDecode bool
 }
 
 // DefaultServerOptions returns the paper-default pipeline behind 4 shards.
@@ -371,8 +378,28 @@ func newServer(opts Options, start bool) *Server {
 				"Records appended to the shard's log partition but not yet applied by its pipeline.",
 				labels, func() float64 { return float64(l.AppendedOffset(part) - p.LogOffset()) })
 		}
+		if ext := sh.p.Extractor(); ext.CacheStats().Capacity > 0 {
+			reg.GaugeFunc("redhanded_featcache_hits", "Extraction-cache hits per shard.",
+				labels, func() float64 { return float64(ext.CacheStats().Hits) })
+			reg.GaugeFunc("redhanded_featcache_misses", "Extraction-cache misses per shard.",
+				labels, func() float64 { return float64(ext.CacheStats().Misses) })
+			reg.GaugeFunc("redhanded_featcache_evictions", "Extraction-cache CLOCK evictions per shard.",
+				labels, func() float64 { return float64(ext.CacheStats().Evictions) })
+			reg.GaugeFunc("redhanded_featcache_entries", "Live extraction-cache entries per shard.",
+				labels, func() float64 { return float64(ext.CacheStats().Entries) })
+		}
 		s.shards = append(s.shards, sh)
 	}
+	// Ingress decoder telemetry is package-wide (the decoder pool is shared
+	// by every server in the process), registered without a shard label.
+	reg.GaugeFunc("redhanded_ingress_decodes_total", "Successful fast NDJSON tweet decodes.",
+		nil, func() float64 { return float64(twitterdata.ReadDecodeStats().Decodes) })
+	reg.GaugeFunc("redhanded_ingress_decode_errors_total", "Failed fast NDJSON tweet decodes.",
+		nil, func() float64 { return float64(twitterdata.ReadDecodeStats().Errors) })
+	reg.GaugeFunc("redhanded_ingress_arena_chunks", "Decoder arena chunks allocated since process start.",
+		nil, func() float64 { return float64(twitterdata.ReadDecodeStats().ArenaChunks) })
+	reg.GaugeFunc("redhanded_ingress_interned_bytes", "String bytes interned into decoder arenas.",
+		nil, func() float64 { return float64(twitterdata.ReadDecodeStats().InternedBytes) })
 	s.mux = s.routes()
 	if start {
 		for _, sh := range s.shards {
@@ -414,6 +441,16 @@ var errServerClosed = fmt.Errorf("serve: server is draining")
 // unrecorded (a 429 never reached the pipeline, so it has no stage
 // breakdown to report).
 func (s *Server) offer(j job) (sh *shard, ok bool, err error) {
+	return s.offerRaw(j, nil)
+}
+
+// offerRaw is offer with the tweet's NDJSON wire bytes attached: WAL-backed
+// servers append raw verbatim to the shard's log partition instead of
+// re-encoding the tweet (the zero-re-marshal ingress path). Append copies
+// the bytes into the segment synchronously, so the caller may reuse the
+// buffer as soon as offerRaw returns. A nil raw falls back to the binary
+// record codec.
+func (s *Server) offerRaw(j job, raw []byte) (sh *shard, ok bool, err error) {
 	s.enqueueMu.RLock()
 	defer s.enqueueMu.RUnlock()
 	if s.closed.Load() {
@@ -428,7 +465,7 @@ func (s *Server) offer(j job) (sh *shard, ok bool, err error) {
 		j.span.SetID(j.tweet.IDStr)
 	}
 	if s.opts.Log != nil {
-		return s.offerLogged(sh, j)
+		return s.offerLogged(sh, j, raw)
 	}
 	select {
 	case sh.queue <- j:
@@ -519,7 +556,17 @@ func (s *Server) UnregisterMetrics() {
 		if s.opts.Log != nil {
 			s.opts.Registry.Unregister("redhanded_ingestlog_replay_lag", labels)
 		}
+		if sh.p.Extractor().CacheStats().Capacity > 0 {
+			s.opts.Registry.Unregister("redhanded_featcache_hits", labels)
+			s.opts.Registry.Unregister("redhanded_featcache_misses", labels)
+			s.opts.Registry.Unregister("redhanded_featcache_evictions", labels)
+			s.opts.Registry.Unregister("redhanded_featcache_entries", labels)
+		}
 	}
+	s.opts.Registry.Unregister("redhanded_ingress_decodes_total", nil)
+	s.opts.Registry.Unregister("redhanded_ingress_decode_errors_total", nil)
+	s.opts.Registry.Unregister("redhanded_ingress_arena_chunks", nil)
+	s.opts.Registry.Unregister("redhanded_ingress_interned_bytes", nil)
 }
 
 // Uptime returns time since the server was built.

@@ -1,0 +1,38 @@
+package twitterdata
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+// FuzzDecodeTweetEquivalence is the decoder's correctness proof: for every
+// input, DecodeInto and json.Unmarshal must agree — both error, or both
+// succeed with identical tweets. The seed corpus covers escape sequences,
+// unicode (including surrogate pairs and invalid UTF-8), case-folded and
+// escaped keys, duplicate fields, unknown fields, number edge cases, and
+// truncated input; the mutator takes it from there.
+func FuzzDecodeTweetEquivalence(f *testing.F) {
+	for _, tc := range decodeCases {
+		f.Add([]byte(tc))
+	}
+	f.Fuzz(func(t *testing.T, line []byte) {
+		var want Tweet
+		wantErr := json.Unmarshal(line, &want)
+		d := GetDecoder()
+		defer PutDecoder(d)
+		var got Tweet
+		gotErr := d.DecodeInto(&got, line)
+		if (wantErr == nil) != (gotErr == nil) {
+			t.Fatalf("error divergence on %q:\n  json.Unmarshal err=%v\n  DecodeInto err=%v", line, wantErr, gotErr)
+		}
+		if wantErr != nil {
+			if got != (Tweet{}) {
+				t.Fatalf("DecodeInto left non-zero tweet after error on %q: %+v", line, got)
+			}
+			return
+		}
+		if got != want {
+			t.Fatalf("value divergence on %q:\n  want %+v\n  got  %+v", line, want, got)
+		}
+	})
+}

@@ -164,6 +164,14 @@ type AggressionConfig struct {
 	// profiles (see shiftedProfiles), stressing the drift-detection path
 	// the way §I's adapting aggressors would.
 	ShiftAt int
+	// DuplicateRatio in [0,1) makes the stream retweet-heavy: with this
+	// probability (scaled per class — aggressive texts go viral harder than
+	// normal chatter, per Terizi et al.'s retweet analysis) a generated
+	// tweet reuses a recently emitted text of its class verbatim, from a
+	// fresh author. Recency is power-law: most repeats hit the newest texts.
+	// 0 (the default) disables duplication and leaves every historical seed
+	// stream byte-identical.
+	DuplicateRatio float64
 }
 
 // DefaultAggressionConfig mirrors the dataset the paper evaluates on.
@@ -187,7 +195,25 @@ type Generator struct {
 	swearPool []string
 	slangDays [][]string
 	profiles  []classProfile
+
+	// Retweet/duplication mode (SetDuplicateRatio): per-class rings of the
+	// most recent freshly composed texts, repeated verbatim with a
+	// power-law recency bias so a handful of "viral" texts dominate.
+	dupRatio float64
+	recent   [3][]string
+	recentAt [3]int
 }
+
+// dupClassWeight scales DuplicateRatio per class: aggressive content is
+// retweeted more aggressively than normal chatter (Terizi et al. observe
+// abuse spreading through retweet cascades), so at a given ratio the
+// duplicate mass skews toward the texts the extraction cache benefits from
+// memoizing most.
+var dupClassWeight = [3]float64{0.7, 1.5, 1.5}
+
+// dupWindow bounds each class's recent-text ring; repeats draw from this
+// window, newest-first.
+const dupWindow = 256
 
 // NewGenerator creates a generator with the given seed and day horizon.
 func NewGenerator(seed uint64, days int) *Generator {
@@ -218,6 +244,48 @@ func NewGenerator(seed uint64, days int) *Generator {
 // concept; labels keep naming the same classes.
 func (g *Generator) Shift() { g.profiles = shiftedProfiles }
 
+// SetDuplicateRatio turns on retweet-heavy generation: each subsequent
+// tweet reuses a recent same-class text verbatim with probability
+// ratio×dupClassWeight[class] (clamped to what the recent window can
+// serve). Zero restores the pure-fresh stream.
+func (g *Generator) SetDuplicateRatio(ratio float64) {
+	if ratio < 0 {
+		ratio = 0
+	}
+	g.dupRatio = ratio
+}
+
+// pickRecent returns a recently composed text of the class with power-law
+// recency bias: u³ concentrates picks on the newest entries, so a few
+// currently-viral texts account for most repeats.
+func (g *Generator) pickRecent(class int) string {
+	ring := g.recent[class]
+	n := len(ring)
+	u := g.rng.Float64()
+	back := int(float64(n) * u * u * u)
+	if back >= n {
+		back = n - 1
+	}
+	// recentAt points at the next write slot; newest entry is one behind.
+	idx := g.recentAt[class] - 1 - back
+	idx %= n
+	if idx < 0 {
+		idx += n
+	}
+	return ring[idx]
+}
+
+// remember records a freshly composed text in the class's recent ring.
+func (g *Generator) remember(class int, text string) {
+	if len(g.recent[class]) < dupWindow {
+		g.recent[class] = append(g.recent[class], text)
+		g.recentAt[class] = len(g.recent[class]) % dupWindow
+		return
+	}
+	g.recent[class][g.recentAt[class]] = text
+	g.recentAt[class] = (g.recentAt[class] + 1) % dupWindow
+}
+
 // GenerateAggression produces the labeled dataset: tweets grouped by day
 // (day 0 first), classes interleaved uniformly within each day, matching
 // the paper's "10 consecutive days of ~8-9k tweets each". With ShiftAt
@@ -225,6 +293,7 @@ func (g *Generator) Shift() { g.profiles = shiftedProfiles }
 // have been emitted.
 func GenerateAggression(cfg AggressionConfig) []Tweet {
 	g := NewGenerator(cfg.Seed, cfg.Days)
+	g.SetDuplicateRatio(cfg.DuplicateRatio)
 	counts := []int{cfg.NormalCount, cfg.AbusiveCount, cfg.HatefulCount}
 	total := counts[0] + counts[1] + counts[2]
 	out := make([]Tweet, 0, total)
@@ -266,9 +335,20 @@ func (g *Generator) Tweet(class, day int) Tweet {
 	ageDays := clampF(p.accountAgeMean+g.rng.NormFloat64()*p.accountAgeStd, 5, 4200)
 	created := posted.Add(-time.Duration(ageDays*24) * time.Hour)
 
+	var body string
+	if g.dupRatio > 0 && len(g.recent[class]) > 0 &&
+		g.rng.Float64() < g.dupRatio*dupClassWeight[class] {
+		body = g.pickRecent(class)
+	} else {
+		body = g.composeText(p, day)
+		if g.dupRatio > 0 {
+			g.remember(class, body)
+		}
+	}
+
 	return Tweet{
 		IDStr:     fmt.Sprintf("t%09d", g.counter),
-		Text:      g.composeText(p, day),
+		Text:      body,
 		CreatedAt: posted.Format(TimeLayout),
 		User: User{
 			IDStr:          fmt.Sprintf("u%07d", g.rng.Intn(2000000)),
@@ -456,6 +536,12 @@ func NewUnlabeledSource(seed uint64, days int) *UnlabeledSource {
 		mix:  [3]float64{0.626, 0.942, 1.0},
 		days: days,
 	}
+}
+
+// SetDuplicateRatio switches the source's generator into retweet-heavy
+// mode (see Generator.SetDuplicateRatio).
+func (s *UnlabeledSource) SetDuplicateRatio(ratio float64) {
+	s.gen.SetDuplicateRatio(ratio)
 }
 
 // Next returns the next unlabeled tweet.

@@ -13,6 +13,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"strings"
 	"time"
 )
 
@@ -81,6 +82,23 @@ func (t *Tweet) AccountAgeDays() float64 {
 		return 0
 	}
 	return posted.Sub(created).Hours() / 24
+}
+
+// Clone returns a copy of the tweet whose string fields are freshly
+// allocated. Fast-decoded tweets carve their strings out of a pooled
+// decoder arena (see Decoder); any consumer that retains tweet strings
+// beyond the processing call — the sampler reservoir, user-state records —
+// clones them first so a few surviving bytes never pin a 64KB arena chunk.
+func (t *Tweet) Clone() Tweet {
+	c := *t
+	c.IDStr = strings.Clone(t.IDStr)
+	c.Text = strings.Clone(t.Text)
+	c.CreatedAt = strings.Clone(t.CreatedAt)
+	c.Label = strings.Clone(t.Label)
+	c.User.IDStr = strings.Clone(t.User.IDStr)
+	c.User.ScreenName = strings.Clone(t.User.ScreenName)
+	c.User.CreatedAt = strings.Clone(t.User.CreatedAt)
+	return c
 }
 
 // Marshal encodes the tweet as a single JSON line.

@@ -29,6 +29,7 @@ package userstate
 
 import (
 	"sort"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -478,8 +479,11 @@ func (s *Store) observeLocked(sh *shard, o Observation) Outcome {
 		r = s.insert(sh, o.UserID)
 	}
 	r.ref = true
-	if o.ScreenName != "" {
-		r.screenName = o.ScreenName
+	if o.ScreenName != "" && o.ScreenName != r.screenName {
+		// Clone for the same arena-aliasing reason as insert; the equality
+		// guard keeps the copy off the steady state (a user's screen name
+		// rarely changes between observations).
+		r.screenName = strings.Clone(o.ScreenName)
 	}
 	if r.firstSeen == 0 || (at != 0 && at < r.firstSeen) {
 		r.firstSeen = at
@@ -656,10 +660,14 @@ func (s *Store) insert(sh *shard, id string) *record {
 	} else {
 		r = &record{recent: make([]entry, s.cfg.RingSize)}
 	}
-	r.id = id
+	// Clone the ID: observation strings may alias a pooled decode arena
+	// (twitterdata.Decoder) whose chunk a retained record must not pin.
+	// Insert is the once-per-user cold path, so the copy never lands on
+	// the per-tweet steady state.
+	r.id = strings.Clone(id)
 	r.ringIdx = len(sh.ring)
 	sh.ring = append(sh.ring, r)
-	sh.users[id] = r
+	sh.users[r.id] = r
 	return r
 }
 
